@@ -1,0 +1,20 @@
+# Convenience targets for the TCAM reproduction.
+
+.PHONY: install test bench examples all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+all: install test bench

@@ -1,0 +1,93 @@
+"""Shared fixtures and helpers for the per-table/per-figure benchmarks.
+
+Every bench module regenerates one table or figure of the paper: it
+fits the relevant models, prints the same rows/series the paper reports,
+saves them under ``benchmarks/results/``, asserts the paper's
+*qualitative* claims (who wins, where the shape bends), and times a
+representative unit of work through ``pytest-benchmark``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import BPRMF, BPTF, TimeTopicModel, UserTopicModel
+from repro.core import ITCAM, TTCAM
+from repro.data import generate, profile
+from repro.evaluation import ModelSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Scale/effort knobs shared by all benches: large enough for stable
+# orderings, small enough that the full bench suite finishes in minutes.
+# FOLDS=5 matches the paper's five-fold cross validation (80/20 splits).
+SCALE = 0.5
+MOVIELENS_SCALE = 0.75
+EM_ITERS = 60
+EM_ITERS_LONG = 100
+QUERY_CAP = 250
+FOLDS = 5
+
+
+def save_table(name: str, text: str) -> Path:
+    """Persist one experiment's printed table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def standard_specs(k1: int = 10, k2: int = 12, iters: int = EM_ITERS) -> list[ModelSpec]:
+    """The paper's eight-model comparison set (Section 5.2)."""
+    return [
+        ModelSpec("UT", lambda: UserTopicModel(num_topics=k1, max_iter=iters)),
+        ModelSpec("TT", lambda: TimeTopicModel(num_topics=k2, max_iter=iters)),
+        ModelSpec("BPRMF", lambda: BPRMF(num_epochs=25)),
+        ModelSpec("BPTF", lambda: BPTF(num_epochs=30)),
+        ModelSpec("ITCAM", lambda: ITCAM(num_user_topics=k1, max_iter=iters)),
+        ModelSpec(
+            "TTCAM",
+            lambda: TTCAM(num_user_topics=k1, num_time_topics=k2, max_iter=iters),
+        ),
+        ModelSpec(
+            "W-ITCAM",
+            lambda: ITCAM(num_user_topics=k1, max_iter=iters, weighted=True),
+        ),
+        ModelSpec(
+            "W-TTCAM",
+            lambda: TTCAM(
+                num_user_topics=k1, num_time_topics=k2, max_iter=iters, weighted=True
+            ),
+        ),
+    ]
+
+
+@pytest.fixture(scope="session")
+def digg_data():
+    """Digg-profile dataset at bench scale."""
+    return generate(profile("digg", scale=SCALE))
+
+
+@pytest.fixture(scope="session")
+def movielens_data():
+    """MovieLens-profile dataset at bench scale."""
+    return generate(profile("movielens", scale=MOVIELENS_SCALE))
+
+
+@pytest.fixture(scope="session")
+def douban_data():
+    """Douban-profile dataset at bench scale."""
+    return generate(profile("douban", scale=SCALE))
+
+
+@pytest.fixture(scope="session")
+def delicious_data():
+    """Delicious-profile dataset at bench scale."""
+    return generate(profile("delicious", scale=SCALE))

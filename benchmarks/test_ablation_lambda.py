@@ -1,0 +1,85 @@
+"""Ablation — personalised λ_u vs one global λ.
+
+Section 3.2 motivates estimating a *per-user* mixing weight "considering
+the differences between users in personalities". This ablation fits
+TTCAM twice on each of the Digg and MovieLens substitutes — once with
+per-user λ_u (the paper's model) and once with a single shared λ — and
+compares temporal top-k accuracy.
+
+Finding (asserted): at our reduced per-user data volume the two are
+statistically indistinguishable on Digg and the global λ is slightly
+*better* on MovieLens — per-user weights estimated from ~50 ratings are
+noisy, and a shared λ acts as a regulariser. The paper's gain from
+personalisation presumably needs its data scale (hundreds to thousands
+of ratings per user); EXPERIMENTS.md records this as a scale-dependent
+result. The bench asserts the defensible part: personalisation is never
+catastrophically worse, and the learned per-user weights do vary
+substantially across users (the premise of personalising at all).
+
+The timed unit is one personalised fit on Digg.
+"""
+
+import numpy as np
+
+from repro.core import TTCAM
+from repro.data import holdout_split
+from repro.evaluation import build_queries, evaluate_ranking
+
+from conftest import EM_ITERS, EM_ITERS_LONG, save_table
+
+
+def run(cuboid, personalized, iters, k2):
+    split = holdout_split(cuboid, seed=0)
+    queries = build_queries(split, max_queries=250, seed=0)
+    vals = []
+    for seed in (0, 1):
+        model = TTCAM(
+            10, k2, max_iter=iters, personalized_lambda=personalized, seed=seed
+        ).fit(split.train)
+        vals.append(
+            evaluate_ranking(model, queries, ks=(5, 10), metrics=("ndcg",))
+        )
+    return {
+        5: float(np.mean([r.at("ndcg", 5) for r in vals])),
+        10: float(np.mean([r.at("ndcg", 10) for r in vals])),
+    }
+
+
+def test_ablation_personalized_lambda(benchmark, digg_data, movielens_data):
+    digg_cuboid, _ = digg_data
+    ml_cuboid, _ = movielens_data
+
+    results = {
+        "Digg": {
+            "personalised": run(digg_cuboid, True, EM_ITERS, k2=12),
+            "global": run(digg_cuboid, False, EM_ITERS, k2=12),
+        },
+        "MovieLens": {
+            "personalised": run(ml_cuboid, True, EM_ITERS_LONG, k2=6),
+            "global": run(ml_cuboid, False, EM_ITERS_LONG, k2=6),
+        },
+    }
+
+    lines = [
+        "Ablation: personalised vs global mixing weight λ (NDCG@5 / NDCG@10)"
+    ]
+    for dataset, modes in results.items():
+        for mode, vals in modes.items():
+            lines.append(f"{dataset:10s} {mode:13s} {vals[5]:.4f} / {vals[10]:.4f}")
+    save_table("ablation_lambda", "\n".join(lines))
+
+    for dataset, modes in results.items():
+        # Personalisation never hurts materially at this data scale.
+        assert modes["personalised"][10] > modes["global"][10] * 0.9, dataset
+
+    # The premise of personalising: users genuinely differ in λ.
+    split = holdout_split(digg_cuboid, seed=0)
+    model = TTCAM(10, 12, max_iter=EM_ITERS, seed=0).fit(split.train)
+    lam = model.params_.lambda_u
+    assert lam.std() > 0.02
+
+    benchmark.pedantic(
+        lambda: TTCAM(10, 12, max_iter=EM_ITERS, seed=2).fit(split.train),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,103 @@
+"""Ablation — distinct user/time topic sets vs one shared set.
+
+Section 2 argues that prior mixtures (TimeUserLDA-style) that use **one
+shared topic set** for both factors produce "confusing and noisy" topics
+"since they conflate both user interest and temporal context", and that
+TCAM's two distinct sets are what make user interest and temporal
+context separately identifiable.
+
+This ablation fits TTCAM (10 + 12 distinct topics) against
+:class:`~repro.baselines.sharedtopics.SharedTopicsTCAM` (22 shared
+topics — matched capacity) on the Digg substitute and measures *topic
+identifiability* via temporal spikiness:
+
+* TTCAM's two sets separate cleanly — time-oriented topics are far
+  spikier than user-oriented ones (asserted ratio > 2);
+* the shared set conflates: it produces no stable (flat) topic cluster —
+  even its flattest third is spikier than TTCAM's user-oriented topics
+  (asserted).
+
+Accuracy is reported for completeness: on the strongly context-driven
+Digg substitute the shared model is competitive (it can reallocate all
+capacity to the dominant factor), so — as EXPERIMENTS.md discusses — the
+paper's case for distinct sets rests on interpretability, which this
+bench confirms, not on raw accuracy.
+
+The timed unit is one shared-set fit.
+"""
+
+import numpy as np
+
+from repro.analysis.topics import spikiness, topic_temporal_profile
+from repro.baselines import SharedTopicsTCAM
+from repro.core import TTCAM
+from repro.data import holdout_split
+from repro.evaluation import build_queries, evaluate_ranking
+
+from conftest import EM_ITERS, save_table
+
+K1, K2 = 10, 12
+
+
+def test_ablation_shared_vs_distinct_topic_sets(benchmark, digg_data):
+    cuboid, _ = digg_data
+    split = holdout_split(cuboid, seed=0)
+    queries = build_queries(split, max_queries=250, seed=0)
+
+    distinct = TTCAM(K1, K2, max_iter=EM_ITERS, seed=0).fit(split.train)
+    shared = SharedTopicsTCAM(num_topics=K1 + K2, max_iter=EM_ITERS, seed=0).fit(
+        split.train
+    )
+
+    user_spikes = np.array(
+        [
+            spikiness(topic_temporal_profile(split.train, distinct.params_.phi[z]))
+            for z in range(K1)
+        ]
+    )
+    time_spikes = np.array(
+        [
+            spikiness(topic_temporal_profile(split.train, distinct.params_.phi_time[x]))
+            for x in range(K2)
+        ]
+    )
+    shared_spikes = np.sort(
+        [
+            spikiness(topic_temporal_profile(split.train, shared.phi_[z]))
+            for z in range(K1 + K2)
+        ]
+    )
+
+    acc = {}
+    for name, model in (("TTCAM (distinct)", distinct), ("Shared set", shared)):
+        report = evaluate_ranking(model, queries, ks=(5,), metrics=("ndcg",))
+        acc[name] = report.at("ndcg", 5)
+
+    lines = [
+        "Ablation: distinct user/time topic sets (TTCAM) vs one shared set",
+        f"\nNDCG@5: TTCAM {acc['TTCAM (distinct)']:.4f}, shared {acc['Shared set']:.4f}",
+        "\ntemporal spikiness (peak-to-mean) of learned topics:",
+        f"  TTCAM user-oriented : mean {user_spikes.mean():6.2f} "
+        f"(range {user_spikes.min():.2f}-{user_spikes.max():.2f})",
+        f"  TTCAM time-oriented : mean {time_spikes.mean():6.2f} "
+        f"(range {time_spikes.min():.2f}-{time_spikes.max():.2f})",
+        f"  shared set          : mean {shared_spikes.mean():6.2f} "
+        f"(flattest third mean {shared_spikes[: (K1 + K2) // 3].mean():.2f})",
+    ]
+    save_table("ablation_shared_topics", "\n".join(lines))
+
+    # Distinct sets separate cleanly: time topics ≫ user topics in
+    # temporal concentration.
+    assert time_spikes.mean() > 2 * user_spikes.mean()
+    # The shared set conflates: no flat "stable interest" topic cluster —
+    # even its flattest third is spikier than TTCAM's user topics.
+    flattest_third = shared_spikes[: (K1 + K2) // 3].mean()
+    assert flattest_third > user_spikes.mean()
+
+    benchmark.pedantic(
+        lambda: SharedTopicsTCAM(num_topics=K1 + K2, max_iter=EM_ITERS, seed=1).fit(
+            split.train
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""Figure 6 — temporal recommendation accuracy on Digg.
+
+Regenerates the Precision@k / NDCG@k / F1@k curves (k = 1..10) for the
+paper's eight-model comparison on the Digg-profile dataset, with 2-fold
+cross validation. Asserts the orderings the paper's Figure 6 shows:
+
+* every TCAM-family model beats the non-temporal UT and BPRMF baselines
+  (news consumption is context-driven);
+* TT beats UT (temporal context matters more than taste on Digg);
+* the best TCAM variant beats TT and BPTF.
+
+Known reproduction deviation (documented in EXPERIMENTS.md): in our
+generative substitute the item-weighted variants trade accuracy for
+topic interpretability instead of gaining both, so W-TTCAM does not top
+this chart as it does in the paper. The assertions therefore cover the
+cross-family orderings, which reproduce robustly.
+
+The timed unit is one full TTCAM fit on the training fold.
+"""
+
+from repro.core import TTCAM
+from repro.data import holdout_split
+from repro.evaluation import run_accuracy_experiment
+
+from conftest import EM_ITERS, FOLDS, QUERY_CAP, save_table, standard_specs
+
+KS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+
+def test_fig6_digg_accuracy(benchmark, digg_data):
+    cuboid, _ = digg_data
+    result = run_accuracy_experiment(
+        cuboid,
+        standard_specs(),
+        ks=KS,
+        metrics=("precision", "ndcg", "f1"),
+        num_folds=FOLDS,
+        max_queries=QUERY_CAP,
+    )
+
+    lines = [f"Figure 6: temporal accuracy on Digg ({FOLDS}-fold CV)"]
+    for metric in ("precision", "ndcg", "f1"):
+        lines.append(f"\n--- {metric}@k ---")
+        lines.append(result.format_table(metric))
+    save_table("fig6_digg_accuracy", "\n".join(lines))
+
+    tcam_family = ("ITCAM", "TTCAM", "W-ITCAM", "W-TTCAM")
+    for k in (5, 10):
+        # TCAM family dominates the non-temporal baselines.
+        for model in tcam_family:
+            assert result.at(model, "ndcg", k) > result.at("UT", "ndcg", k)
+            assert result.at(model, "ndcg", k) > result.at("BPRMF", "ndcg", k)
+        # Temporal context beats pure taste on news (TT > UT).
+        assert result.at("TT", "ndcg", k) > result.at("UT", "ndcg", k)
+        # The best TCAM variant tops TT and BPTF.
+        best = max(result.at(m, "ndcg", k) for m in tcam_family)
+        assert best > result.at("TT", "ndcg", k)
+        assert best > result.at("BPTF", "ndcg", k)
+
+    split = holdout_split(cuboid, seed=0)
+    benchmark.pedantic(
+        lambda: TTCAM(10, 12, max_iter=EM_ITERS, seed=0).fit(split.train),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,77 @@
+"""Figure 9 — accuracy vs the number of user-oriented topics (K1) for
+several time-oriented topic counts (K2).
+
+The paper varies K1 from 10 to 100 with K2 ∈ {20, 40, 60, 80} on Digg
+and observes (a) performance rises with K1 then plateaus, and (b) the
+smallest K2 underperforms while larger K2 values bunch together.
+
+At our reduced data scale the sweep runs K1 ∈ {2..16} with
+K2 ∈ {2, 6, 10, 14} (the generator has 8 user topics and 14 events, so
+the same saturation story plays out at proportionally smaller counts).
+Assertions:
+
+* the smallest K2 curve is clearly the worst of the family and larger
+  K2 curves bunch together (the paper's W-TTCAM-20 observation);
+* each curve is stable (a plateau) across K1 — no collapse at large K1.
+
+Reproduction note (EXPERIMENTS.md): the paper's *rise* of the curve at
+small K1 is muted here because our Digg substitute is strongly
+context-driven (fitted λ̄ ≈ 0.1), so accuracy saturates in K1 almost
+immediately; the K2 family ordering and the plateau reproduce.
+
+The timed unit is one TTCAM fit at the default topic counts.
+"""
+
+import numpy as np
+
+from repro.core import TTCAM
+from repro.data import holdout_split
+from repro.evaluation import build_queries, evaluate_ranking
+
+from conftest import save_table
+
+K1_GRID = (2, 4, 6, 8, 12, 16)
+K2_GRID = (2, 6, 10, 14)
+SEEDS = (0, 1)
+
+
+def test_fig9_topic_count_sweep(benchmark, digg_data):
+    cuboid, _ = digg_data
+    split = holdout_split(cuboid, seed=0)
+    queries = build_queries(split, max_queries=250, seed=0)
+
+    curves: dict[int, list[float]] = {}
+    for k2 in K2_GRID:
+        curve = []
+        for k1 in K1_GRID:
+            vals = []
+            for seed in SEEDS:
+                model = TTCAM(k1, k2, max_iter=60, seed=seed).fit(split.train)
+                report = evaluate_ranking(model, queries, ks=(5,), metrics=("ndcg",))
+                vals.append(report.at("ndcg", 5))
+            curve.append(float(np.mean(vals)))
+        curves[k2] = curve
+
+    lines = [
+        "Figure 9: NDCG@5 vs number of user-oriented topics (K1) on Digg",
+        "K1    " + "".join(f"K2={k2:<7d}" for k2 in K2_GRID),
+    ]
+    for i, k1 in enumerate(K1_GRID):
+        lines.append(f"{k1:4d}  " + "".join(f"{curves[k2][i]:<10.4f}" for k2 in K2_GRID))
+    save_table("fig9_topic_counts", "\n".join(lines))
+
+    # The smallest K2 is clearly the weakest family member everywhere.
+    saturated = {k2: float(np.mean(curves[k2])) for k2 in K2_GRID}
+    assert saturated[2] < 0.75 * min(saturated[k2] for k2 in K2_GRID[1:])
+    # Plateau: every adequately-sized curve is stable across K1.
+    for k2 in K2_GRID[1:]:
+        curve = np.array(curves[k2])
+        assert (curve.max() - curve.min()) / curve.mean() < 0.25
+    # Larger K2 never hurts at this event count (14 true events).
+    assert saturated[14] >= saturated[6]
+
+    benchmark.pedantic(
+        lambda: TTCAM(8, 10, max_iter=60, seed=5).fit(split.train),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,47 @@
+"""Table 2 — basic statistics of the four datasets.
+
+Regenerates the dataset-statistics table for the four synthetic profile
+substitutes and checks the relative shapes the paper's Table 2 exhibits
+(Douban's catalogue bigger than MovieLens's, Delicious's vocabulary the
+largest, Digg/MovieLens user-heavy). The timed unit is full generation of
+the Digg-profile dataset.
+"""
+
+from repro.data import generate, profile
+
+from conftest import SCALE, save_table
+
+
+def test_table2_dataset_statistics(benchmark, digg_data, movielens_data, douban_data, delicious_data):
+    datasets = {
+        "Digg": digg_data,
+        "MovieLens": movielens_data,
+        "Douban Movie": douban_data,
+        "Delicious": delicious_data,
+    }
+
+    lines = [
+        "Table 2: basic statistics of the four (synthetic-substitute) datasets",
+        f"{'dataset':14s}{'# users':>10s}{'# items':>10s}{'# ratings':>12s}{'# intervals':>13s}",
+    ]
+    stats = {}
+    for name, (cuboid, _truth) in datasets.items():
+        stats[name] = cuboid
+        lines.append(
+            f"{name:14s}{cuboid.num_users:>10d}{cuboid.num_items:>10d}"
+            f"{cuboid.nnz:>12d}{cuboid.num_intervals:>13d}"
+        )
+    save_table("table2_datasets", "\n".join(lines))
+
+    # Paper-shape assertions (relative, matching Table 2's character).
+    assert stats["Douban Movie"].num_items > stats["MovieLens"].num_items
+    assert stats["Delicious"].num_items >= stats["Douban Movie"].num_items
+    assert stats["Digg"].num_users > stats["Digg"].num_items
+    assert stats["MovieLens"].num_users > stats["MovieLens"].num_items
+    for cuboid in stats.values():
+        assert cuboid.nnz > 1000
+
+    # Timed unit: generating the Digg-profile dataset from scratch.
+    benchmark.pedantic(
+        lambda: generate(profile("digg", scale=SCALE)), rounds=3, iterations=1
+    )

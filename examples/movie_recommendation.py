@@ -1,0 +1,75 @@
+"""Movie recommendation: a taste-driven platform end to end.
+
+The mirror image of the news example: "when choosing a book to read or
+a movie to watch, the users are likely to prefer [items] that interest
+them". On the MovieLens-like substitute this example shows:
+
+1. interest beating context (UT > TT — the paper's Figure 7 contrast),
+2. TCAM matching the best of both by learning high λ_u per user,
+3. per-user inspection: what the model believes one user's tastes are.
+
+Run with::
+
+    python examples/movie_recommendation.py
+"""
+
+import numpy as np
+
+from repro import TTCAM, TemporalRecommender, TimeTopicModel, UserTopicModel
+from repro.analysis.influence import fraction_above
+from repro.analysis.topics import top_items
+from repro.data import generate, holdout_split, profile
+from repro.evaluation import build_queries, evaluate_ranking
+
+
+def main() -> None:
+    cuboid, truth = generate(profile("movielens", scale=0.5))
+    split = holdout_split(cuboid, seed=0)
+    queries = build_queries(split, max_queries=250, seed=0)
+    print(f"movie platform: {cuboid} (explicit 1-5 star ratings)\n")
+
+    models = {
+        "UT (interest only)": UserTopicModel(num_topics=10, max_iter=100, seed=0),
+        "TT (context only)": TimeTopicModel(num_topics=6, max_iter=100, seed=0),
+        "TTCAM": TTCAM(10, 6, max_iter=100, seed=0),
+    }
+    print("held-out temporal accuracy (NDCG@5):")
+    fitted = {}
+    for name, model in models.items():
+        model.fit(split.train)
+        fitted[name] = model
+        report = evaluate_ranking(model, queries, ks=(5,), metrics=("ndcg",))
+        print(f"  {name:22s} {report.at('ndcg', 5):.3f}")
+    print(
+        "\n→ tastes dominate on movies: UT beats TT here, the opposite of"
+        "\n  the news platform (the paper's Figure 6 vs Figure 7 contrast)."
+    )
+
+    tcam = fitted["TTCAM"]
+    lam = tcam.params_.lambda_u
+    print(
+        f"\nlearned λ: mean {lam.mean():.2f}; "
+        f"{fraction_above(lam, 0.5):.0%} of users interest-dominant "
+        "(paper's Figure 10)"
+    )
+
+    # --- one user's taste profile -----------------------------------------
+    user = int(np.argmax(split.train.user_activity()))
+    theta = tcam.params_.theta[user]
+    print(f"\nuser {user}'s interest distribution over user-oriented topics:")
+    for z in np.argsort(-theta)[:3]:
+        movies = top_items(
+            tcam.params_.phi[z], k=4, labels=truth.item_labels
+        )
+        names = ", ".join(label for _v, label, _p in movies)
+        print(f"  topic {z} (weight {theta[z]:.2f}): {names}")
+
+    recommender = TemporalRecommender(tcam)
+    result = recommender.recommend(user, interval=18, k=5)
+    print(f"\ntop-5 recommendations for user {user} (interval 18):")
+    for rec in result.recommendations:
+        print(f"  {cuboid.item_index.label_of(rec.item)}  ({rec.score:.4f})")
+
+
+if __name__ == "__main__":
+    main()

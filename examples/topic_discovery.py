@@ -1,0 +1,110 @@
+"""Topic discovery on a tagging platform: events, bursts and weighting.
+
+Reproduces the paper's qualitative analyses (Section 5.5) on the
+Delicious-like substitute:
+
+1. detect time-oriented topics and locate the "michaeljackson" and
+   "swineflu" events among them,
+2. contrast bursty event tags with evergreen popular tags (Figure 5),
+3. plot (as text) a time-oriented topic's attention spike vs a stable
+   user-oriented topic (Figure 2),
+4. show what the item-weighting scheme changes.
+
+Run with::
+
+    python examples/topic_discovery.py
+"""
+
+import numpy as np
+
+from repro import TTCAM
+from repro.analysis.bursts import item_profile, top_popular_items
+from repro.analysis.topics import (
+    spikiness,
+    summarize_topic,
+    topic_purity,
+    topic_temporal_profile,
+)
+from repro.data import generate, profile
+
+
+def sparkline(values: np.ndarray, width: int = 44) -> str:
+    """Render a curve as a text sparkline."""
+    blocks = " .:-=+*#%@"
+    resampled = np.interp(
+        np.linspace(0, len(values) - 1, width), np.arange(len(values)), values
+    )
+    peak = resampled.max() or 1.0
+    return "".join(blocks[int(v / peak * (len(blocks) - 1))] for v in resampled)
+
+
+def main() -> None:
+    cuboid, truth = generate(profile("delicious", scale=0.5))
+    labels = truth.item_labels
+    print(f"tagging platform: {cuboid}\n")
+
+    model = TTCAM(9, 10, max_iter=60, weighted=True, seed=0).fit(cuboid)
+    params = model.params_
+
+    # --- locate the named events among the fitted time topics -------------
+    print("named events located in fitted time-oriented topics:")
+    for event_name in ("michaeljackson", "swineflu"):
+        dedicated = truth.event_items[event_name]
+        purities = [
+            topic_purity(params.phi_time[x], dedicated)
+            for x in range(params.num_time_topics)
+        ]
+        best = int(np.argmax(purities))
+        summary = summarize_topic(
+            params.phi_time[best], best, "time", k=6, labels=labels
+        )
+        print(f"  {event_name}: topic {best} (mass {purities[best]:.2f})")
+        print(f"    {', '.join(summary.labels)}")
+
+    # --- Figure 2: spike vs stable -----------------------------------------
+    mj = truth.event_items["michaeljackson"]
+    purities = [
+        topic_purity(params.phi_time[x], mj) for x in range(params.num_time_topics)
+    ]
+    event_topic = int(np.argmax(purities))
+    event_curve = topic_temporal_profile(cuboid, params.phi_time[event_topic])
+    user_curves = [
+        topic_temporal_profile(cuboid, params.phi[z])
+        for z in range(params.num_user_topics)
+    ]
+    stable_topic = int(np.argmin([spikiness(c) for c in user_curves]))
+    print("\ntemporal profiles (Figure 2):")
+    print(f"  time-topic  {sparkline(event_curve)}  spikiness {spikiness(event_curve):.1f}")
+    print(
+        f"  user-topic  {sparkline(user_curves[stable_topic])}"
+        f"  spikiness {spikiness(user_curves[stable_topic]):.1f}"
+    )
+
+    # --- Figure 5: bursty vs popular tags ----------------------------------
+    print("\nbursty event tags vs evergreen popular tags (Figure 5):")
+    for v in truth.event_items["swineflu"][:3]:
+        prof = item_profile(cuboid, int(v))
+        print(f"  {prof.label:26s} {sparkline(prof.frequency)}  burst {prof.burstiness:5.1f}")
+    for prof in top_popular_items(cuboid, k=3):
+        print(f"  {prof.label:26s} {sparkline(prof.frequency)}  burst {prof.burstiness:5.1f}")
+
+    # --- weighting effect ----------------------------------------------------
+    plain = TTCAM(9, 10, max_iter=60, weighted=False, seed=0).fit(cuboid)
+    head = set(np.argsort(-cuboid.item_popularity())[:20].tolist())
+
+    def contamination(m):
+        count = 0
+        for x in range(m.params_.num_time_topics):
+            order = np.argsort(-m.params_.phi_time[x])[:8]
+            count += sum(1 for v in order if int(v) in head)
+        return count
+
+    print(
+        f"\npopular tags inside time-topic top-8s: "
+        f"unweighted {contamination(plain)}, weighted {contamination(model)} "
+        "(the item-weighting scheme demotes the popularity head)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Analyses of fitted models and raw data: topic inspection, influence
+(λ) distributions, and burst detection."""
+
+from .bursts import (
+    ItemTemporalProfile,
+    burstiness,
+    item_frequency_curve,
+    item_profile,
+    top_bursty_items,
+    top_popular_items,
+)
+from .report import model_report, sparkline
+from .influence import (
+    InfluenceSummary,
+    context_influence_cdf,
+    fraction_above,
+    influence_cdf,
+    summarize_influence,
+)
+from .topics import (
+    TopicSummary,
+    match_topics,
+    spikiness,
+    summarize_topic,
+    time_topic_attention,
+    top_items,
+    topic_purity,
+    topic_temporal_profile,
+)
+
+__all__ = [
+    "model_report",
+    "sparkline",
+    "ItemTemporalProfile",
+    "burstiness",
+    "item_frequency_curve",
+    "item_profile",
+    "top_bursty_items",
+    "top_popular_items",
+    "InfluenceSummary",
+    "context_influence_cdf",
+    "fraction_above",
+    "influence_cdf",
+    "summarize_influence",
+    "TopicSummary",
+    "match_topics",
+    "spikiness",
+    "summarize_topic",
+    "time_topic_attention",
+    "top_items",
+    "topic_purity",
+    "topic_temporal_profile",
+]

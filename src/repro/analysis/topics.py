@@ -1,0 +1,157 @@
+"""Topic inspection: top items, temporal profiles, topic↔event matching.
+
+Backs the paper's qualitative analyses — Figure 2 (user-oriented vs
+time-oriented topic temporal profiles) and Tables 5–7 (top items of
+detected topics on Delicious and Douban Movie).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.cuboid import RatingCuboid
+
+
+@dataclass(frozen=True)
+class TopicSummary:
+    """Top items of one topic with their generation probabilities."""
+
+    topic: int
+    kind: str  # "user" or "time"
+    items: list[int]
+    labels: list[str]
+    probabilities: list[float]
+
+    def __str__(self) -> str:
+        rows = ", ".join(
+            f"{label} ({p:.3f})" for label, p in zip(self.labels, self.probabilities)
+        )
+        return f"[{self.kind}-topic {self.topic}] {rows}"
+
+
+def top_items(
+    distribution: np.ndarray, k: int = 8, labels: list[str] | None = None
+) -> list[tuple[int, str, float]]:
+    """The ``k`` most probable items of one topic distribution.
+
+    Returns ``(item id, label, probability)`` triples, ties broken toward
+    smaller item ids.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    distribution = np.asarray(distribution, dtype=np.float64)
+    order = np.lexsort((np.arange(distribution.size), -distribution))[:k]
+    return [
+        (
+            int(v),
+            labels[int(v)] if labels is not None else str(int(v)),
+            float(distribution[v]),
+        )
+        for v in order
+    ]
+
+
+def summarize_topic(
+    distribution: np.ndarray,
+    topic: int,
+    kind: str,
+    k: int = 8,
+    labels: list[str] | None = None,
+) -> TopicSummary:
+    """Build a :class:`TopicSummary` for one topic distribution."""
+    triples = top_items(distribution, k=k, labels=labels)
+    return TopicSummary(
+        topic=topic,
+        kind=kind,
+        items=[t[0] for t in triples],
+        labels=[t[1] for t in triples],
+        probabilities=[t[2] for t in triples],
+    )
+
+
+def topic_temporal_profile(
+    cuboid: RatingCuboid, distribution: np.ndarray, top_n: int = 20
+) -> np.ndarray:
+    """Empirical popularity of a topic's top items over time (Figure 2).
+
+    Sums the per-interval score mass of the topic's ``top_n`` most
+    probable items and normalises to a unit-sum curve over intervals.
+    """
+    ids = [v for v, _label, _p in top_items(distribution, k=top_n)]
+    matrix = cuboid.interval_item_matrix()  # (T, V)
+    profile = matrix[:, ids].sum(axis=1)
+    total = profile.sum()
+    return profile / total if total > 0 else profile
+
+
+def time_topic_attention(theta_time: np.ndarray, topic: int) -> np.ndarray:
+    """Share of public attention a time-oriented topic holds per interval.
+
+    ``theta_time`` is the fitted ``(T, K2)`` temporal-context matrix; the
+    returned curve is ``P(x | θ′_t)`` across ``t``.
+    """
+    if not 0 <= topic < theta_time.shape[1]:
+        raise IndexError(f"topic {topic} out of range")
+    return theta_time[:, topic].copy()
+
+
+def spikiness(profile: np.ndarray) -> float:
+    """Peak-to-mean ratio of a temporal curve.
+
+    Time-oriented topics (event bursts) score high; stable user-oriented
+    topics hover near 1 — the quantitative version of Figure 2's visual
+    contrast.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    mean = profile.mean()
+    if mean <= 0:
+        return 0.0
+    return float(profile.max() / mean)
+
+
+def match_topics(
+    estimated: np.ndarray, reference: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy one-to-one matching of estimated topics to reference topics.
+
+    Similarity is the cosine between item distributions. Returns
+    ``(assignment, similarity)`` where ``assignment[i]`` is the reference
+    topic matched to estimated topic ``i`` (−1 when references ran out).
+    Used to verify that fitted topics recover the generator's ground
+    truth.
+    """
+    est = np.asarray(estimated, dtype=np.float64)
+    ref = np.asarray(reference, dtype=np.float64)
+    if est.shape[1] != ref.shape[1]:
+        raise ValueError("topic matrices must share the item dimension")
+    est_norm = est / (np.linalg.norm(est, axis=1, keepdims=True) + 1e-12)
+    ref_norm = ref / (np.linalg.norm(ref, axis=1, keepdims=True) + 1e-12)
+    similarity = est_norm @ ref_norm.T  # (Ke, Kr)
+
+    assignment = np.full(est.shape[0], -1, dtype=np.int64)
+    best = np.zeros(est.shape[0])
+    available = set(range(ref.shape[0]))
+    # Repeatedly take the globally best remaining (estimated, reference) pair.
+    flat_order = np.argsort(similarity, axis=None)[::-1]
+    for flat in flat_order:
+        i, j = divmod(int(flat), ref.shape[0])
+        if assignment[i] == -1 and j in available:
+            assignment[i] = j
+            best[i] = similarity[i, j]
+            available.remove(j)
+            if not available:
+                break
+    return assignment, best
+
+
+def topic_purity(distribution: np.ndarray, member_items: np.ndarray) -> float:
+    """Probability mass a topic places on a designated item set.
+
+    With the synthetic generator's ground-truth event items this measures
+    how cleanly a detected time-oriented topic isolates the event —
+    the quantity Table 5 illustrates qualitatively.
+    """
+    member_items = np.asarray(member_items, dtype=np.int64)
+    return float(np.asarray(distribution, dtype=np.float64)[member_items].sum())

@@ -1,0 +1,21 @@
+"""Competitor models from the paper's evaluation (Section 5.2) plus
+sanity baselines: UT, TT, BPRMF, BPTF and popularity rankers."""
+
+from .bprmf import BPRMF
+from .bptf import BPTF
+from .bptf_gibbs import GibbsBPTF
+from .popularity import GlobalPopularity, RecentPopularity
+from .sharedtopics import SharedTopicsTCAM
+from .timetopic import TimeTopicModel
+from .usertopic import UserTopicModel
+
+__all__ = [
+    "BPRMF",
+    "BPTF",
+    "GibbsBPTF",
+    "GlobalPopularity",
+    "RecentPopularity",
+    "SharedTopicsTCAM",
+    "TimeTopicModel",
+    "UserTopicModel",
+]

@@ -1,0 +1,154 @@
+"""BPTF baseline: temporal tensor factorisation (Xiong et al., SDM 2010).
+
+BPTF represents users, items and time intervals in a shared
+``d``-dimensional space and predicts the score of ``(u, t, v)`` as the
+three-way inner product ``Σ_d U[u,d]·V[v,d]·T[t,d]``.
+
+**Substitution note (recorded in DESIGN.md):** the original uses full
+Bayesian inference by Gibbs sampling. We fit a MAP point estimate with
+mini-batch SGD under Gaussian priors — including the original's key
+structural prior that consecutive time factors stay close
+(``T_t ≈ T_{t−1}``). The paper under reproduction uses BPTF only as a
+ranking-accuracy and efficiency comparator, and both roles depend on the
+trilinear scoring form (shared by MAP and Bayesian variants), not on the
+posterior being integrated out.
+
+For implicit-feedback data, ranking needs contrast between observed and
+unobserved cells, so training augments each batch with sampled
+unobserved triples regressed toward zero — the standard weighted-
+regularisation trick for one-class tensor data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.cuboid import RatingCuboid
+
+
+class BPTF:
+    """MAP temporal tensor factorisation with a time-smoothness prior.
+
+    Parameters
+    ----------
+    num_factors:
+        Latent dimensionality ``d`` shared by user, item and time factors.
+    learning_rate, regularization, num_epochs, batch_size, seed:
+        SGD controls.
+    time_smoothness:
+        Strength of the ``‖T_t − T_{t−1}‖²`` prior tying consecutive time
+        factors together (the random-walk prior of the original model).
+    negative_ratio:
+        Sampled unobserved triples per observed entry (implicit feedback
+        contrast); set to 0 to train on observed cells only.
+    """
+
+    def __init__(
+        self,
+        num_factors: int = 32,
+        learning_rate: float = 0.03,
+        regularization: float = 0.02,
+        num_epochs: int = 40,
+        batch_size: int = 1024,
+        time_smoothness: float = 0.1,
+        negative_ratio: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if num_factors <= 0:
+            raise ValueError(f"num_factors must be positive, got {num_factors}")
+        if num_epochs <= 0:
+            raise ValueError(f"num_epochs must be positive, got {num_epochs}")
+        if negative_ratio < 0:
+            raise ValueError(f"negative_ratio must be >= 0, got {negative_ratio}")
+        self.num_factors = num_factors
+        self.learning_rate = learning_rate
+        self.regularization = regularization
+        self.num_epochs = num_epochs
+        self.batch_size = batch_size
+        self.time_smoothness = time_smoothness
+        self.negative_ratio = negative_ratio
+        self.seed = seed
+        self.user_factors_: np.ndarray | None = None  # (N, d)
+        self.item_factors_: np.ndarray | None = None  # (V, d)
+        self.time_factors_: np.ndarray | None = None  # (T, d)
+
+    @property
+    def name(self) -> str:
+        """Display name used in evaluation tables."""
+        return "BPTF"
+
+    def fit(self, cuboid: RatingCuboid) -> "BPTF":
+        """Fit MAP factors on the observed (plus sampled negative) cells."""
+        if cuboid.nnz == 0:
+            raise ValueError("cannot fit on an empty cuboid")
+        rng = np.random.default_rng(self.seed)
+        n, t_dim, v_dim = cuboid.shape
+
+        # Normalise targets to ~[0, 1] so one learning rate fits both
+        # explicit-score and count data. A robust scale (95th percentile)
+        # keeps heavy-tailed engagement counts from crushing the typical
+        # target toward zero.
+        target_scale = float(max(np.percentile(cuboid.scores, 95), 1e-9))
+        obs_u, obs_t, obs_v = cuboid.users, cuboid.intervals, cuboid.items
+        # Clip outlier targets (heavy engagement counts) so a single huge
+        # residual cannot blow up the SGD updates.
+        obs_y = np.minimum(cuboid.scores / target_scale, 3.0)
+
+        # Init so the trilinear product has usable magnitude: with factor
+        # std s, E|Σ_d U·V·T| ≈ √d·s³; s = d^{-1/3} keeps predictions and
+        # gradients O(1) instead of vanishing.
+        scale = (1.0 / self.num_factors) ** (1.0 / 3.0)
+        user_factors = rng.normal(0.3 * scale, scale, (n, self.num_factors))
+        item_factors = rng.normal(0.3 * scale, scale, (v_dim, self.num_factors))
+        time_factors = rng.normal(0.3 * scale, scale, (t_dim, self.num_factors))
+
+        lr = self.learning_rate
+        reg = self.regularization
+        num_obs = obs_u.size
+
+        for _ in range(self.num_epochs):
+            order = rng.permutation(num_obs)
+            for start in range(0, num_obs, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                u, t, v, y = obs_u[batch], obs_t[batch], obs_v[batch], obs_y[batch]
+                if self.negative_ratio:
+                    neg = batch.size * self.negative_ratio
+                    u = np.concatenate([u, rng.integers(0, n, neg)])
+                    t = np.concatenate([t, rng.integers(0, t_dim, neg)])
+                    v = np.concatenate([v, rng.integers(0, v_dim, neg)])
+                    y = np.concatenate([y, np.zeros(neg)])
+
+                pu = user_factors[u]
+                qv = item_factors[v]
+                wt = time_factors[t]
+                predicted = (pu * qv * wt).sum(axis=1)
+                err = (y - predicted)[:, None]
+
+                np.add.at(user_factors, u, lr * (err * qv * wt - reg * pu))
+                np.add.at(item_factors, v, lr * (err * pu * wt - reg * qv))
+                np.add.at(time_factors, t, lr * (err * pu * qv - reg * wt))
+
+            if self.time_smoothness and t_dim > 1:
+                # Gradient step on the random-walk prior Σ‖T_t − T_{t−1}‖².
+                diff = np.diff(time_factors, axis=0)
+                grad = np.zeros_like(time_factors)
+                grad[:-1] -= diff
+                grad[1:] += diff
+                time_factors -= lr * self.time_smoothness * grad
+
+        self.user_factors_ = user_factors
+        self.item_factors_ = item_factors
+        self.time_factors_ = time_factors
+        return self
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Trilinear ranking scores ``⟨U_u, V_v, T_t⟩`` for every item.
+
+        Note this requires scanning all items — the scoring form has no
+        per-topic monotone decomposition, so BPTF cannot use the Threshold
+        Algorithm (the efficiency contrast in Figure 8).
+        """
+        if self.user_factors_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        context = self.user_factors_[user] * self.time_factors_[interval]
+        return self.item_factors_ @ context

@@ -1,0 +1,77 @@
+"""Popularity baselines: global and per-interval item popularity.
+
+Not part of the paper's comparison table, but indispensable sanity
+anchors: any latent model worth training should beat global popularity on
+personalised queries, and per-interval ("recent") popularity is a strong
+cheap proxy for the temporal context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.cuboid import RatingCuboid
+
+
+class GlobalPopularity:
+    """Rank items by their overall score mass (time- and user-agnostic)."""
+
+    def __init__(self) -> None:
+        self.popularity_: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name used in evaluation tables."""
+        return "Popularity"
+
+    def fit(self, cuboid: RatingCuboid) -> "GlobalPopularity":
+        """Accumulate total score mass per item."""
+        if cuboid.nnz == 0:
+            raise ValueError("cannot fit on an empty cuboid")
+        self.popularity_ = cuboid.item_popularity()
+        return self
+
+    def score_items(self, user: int = 0, interval: int = 0) -> np.ndarray:
+        """Same score vector for every query."""
+        if self.popularity_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.popularity_.copy()
+
+
+class RecentPopularity:
+    """Rank items by their popularity within the queried interval.
+
+    Blends in a small amount of global popularity so intervals with little
+    traffic still produce a total order.
+    """
+
+    def __init__(self, global_blend: float = 0.05) -> None:
+        if not 0 <= global_blend <= 1:
+            raise ValueError(f"global_blend must be in [0, 1], got {global_blend}")
+        self.global_blend = global_blend
+        self.interval_popularity_: np.ndarray | None = None  # (T, V)
+        self.global_popularity_: np.ndarray | None = None  # (V,)
+
+    @property
+    def name(self) -> str:
+        """Display name used in evaluation tables."""
+        return "RecentPopularity"
+
+    def fit(self, cuboid: RatingCuboid) -> "RecentPopularity":
+        """Accumulate per-interval and global score mass."""
+        if cuboid.nnz == 0:
+            raise ValueError("cannot fit on an empty cuboid")
+        self.interval_popularity_ = cuboid.interval_item_matrix()
+        self.global_popularity_ = cuboid.item_popularity()
+        return self
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Interval popularity blended with a global prior."""
+        if self.interval_popularity_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        local = self.interval_popularity_[interval]
+        local_total = local.sum()
+        global_total = self.global_popularity_.sum()
+        local_dist = local / local_total if local_total > 0 else local
+        global_dist = self.global_popularity_ / global_total
+        return (1 - self.global_blend) * local_dist + self.global_blend * global_dist

@@ -1,0 +1,152 @@
+"""Shared-topic-set TCAM variant (the TimeUserLDA-style design).
+
+Section 2 of the paper criticises prior mixtures (TimeUserLDA, Diao et
+al.; the social mixtures of Xu et al.) for using **one shared set of
+topics** for both the user-interest and the temporal-context factors:
+"the topics detected by their models look confusing and noisy since
+they conflate both user interest and temporal context". TCAM's design
+answer is two *distinct* topic sets (user-oriented φ and time-oriented
+φ′).
+
+This module implements the shared-set alternative so that design choice
+becomes measurable: a mixture with the same ``s ~ Bernoulli(λ_u)``
+switch, but both branches generate the item from a single topic set φ —
+``s = 1``: ``z ~ θ_u``, ``s = 0``: ``z ~ θ′_t``, then ``v ~ φ_z``.
+
+The ablation bench (`benchmarks/test_ablation_shared_topics.py`)
+compares it against TTCAM on both accuracy and the temporal coherence
+of the learned topics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
+from ..data.cuboid import RatingCuboid
+
+
+class SharedTopicsTCAM:
+    """TCAM-style mixture with one topic set shared by both factors.
+
+    Parameters
+    ----------
+    num_topics:
+        Size of the single shared topic set.
+    max_iter, tol, smoothing, seed:
+        EM controls matching the core models.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    theta_:
+        ``(N, K)`` user interest over the shared topics.
+    theta_time_:
+        ``(T, K)`` temporal context over the same topics.
+    phi_:
+        ``(K, V)`` the shared topic–item distributions.
+    lambda_:
+        ``(N,)`` per-user mixing weights.
+    """
+
+    def __init__(
+        self,
+        num_topics: int = 60,
+        max_iter: int = 50,
+        tol: float = 1e-5,
+        smoothing: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if num_topics <= 0:
+            raise ValueError(f"num_topics must be positive, got {num_topics}")
+        if max_iter <= 0:
+            raise ValueError(f"max_iter must be positive, got {max_iter}")
+        self.num_topics = num_topics
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.seed = seed
+        self.theta_: np.ndarray | None = None
+        self.theta_time_: np.ndarray | None = None
+        self.phi_: np.ndarray | None = None
+        self.lambda_: np.ndarray | None = None
+        self.trace_: EMTrace | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name used in evaluation tables."""
+        return "SharedTCAM"
+
+    def fit(self, cuboid: RatingCuboid) -> "SharedTopicsTCAM":
+        """Fit by EM; both branches' responsibilities update one φ."""
+        if cuboid.nnz == 0:
+            raise ValueError("cannot fit on an empty cuboid")
+        rng = np.random.default_rng(self.seed)
+        n, t_dim, v_dim = cuboid.shape
+        k = self.num_topics
+        u, t, v, c = cuboid.users, cuboid.intervals, cuboid.items, cuboid.scores
+
+        theta = random_stochastic(rng, n, k)
+        theta_time = random_stochastic(rng, t_dim, k)
+        phi = random_stochastic(rng, k, v_dim)
+        lam = np.full(n, 0.5)
+
+        trace = EMTrace()
+        user_mass = scatter_sum_1d(u, c, n)
+        safe_user_mass = np.where(user_mass <= 0, 1.0, user_mass)
+
+        for _ in range(self.max_iter):
+            phi_v = phi[:, v].T  # (R, K), shared by both branches
+            joint_interest = theta[u] * phi_v
+            p_interest = joint_interest.sum(axis=1)
+            joint_context = theta_time[t] * phi_v
+            p_context = joint_context.sum(axis=1)
+            lam_r = lam[u]
+            denom = lam_r * p_interest + (1 - lam_r) * p_context + EPS
+            ps1 = lam_r * p_interest / denom
+            resp_interest = joint_interest * (ps1 / (p_interest + EPS))[:, None]
+            resp_context = joint_context * ((1 - ps1) / (p_context + EPS))[:, None]
+
+            log_likelihood = float(np.dot(c, np.log(denom)))
+            if trace.record(log_likelihood, self.tol):
+                break
+
+            c_interest = c[:, None] * resp_interest
+            c_context = c[:, None] * resp_context
+            theta = normalize_rows(scatter_sum(u, c_interest, n), self.smoothing)
+            theta_time = normalize_rows(scatter_sum(t, c_context, t_dim), self.smoothing)
+            # The conflation: one φ absorbs both branches' counts.
+            phi = normalize_rows(
+                scatter_sum(v, c_interest + c_context, v_dim).T, self.smoothing
+            )
+            lam = np.clip(scatter_sum_1d(u, c * ps1, n) / safe_user_mass, 0.0, 1.0)
+
+        self.theta_ = theta
+        self.theta_time_ = theta_time
+        self.phi_ = phi
+        self.lambda_ = lam
+        self.trace_ = trace
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.phi_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Mixture likelihood over the shared topic set."""
+        self._require_fitted()
+        lam = self.lambda_[user]
+        interest = self.theta_[user] @ self.phi_
+        context = self.theta_time_[interval] @ self.phi_
+        return lam * interest + (1 - lam) * context
+
+    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+        """Expanded query: the shared topics appear once, with combined
+        weights ``λ·θ_u + (1−λ)·θ′_t``."""
+        self._require_fitted()
+        lam = self.lambda_[user]
+        weights = lam * self.theta_[user] + (1 - lam) * self.theta_time_[interval]
+        return weights, self.phi_
+
+    def matrix_cache_key(self, interval: int) -> str:
+        """The shared φ is query-independent."""
+        return "static"

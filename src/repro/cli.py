@@ -1,0 +1,251 @@
+"""Command-line interface: ``tcam <command>``.
+
+Covers the full offline/online loop from a shell:
+
+* ``tcam generate`` — write a synthetic dataset profile to CSV;
+* ``tcam info``     — Table-2 style statistics of a ratings file;
+* ``tcam fit``      — train a TCAM variant and snapshot it to .npz;
+* ``tcam recommend``— serve temporal top-k from a snapshot;
+* ``tcam evaluate`` — run the paper's evaluation protocol on a file;
+* ``tcam report``   — render a topic/influence report card for a
+  snapshot against its training data.
+
+Every command works on plain CSV (``user,interval,item,score``), so the
+CLI interoperates with any timestamped-rating export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .baselines import TimeTopicModel, UserTopicModel
+from .core import ITCAM, TTCAM, LoadedModel, save_params
+from .data import generate, holdout_split, load_cuboid_csv, profile, save_cuboid_csv
+from .data.profiles import PROFILES
+from .evaluation import build_queries, evaluate_ranking
+from .recommend import TemporalRecommender
+
+_MODEL_CHOICES = ("ttcam", "itcam", "w-ttcam", "w-itcam", "ut", "tt")
+
+
+def _build_model(name: str, k1: int, k2: int, iters: int, seed: int):
+    """Instantiate a model by CLI name."""
+    if name == "ttcam":
+        return TTCAM(k1, k2, max_iter=iters, seed=seed)
+    if name == "w-ttcam":
+        return TTCAM(k1, k2, max_iter=iters, weighted=True, seed=seed)
+    if name == "itcam":
+        return ITCAM(k1, max_iter=iters, seed=seed)
+    if name == "w-itcam":
+        return ITCAM(k1, max_iter=iters, weighted=True, seed=seed)
+    if name == "ut":
+        return UserTopicModel(num_topics=k1, max_iter=iters, seed=seed)
+    if name == "tt":
+        return TimeTopicModel(num_topics=k2, max_iter=iters, seed=seed)
+    raise ValueError(f"unknown model {name!r}")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Write a synthetic dataset profile to CSV."""
+    config = profile(args.profile, scale=args.scale, seed=args.seed)
+    cuboid, _truth = generate(config)
+    rows = save_cuboid_csv(cuboid, args.output)
+    print(
+        f"wrote {rows} ratings ({cuboid.num_users} users, "
+        f"{cuboid.num_items} items, {cuboid.num_intervals} intervals) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print Table-2 style statistics of a ratings CSV."""
+    cuboid = load_cuboid_csv(args.input)
+    print(f"users:     {cuboid.num_users}")
+    print(f"items:     {cuboid.num_items}")
+    print(f"intervals: {cuboid.num_intervals}")
+    print(f"ratings:   {cuboid.nnz}")
+    print(f"density:   {cuboid.density():.5f}")
+    activity = cuboid.user_activity()
+    print(f"ratings/user: mean {activity.mean():.1f}, median {np.median(activity):.0f}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    """Train a TCAM variant and snapshot it to .npz."""
+    if args.model in ("ut", "tt"):
+        print("fit snapshots support the TCAM variants only", file=sys.stderr)
+        return 2
+    cuboid = load_cuboid_csv(args.input)
+    model = _build_model(args.model, args.k1, args.k2, args.iters, args.seed)
+    model.fit(cuboid)
+    trace = model.trace_
+    path = save_params(model.params_, args.output)
+    lam = model.params_.lambda_u
+    print(
+        f"fitted {model.name} in {trace.iterations} EM iterations "
+        f"(log-likelihood {trace.final_log_likelihood:.1f})"
+    )
+    print(f"mean personal-interest influence λ̄ = {lam.mean():.3f}")
+    print(f"snapshot written to {path}")
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    """Serve temporal top-k from a snapshot."""
+    model = LoadedModel.from_file(args.model)
+    if not 0 <= args.user < model.params_.num_users:
+        print(
+            f"user {args.user} out of range [0, {model.params_.num_users})",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0 <= args.interval < model.params_.num_intervals:
+        print(
+            f"interval {args.interval} out of range "
+            f"[0, {model.params_.num_intervals})",
+            file=sys.stderr,
+        )
+        return 2
+    recommender = TemporalRecommender(model, method=args.engine)
+    result = recommender.recommend(args.user, args.interval, k=args.k)
+    for rank, rec in enumerate(result.recommendations, start=1):
+        print(f"{rank:3d}. item {rec.item:6d}  score {rec.score:.6f}")
+    print(
+        f"[{args.engine}: fully scored {result.items_scored} of "
+        f"{model.params_.num_items} items]"
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Run the holdout evaluation protocol on a ratings CSV."""
+    cuboid = load_cuboid_csv(args.input)
+    split = holdout_split(cuboid, seed=args.seed)
+    queries = build_queries(split, max_queries=args.max_queries, seed=args.seed)
+    model = _build_model(args.model, args.k1, args.k2, args.iters, args.seed)
+    model.fit(split.train)
+    ks = tuple(int(k) for k in args.ks.split(","))
+    report = evaluate_ranking(model, queries, ks=ks)
+    print(f"model: {model.name}; {report.num_queries} temporal queries")
+    header = "metric    " + "".join(f"@{k:<7d}" for k in report.ks)
+    print(header)
+    for metric in ("precision", "ndcg", "f1"):
+        row = f"{metric:10s}" + "".join(
+            f"{report.at(metric, k):<8.4f}" for k in report.ks
+        )
+        print(row)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a topic/influence report card for a snapshot."""
+    from .analysis.report import model_report
+    from .core.params import TTCAMParameters
+    from .data.cuboid import RatingCuboid
+
+    model = LoadedModel.from_file(args.model)
+    if not isinstance(model.params_, TTCAMParameters):
+        print("report currently supports TTCAM snapshots only", file=sys.stderr)
+        return 2
+    cuboid = load_cuboid_csv(args.input)
+    params = model.params_
+    if (
+        cuboid.num_items > params.num_items
+        or cuboid.num_intervals > params.num_intervals
+    ):
+        print("ratings file exceeds the snapshot's dimensions", file=sys.stderr)
+        return 2
+    if (
+        cuboid.num_items < params.num_items
+        or cuboid.num_intervals < params.num_intervals
+    ):
+        # A CSV only names the items/intervals that appear in it; pad the
+        # dimensions back to the snapshot's catalogue.
+        cuboid = RatingCuboid(
+            users=cuboid.users,
+            intervals=cuboid.intervals,
+            items=cuboid.items,
+            scores=cuboid.scores,
+            num_users=max(cuboid.num_users, params.num_users),
+            num_intervals=params.num_intervals,
+            num_items=params.num_items,
+            user_index=cuboid.user_index,
+            item_index=cuboid.item_index,
+        )
+    print(model_report(params, cuboid, max_topics=args.max_topics))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``tcam`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tcam",
+        description="Temporal context-aware user behavior modeling (SIGMOD 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    p_gen.add_argument("--profile", choices=sorted(PROFILES), default="digg")
+    p_gen.add_argument("--scale", type=float, default=0.5)
+    p_gen.add_argument("--seed", type=int, default=None)
+    p_gen.add_argument("--output", required=True)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_info = sub.add_parser("info", help="statistics of a ratings CSV")
+    p_info.add_argument("--input", required=True)
+    p_info.set_defaults(func=cmd_info)
+
+    p_fit = sub.add_parser("fit", help="train a model and snapshot it")
+    p_fit.add_argument("--input", required=True)
+    p_fit.add_argument("--model", choices=_MODEL_CHOICES, default="ttcam")
+    p_fit.add_argument("--k1", type=int, default=10, help="user-oriented topics")
+    p_fit.add_argument("--k2", type=int, default=10, help="time-oriented topics")
+    p_fit.add_argument("--iters", type=int, default=60)
+    p_fit.add_argument("--seed", type=int, default=0)
+    p_fit.add_argument("--output", required=True)
+    p_fit.set_defaults(func=cmd_fit)
+
+    p_rec = sub.add_parser("recommend", help="serve top-k from a snapshot")
+    p_rec.add_argument("--model", required=True)
+    p_rec.add_argument("--user", type=int, required=True)
+    p_rec.add_argument("--interval", type=int, required=True)
+    p_rec.add_argument("-k", type=int, default=10)
+    p_rec.add_argument(
+        "--engine", choices=("ta", "batched-ta", "bf", "classic-ta"), default="ta"
+    )
+    p_rec.set_defaults(func=cmd_recommend)
+
+    p_eval = sub.add_parser("evaluate", help="run the evaluation protocol")
+    p_eval.add_argument("--input", required=True)
+    p_eval.add_argument("--model", choices=_MODEL_CHOICES, default="ttcam")
+    p_eval.add_argument("--k1", type=int, default=10)
+    p_eval.add_argument("--k2", type=int, default=10)
+    p_eval.add_argument("--iters", type=int, default=60)
+    p_eval.add_argument("--ks", default="1,5,10")
+    p_eval.add_argument("--max-queries", type=int, default=300)
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_report = sub.add_parser("report", help="topic/influence report card")
+    p_report.add_argument("--model", required=True)
+    p_report.add_argument("--input", required=True, help="training ratings CSV")
+    p_report.add_argument("--max-topics", type=int, default=None)
+    p_report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

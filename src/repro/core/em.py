@@ -1,0 +1,112 @@
+"""Shared EM machinery: scatter sums, normalisation, convergence tracking.
+
+Both TCAM variants (and the UT/TT baselines) are latent-class mixture
+models fit by expectation–maximisation over the sparse rating cuboid. The
+helpers here keep the per-model code focused on the model equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+EPS = 1e-12
+
+
+def scatter_sum(rows: np.ndarray, values: np.ndarray, num_rows: int) -> np.ndarray:
+    """Row-indexed scatter-add: sum ``values`` rows into ``num_rows`` bins.
+
+    ``rows`` is ``(R,)`` int; ``values`` is ``(R, K)``. Returns the
+    ``(num_rows, K)`` matrix whose row ``i`` is the sum of all ``values``
+    rows with ``rows == i``. Implemented with a single flat ``bincount``,
+    which is far faster than ``np.add.at`` for large ``R``.
+    """
+    values = np.atleast_2d(values)
+    r, k = values.shape
+    if rows.shape != (r,):
+        raise ValueError(f"rows shape {rows.shape} incompatible with values {values.shape}")
+    flat_index = rows[:, None] * k + np.arange(k, dtype=np.int64)
+    flat = np.bincount(
+        flat_index.ravel(), weights=values.ravel(), minlength=num_rows * k
+    )
+    return flat.reshape(num_rows, k)
+
+
+def scatter_sum_1d(rows: np.ndarray, values: np.ndarray, num_rows: int) -> np.ndarray:
+    """Scalar scatter-add: ``(R,)`` values summed into ``num_rows`` bins."""
+    return np.bincount(rows, weights=values, minlength=num_rows)
+
+
+def normalize_rows(matrix: np.ndarray, smoothing: float = 0.0) -> np.ndarray:
+    """Return a row-stochastic copy of ``matrix``.
+
+    ``smoothing`` is added to every cell first (pseudo-count smoothing), so
+    rows that received no mass become uniform rather than NaN.
+    """
+    smoothed = matrix + smoothing
+    totals = smoothed.sum(axis=1, keepdims=True)
+    zero_rows = totals[:, 0] <= EPS
+    if zero_rows.any():
+        smoothed[zero_rows] = 1.0
+        totals = smoothed.sum(axis=1, keepdims=True)
+    return smoothed / totals
+
+
+def random_stochastic(
+    rng: np.random.Generator, rows: int, cols: int
+) -> np.ndarray:
+    """Random row-stochastic matrix for EM initialisation.
+
+    Uses ``0.5 + U(0,1)`` before normalising so no cell starts near zero
+    (near-zero initial probabilities stall EM).
+    """
+    matrix = 0.5 + rng.random((rows, cols))
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+@dataclass
+class EMTrace:
+    """Log-likelihood trace and convergence verdict of one EM run."""
+
+    log_likelihood: list[float] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed EM iterations."""
+        return len(self.log_likelihood)
+
+    @property
+    def final_log_likelihood(self) -> float:
+        """Log likelihood after the last iteration."""
+        if not self.log_likelihood:
+            raise ValueError("no EM iterations recorded")
+        return self.log_likelihood[-1]
+
+    def record(self, value: float, tol: float) -> bool:
+        """Record one iteration's log likelihood; return True on convergence.
+
+        Convergence is declared when the relative improvement over the
+        previous iteration drops below ``tol``.
+        """
+        if not np.isfinite(value):
+            raise FloatingPointError(
+                f"log likelihood became non-finite: {value}"
+            )
+        previous = self.log_likelihood[-1] if self.log_likelihood else None
+        self.log_likelihood.append(float(value))
+        if previous is None:
+            return False
+        denom = max(abs(previous), EPS)
+        if (value - previous) / denom < tol:
+            self.converged = True
+        return self.converged
+
+    def is_monotone(self, slack: float = 1e-8) -> bool:
+        """EM guarantees non-decreasing likelihood; verify it (with float slack)."""
+        ll = self.log_likelihood
+        return all(
+            ll[i + 1] >= ll[i] - slack * max(abs(ll[i]), 1.0)
+            for i in range(len(ll) - 1)
+        )

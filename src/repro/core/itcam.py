@@ -1,0 +1,189 @@
+"""Item-based TCAM (ITCAM) — Section 3.2.1 of the paper.
+
+ITCAM explains a rating ``(u, t, v)`` as a two-stage draw: a coin
+``s ~ Bernoulli(λ_u)`` picks between the user's intrinsic interest
+(``s = 1``: sample a user-oriented topic ``z ~ θ_u`` then ``v ~ φ_z``)
+and the temporal context (``s = 0``: sample ``v`` directly from the
+per-interval item distribution ``θ′_t``). Parameters are fit with the EM
+updates of Equations (4)–(11), fully vectorised over the sparse cuboid.
+
+Setting ``weighted=True`` trains on the item-weighted cuboid of
+Section 3.3, yielding the paper's **W-ITCAM** variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.cuboid import RatingCuboid
+from .em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
+from .params import ITCAMParameters
+from .weighting import apply_item_weighting
+
+
+class ITCAM:
+    """Item-based temporal context-aware mixture model.
+
+    Parameters
+    ----------
+    num_user_topics:
+        ``K1``, the number of user-oriented topics.
+    max_iter:
+        Maximum EM iterations. The paper observes convergence within ~50.
+    tol:
+        Relative log-likelihood improvement below which EM stops.
+    smoothing:
+        Pseudo-count added per cell when normalising the M-step
+        numerators; keeps every probability strictly positive so queries
+        against unseen items stay well-defined. ``0`` gives textbook EM.
+    weighted:
+        Train on the item-weighted cuboid (W-ITCAM) instead of raw counts.
+    n_init:
+        Number of random EM restarts; the fit with the best final
+        training log-likelihood wins.
+    seed:
+        Seed for the random EM initialisation.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    params_:
+        Fitted :class:`~repro.core.params.ITCAMParameters`.
+    trace_:
+        :class:`~repro.core.em.EMTrace` with the log-likelihood history.
+    """
+
+    def __init__(
+        self,
+        num_user_topics: int = 60,
+        max_iter: int = 50,
+        tol: float = 1e-5,
+        smoothing: float = 1e-6,
+        weighted: bool = False,
+        n_init: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if num_user_topics <= 0:
+            raise ValueError(f"num_user_topics must be positive, got {num_user_topics}")
+        if max_iter <= 0:
+            raise ValueError(f"max_iter must be positive, got {max_iter}")
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be >= 0, got {smoothing}")
+        if n_init <= 0:
+            raise ValueError(f"n_init must be positive, got {n_init}")
+        self.num_user_topics = num_user_topics
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.weighted = weighted
+        self.n_init = n_init
+        self.seed = seed
+        self.params_: ITCAMParameters | None = None
+        self.trace_: EMTrace | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name used in evaluation tables."""
+        return "W-ITCAM" if self.weighted else "ITCAM"
+
+    def fit(self, cuboid: RatingCuboid) -> "ITCAM":
+        """Fit the model to a rating cuboid by EM.
+
+        With ``n_init > 1``, runs that many random restarts and keeps the
+        one with the best final training log-likelihood.
+        """
+        if cuboid.nnz == 0:
+            raise ValueError("cannot fit on an empty cuboid")
+        if self.weighted:
+            cuboid = apply_item_weighting(cuboid)
+
+        best: tuple[ITCAMParameters, EMTrace] | None = None
+        for restart in range(self.n_init):
+            params, trace = self._fit_once(cuboid, seed=self.seed + restart)
+            if best is None or trace.final_log_likelihood > best[1].final_log_likelihood:
+                best = (params, trace)
+        self.params_, self.trace_ = best
+        return self
+
+    def _fit_once(
+        self, cuboid: RatingCuboid, seed: int
+    ) -> tuple[ITCAMParameters, EMTrace]:
+        """One EM run from a random initialisation."""
+        rng = np.random.default_rng(seed)
+        n, t_dim, v_dim = cuboid.shape
+        k1 = self.num_user_topics
+        u, t, v, c = cuboid.users, cuboid.intervals, cuboid.items, cuboid.scores
+
+        theta = random_stochastic(rng, n, k1)
+        phi = random_stochastic(rng, k1, v_dim)
+        theta_time = random_stochastic(rng, t_dim, v_dim)
+        lam = np.full(n, 0.5)
+
+        trace = EMTrace()
+        user_mass = scatter_sum_1d(u, c, n)  # Σ_t Σ_v C[u,t,v], fixed
+        safe_user_mass = np.where(user_mass <= 0, 1.0, user_mass)
+
+        for _ in range(self.max_iter):
+            # ---- E-step --------------------------------------------------
+            # joint[r, z] = θ[u_r, z] · φ[z, v_r]  (numerator of Eq. 5)
+            joint = theta[u] * phi[:, v].T  # (R, K1)
+            p_interest = joint.sum(axis=1)  # P(v|θ_u), Eq. 2
+            p_context = theta_time[t, v]  # P(v|θ′_t)
+            lam_r = lam[u]
+            weighted_interest = lam_r * p_interest
+            weighted_context = (1 - lam_r) * p_context
+            denom = weighted_interest + weighted_context + EPS
+            ps1 = weighted_interest / denom  # P(s=1|u,t,v), Eq. 4
+            # resp[r, z] = P(z|u,t,v) = P(z|s=1,·)·P(s=1|·), Eq. 6
+            resp = joint * (ps1 / (p_interest + EPS))[:, None]
+
+            log_likelihood = float(np.dot(c, np.log(denom)))
+            if trace.record(log_likelihood, self.tol):
+                break
+
+            # ---- M-step --------------------------------------------------
+            c_resp = c[:, None] * resp
+            theta = normalize_rows(scatter_sum(u, c_resp, n), self.smoothing)  # Eq. 8
+            phi = normalize_rows(scatter_sum(v, c_resp, v_dim).T, self.smoothing)  # Eq. 9
+            c_ps0 = c * (1 - ps1)
+            time_counts = np.zeros((t_dim, v_dim))
+            flat = np.bincount(t * v_dim + v, weights=c_ps0, minlength=t_dim * v_dim)
+            time_counts = flat.reshape(t_dim, v_dim)
+            theta_time = normalize_rows(time_counts, self.smoothing)  # Eq. 10
+            lam = scatter_sum_1d(u, c * ps1, n) / safe_user_mass  # Eq. 11
+            lam = np.clip(lam, 0.0, 1.0)
+
+        params = ITCAMParameters(
+            theta=theta, phi=phi, theta_time=theta_time, lambda_u=lam
+        )
+        return params, trace
+
+    # ------------------------------------------------------------------
+    # prediction API (shared across all models in this library)
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> ITCAMParameters:
+        if self.params_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.params_
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Ranking scores ``P(v | u, t)`` for every item (Equation 1)."""
+        return self._require_fitted().score_items(user, interval)
+
+    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+        """Expanded query vector and topic–item matrix for the TA engine."""
+        return self._require_fitted().query_space(user, interval)
+
+    def matrix_cache_key(self, interval: int) -> int:
+        """ITCAM's topic–item matrix embeds θ′_t, so it varies by interval."""
+        return interval
+
+    def log_likelihood(self, cuboid: RatingCuboid) -> float:
+        """Log likelihood of a (held-out or training) cuboid (Equation 3)."""
+        params = self._require_fitted()
+        u, t, v, c = cuboid.users, cuboid.intervals, cuboid.items, cuboid.scores
+        p_interest = np.einsum("rk,kr->r", params.theta[u], params.phi[:, v])
+        p_context = params.theta_time[t, v]
+        lam_r = params.lambda_u[u]
+        prob = lam_r * p_interest + (1 - lam_r) * p_context
+        return float(np.dot(c, np.log(prob + EPS)))

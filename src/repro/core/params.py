@@ -1,0 +1,194 @@
+"""Fitted TCAM parameter containers.
+
+These hold the distributions inferred by EM — Table 1 of the paper:
+
+* ``theta``    — ``(N, K1)`` user interest over user-oriented topics
+* ``phi``      — ``(K1, V)`` user-oriented topic → item distributions
+* ``lambda_u`` — ``(N,)`` per-user personal-interest mixing weights
+* ITCAM: ``theta_time`` — ``(T, V)`` temporal context directly over items
+* TTCAM: ``theta_time`` — ``(T, K2)`` over time-oriented topics and
+  ``phi_time`` — ``(K2, V)`` time-oriented topic → item distributions
+
+Each container also knows how to expand a query ``(u, t)`` into the
+concatenated topic space of Section 4.1 (Equations 21–22), which the
+recommendation layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .em import EPS
+
+
+def _check_stochastic(name: str, matrix: np.ndarray, tol: float = 1e-6) -> None:
+    if np.any(matrix < -tol):
+        raise ValueError(f"{name} has negative entries")
+    sums = matrix.sum(axis=-1)
+    if not np.allclose(sums, 1.0, atol=1e-4):
+        worst = float(np.abs(sums - 1.0).max())
+        raise ValueError(f"{name} rows are not normalised (max err {worst:.2e})")
+
+
+@dataclass
+class ITCAMParameters:
+    """Fitted parameters of item-based TCAM (Section 3.2.1)."""
+
+    theta: np.ndarray  # (N, K1)
+    phi: np.ndarray  # (K1, V)
+    theta_time: np.ndarray  # (T, V)
+    lambda_u: np.ndarray  # (N,)
+
+    def __post_init__(self) -> None:
+        _check_stochastic("theta", self.theta)
+        _check_stochastic("phi", self.phi)
+        _check_stochastic("theta_time", self.theta_time)
+        if np.any(self.lambda_u < -EPS) or np.any(self.lambda_u > 1 + EPS):
+            raise ValueError("lambda_u must lie in [0, 1]")
+        if self.theta.shape[1] != self.phi.shape[0]:
+            raise ValueError("theta / phi topic dimensions disagree")
+        if self.phi.shape[1] != self.theta_time.shape[1]:
+            raise ValueError("phi / theta_time item dimensions disagree")
+        if self.theta.shape[0] != self.lambda_u.shape[0]:
+            raise ValueError("theta / lambda_u user dimensions disagree")
+
+    @property
+    def num_users(self) -> int:
+        """Number of users ``N``."""
+        return self.theta.shape[0]
+
+    @property
+    def num_user_topics(self) -> int:
+        """Number of user-oriented topics ``K1``."""
+        return self.theta.shape[1]
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of time intervals ``T``."""
+        return self.theta_time.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        """Number of items ``V``."""
+        return self.phi.shape[1]
+
+    def interest_scores(self, user: int) -> np.ndarray:
+        """``P(v | θ_u)`` for all items (Equation 2)."""
+        return self.theta[user] @ self.phi
+
+    def context_scores(self, interval: int) -> np.ndarray:
+        """``P(v | θ′_t)`` for all items."""
+        return self.theta_time[interval]
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Full mixture likelihood ``P(v | u, t)`` for all items (Eq. 1)."""
+        lam = self.lambda_u[user]
+        return lam * self.interest_scores(user) + (1 - lam) * self.context_scores(
+            interval
+        )
+
+    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+        """Expanded query vector and topic–item matrix (Equations 21–22).
+
+        For ITCAM the temporal context of interval ``t`` acts as one extra
+        "topic", so the expanded space has ``K1 + 1`` dimensions and the
+        topic–item matrix depends on the queried interval.
+        """
+        lam = self.lambda_u[user]
+        weights = np.concatenate([lam * self.theta[user], [1 - lam]])
+        matrix = np.vstack([self.phi, self.theta_time[interval][None, :]])
+        return weights, matrix
+
+
+@dataclass
+class TTCAMParameters:
+    """Fitted parameters of topic-based TCAM (Section 3.2.2)."""
+
+    theta: np.ndarray  # (N, K1)
+    phi: np.ndarray  # (K1, V)
+    theta_time: np.ndarray  # (T, K2)
+    phi_time: np.ndarray  # (K2, V)
+    lambda_u: np.ndarray  # (N,)
+
+    def __post_init__(self) -> None:
+        _check_stochastic("theta", self.theta)
+        _check_stochastic("phi", self.phi)
+        _check_stochastic("theta_time", self.theta_time)
+        _check_stochastic("phi_time", self.phi_time)
+        if np.any(self.lambda_u < -EPS) or np.any(self.lambda_u > 1 + EPS):
+            raise ValueError("lambda_u must lie in [0, 1]")
+        if self.theta.shape[1] != self.phi.shape[0]:
+            raise ValueError("theta / phi topic dimensions disagree")
+        if self.theta_time.shape[1] != self.phi_time.shape[0]:
+            raise ValueError("theta_time / phi_time topic dimensions disagree")
+        if self.phi.shape[1] != self.phi_time.shape[1]:
+            raise ValueError("phi / phi_time item dimensions disagree")
+        if self.theta.shape[0] != self.lambda_u.shape[0]:
+            raise ValueError("theta / lambda_u user dimensions disagree")
+
+    @property
+    def num_users(self) -> int:
+        """Number of users ``N``."""
+        return self.theta.shape[0]
+
+    @property
+    def num_user_topics(self) -> int:
+        """Number of user-oriented topics ``K1``."""
+        return self.theta.shape[1]
+
+    @property
+    def num_time_topics(self) -> int:
+        """Number of time-oriented topics ``K2``."""
+        return self.phi_time.shape[0]
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of time intervals ``T``."""
+        return self.theta_time.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        """Number of items ``V``."""
+        return self.phi.shape[1]
+
+    def interest_scores(self, user: int) -> np.ndarray:
+        """``P(v | θ_u)`` for all items (Equation 2)."""
+        return self.theta[user] @ self.phi
+
+    def context_scores(self, interval: int) -> np.ndarray:
+        """``P(v | θ′_t)`` for all items (Equation 12)."""
+        return self.theta_time[interval] @ self.phi_time
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Full mixture likelihood ``P(v | u, t)`` for all items (Eq. 1)."""
+        lam = self.lambda_u[user]
+        return lam * self.interest_scores(user) + (1 - lam) * self.context_scores(
+            interval
+        )
+
+    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+        """Expanded query vector over the ``K1 + K2`` topic space (Eq. 21–22).
+
+        ``ϑ_q = ⟨λ_u·θ_u, (1−λ_u)·θ′_t⟩`` paired with the stacked
+        topic–item matrix ``[φ; φ′]``. The matrix is query-independent,
+        which is what makes the Threshold Algorithm's per-topic sorted
+        lists precomputable.
+        """
+        lam = self.lambda_u[user]
+        weights = np.concatenate(
+            [lam * self.theta[user], (1 - lam) * self.theta_time[interval]]
+        )
+        return weights, self.topic_item_matrix()
+
+    def topic_item_matrix(self) -> np.ndarray:
+        """Stacked ``(K1 + K2, V)`` topic–item matrix ``[φ; φ′]`` (memoised)."""
+        cached = getattr(self, "_stacked_matrix", None)
+        if cached is None:
+            cached = np.vstack([self.phi, self.phi_time])
+            object.__setattr__(self, "_stacked_matrix", cached)
+        return cached
+
+
+TCAMParameters = ITCAMParameters | TTCAMParameters

@@ -1,0 +1,117 @@
+"""Item-weighting scheme (Section 3.3, Equations 17–20).
+
+Popular items crowd the top of every topic and convey little information
+about either user interests or events. The scheme re-weights each cuboid
+entry by
+
+``w(v, t) = iuf(v) · B(v, t)``
+
+where
+
+* ``iuf(v) = log(N / N(v))`` — *inverse user frequency*, promoting salient
+  (rarely rated) items in user-oriented topics, and
+* ``B(v, t) = (N_t(v) / N_t) · (N / N(v))`` — *bursty degree*, promoting
+  items whose per-interval popularity spikes above their baseline.
+
+Applying the weights to the cuboid (Equation 20) yields the W-ITCAM and
+W-TTCAM model variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.cuboid import RatingCuboid
+
+
+@dataclass(frozen=True)
+class ItemWeights:
+    """Precomputed weighting statistics for one rating cuboid."""
+
+    iuf: np.ndarray  # (V,) inverse user frequency
+    burst: np.ndarray  # (T, V) bursty degree B(v, t)
+
+    @property
+    def num_items(self) -> int:
+        """Number of items ``V``."""
+        return self.iuf.shape[0]
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of time intervals ``T``."""
+        return self.burst.shape[0]
+
+    def weight(self, item: int, interval: int) -> float:
+        """``w(v, t)`` for a single (item, interval) pair (Equation 19)."""
+        return float(self.iuf[item] * self.burst[interval, item])
+
+    def weight_matrix(self) -> np.ndarray:
+        """Dense ``(T, V)`` matrix of ``w(v, t)`` values."""
+        return self.burst * self.iuf[None, :]
+
+
+def inverse_user_frequency(cuboid: RatingCuboid) -> np.ndarray:
+    """``iuf(v) = log(N / N(v))`` (Equation 17).
+
+    Items never rated get the maximum weight ``log N`` (they are maximally
+    salient); with a single user the measure degenerates to zero for rated
+    items, matching the formula.
+    """
+    n_users = max(cuboid.num_users, 1)
+    rated_by = np.maximum(cuboid.item_user_counts(), 0)
+    # Unseen items: N(v)=0 → treat as N(v)=1 (one hypothetical rater).
+    effective = np.where(rated_by == 0, 1, rated_by)
+    return np.log(n_users / effective)
+
+
+def bursty_degree(cuboid: RatingCuboid) -> np.ndarray:
+    """``B(v, t) = (N_t(v) / N_t) · (N / N(v))`` (Equation 18).
+
+    Returns a dense ``(T, V)`` matrix. Intervals with no active users and
+    items with no raters contribute zero burst rather than dividing by
+    zero.
+    """
+    n_users = max(cuboid.num_users, 1)
+    per_interval = cuboid.item_interval_user_counts().astype(np.float64)  # (T, V)
+    active = cuboid.interval_user_counts().astype(np.float64)  # (T,)
+    overall = cuboid.item_user_counts().astype(np.float64)  # (V,)
+
+    safe_active = np.where(active == 0, 1.0, active)
+    safe_overall = np.where(overall == 0, 1.0, overall)
+    burst = (per_interval / safe_active[:, None]) * (n_users / safe_overall[None, :])
+    burst[active == 0, :] = 0.0
+    burst[:, overall == 0] = 0.0
+    return burst
+
+
+def compute_item_weights(cuboid: RatingCuboid) -> ItemWeights:
+    """Compute the full weighting statistics for ``cuboid``."""
+    return ItemWeights(
+        iuf=inverse_user_frequency(cuboid), burst=bursty_degree(cuboid)
+    )
+
+
+def apply_item_weighting(
+    cuboid: RatingCuboid,
+    weights: ItemWeights | None = None,
+    floor: float = 1e-6,
+) -> RatingCuboid:
+    """Return the weighted cuboid ``C̄[u,t,v] = C[u,t,v] · w(v,t)`` (Eq. 20).
+
+    ``floor`` keeps every retained entry strictly positive: an entry whose
+    weight underflows to zero would otherwise vanish from the sparse
+    cuboid and silently shrink the training set.
+    """
+    if weights is None:
+        weights = compute_item_weights(cuboid)
+    if weights.num_items != cuboid.num_items:
+        raise ValueError("weights were computed for a different item catalogue")
+    if weights.num_intervals != cuboid.num_intervals:
+        raise ValueError("weights were computed for a different interval count")
+    per_entry = weights.iuf[cuboid.items] * weights.burst[
+        cuboid.intervals, cuboid.items
+    ]
+    new_scores = cuboid.scores * np.maximum(per_entry, floor)
+    return cuboid.with_scores(new_scores)

@@ -1,0 +1,64 @@
+"""Data substrate: rating events, the sparse rating cuboid, synthetic
+dataset generation, time discretisation, splits, and I/O."""
+
+from .adapters import filter_min_activity, from_events, load_movielens_dat, load_timestamped_csv
+from .cuboid import RatingCuboid
+from .events import Rating, UserDocument, dataset_statistics, group_by_interval, group_by_user
+from .indexer import Indexer
+from .intervals import SECONDS_PER_DAY, TimeDiscretizer, rediscretize
+from .io import (
+    load_cuboid_csv,
+    read_csv,
+    read_jsonl,
+    save_cuboid_csv,
+    write_csv,
+    write_jsonl,
+)
+from .profiles import (
+    PROFILES,
+    delicious_profile,
+    digg_profile,
+    douban_profile,
+    movielens_profile,
+    profile,
+)
+from .splits import Split, cross_validation_splits, holdout_split, leave_last_interval_split
+from .synthetic import EventSpec, GroundTruth, SyntheticConfig, auto_events, generate
+
+__all__ = [
+    "filter_min_activity",
+    "from_events",
+    "load_movielens_dat",
+    "load_timestamped_csv",
+    "RatingCuboid",
+    "Rating",
+    "UserDocument",
+    "dataset_statistics",
+    "group_by_interval",
+    "group_by_user",
+    "Indexer",
+    "SECONDS_PER_DAY",
+    "TimeDiscretizer",
+    "rediscretize",
+    "load_cuboid_csv",
+    "read_csv",
+    "read_jsonl",
+    "save_cuboid_csv",
+    "write_csv",
+    "write_jsonl",
+    "PROFILES",
+    "delicious_profile",
+    "digg_profile",
+    "douban_profile",
+    "movielens_profile",
+    "profile",
+    "Split",
+    "cross_validation_splits",
+    "holdout_split",
+    "leave_last_interval_split",
+    "EventSpec",
+    "GroundTruth",
+    "SyntheticConfig",
+    "auto_events",
+    "generate",
+]

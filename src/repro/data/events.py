@@ -1,0 +1,123 @@
+"""Rating events and user documents.
+
+These are the primitive records of the TCAM paper (Definitions 1 and 2):
+
+* a :class:`Rating` is a triple ``(user, time interval, item)`` plus a
+  non-negative score derived from explicit or implicit feedback, and
+* a :class:`UserDocument` collects all ``(item, interval)`` pairs a single
+  user produced, mirroring the "user as a document of items" view that
+  topic models take.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Rating:
+    """A single rating behavior ``(u, t, v)`` with a feedback score.
+
+    Parameters
+    ----------
+    user:
+        External user identifier (any hashable label; commonly a string).
+    interval:
+        Discrete time-interval index the behavior falls in (``0 <= t < T``).
+    item:
+        External item identifier.
+    score:
+        Rating score. Implicit feedback uses frequency counts (``1.0`` per
+        action); explicit feedback uses the rating value. Must be positive.
+    """
+
+    user: str
+    interval: int
+    item: str
+    score: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise ValueError(f"interval must be >= 0, got {self.interval}")
+        if self.score <= 0:
+            raise ValueError(f"score must be positive, got {self.score}")
+
+    def as_tuple(self) -> tuple[str, int, str, float]:
+        """Return ``(user, interval, item, score)``."""
+        return (self.user, self.interval, self.item, self.score)
+
+
+@dataclass(slots=True)
+class UserDocument:
+    """All rating behaviors of one user (Definition 2 of the paper).
+
+    The document is the per-user view of a rating collection: an ordered
+    list of ``(item, interval, score)`` entries.
+    """
+
+    user: str
+    entries: list[tuple[str, int, float]] = field(default_factory=list)
+
+    def add(self, item: str, interval: int, score: float = 1.0) -> None:
+        """Append one rating behavior to the document."""
+        self.entries.append((item, interval, score))
+
+    def items(self) -> list[str]:
+        """Return the (possibly repeated) items this user rated."""
+        return [item for item, _interval, _score in self.entries]
+
+    def intervals(self) -> list[int]:
+        """Return the interval of every entry, aligned with :meth:`items`."""
+        return [interval for _item, interval, _score in self.entries]
+
+    def items_in_interval(self, interval: int) -> list[str]:
+        """Return the items the user rated during ``interval``."""
+        return [item for item, t, _score in self.entries if t == interval]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[str, int, float]]:
+        return iter(self.entries)
+
+
+def group_by_user(ratings: Iterable[Rating]) -> dict[str, UserDocument]:
+    """Group a rating stream into per-user documents.
+
+    The relative order of each user's ratings is preserved.
+    """
+    documents: dict[str, UserDocument] = {}
+    for rating in ratings:
+        doc = documents.get(rating.user)
+        if doc is None:
+            doc = UserDocument(user=rating.user)
+            documents[rating.user] = doc
+        doc.add(rating.item, rating.interval, rating.score)
+    return documents
+
+
+def group_by_interval(ratings: Iterable[Rating]) -> dict[int, list[Rating]]:
+    """Group a rating stream by time interval."""
+    buckets: dict[int, list[Rating]] = defaultdict(list)
+    for rating in ratings:
+        buckets[rating.interval].append(rating)
+    return dict(buckets)
+
+
+def dataset_statistics(ratings: Sequence[Rating]) -> Mapping[str, int]:
+    """Compute the Table-2 style statistics of a rating collection.
+
+    Returns a mapping with ``users``, ``items``, ``ratings`` and
+    ``intervals`` counts.
+    """
+    users = {r.user for r in ratings}
+    items = {r.item for r in ratings}
+    intervals = {r.interval for r in ratings}
+    return {
+        "users": len(users),
+        "items": len(items),
+        "ratings": len(ratings),
+        "intervals": len(intervals),
+    }

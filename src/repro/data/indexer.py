@@ -1,0 +1,75 @@
+"""Bidirectional label ↔ contiguous-integer index mapping.
+
+Model code works on dense integer ids (``0..n-1``); application code works
+on external labels (user names, item titles, tags). :class:`Indexer` is the
+bridge. It assigns ids in first-seen order, which keeps runs deterministic
+for a fixed input order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class Indexer:
+    """Assigns stable contiguous integer ids to hashable labels."""
+
+    def __init__(self, labels: Iterable[Hashable] = ()) -> None:
+        self._label_to_id: dict[Hashable, int] = {}
+        self._labels: list[Hashable] = []
+        self.update(labels)
+
+    def add(self, label: Hashable) -> int:
+        """Register ``label`` (idempotent) and return its id."""
+        existing = self._label_to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        self._label_to_id[label] = new_id
+        self._labels.append(label)
+        return new_id
+
+    def update(self, labels: Iterable[Hashable]) -> None:
+        """Register every label in ``labels``."""
+        for label in labels:
+            self.add(label)
+
+    def id_of(self, label: Hashable) -> int:
+        """Return the id of ``label``; raises ``KeyError`` if unknown."""
+        return self._label_to_id[label]
+
+    def label_of(self, index: int) -> Hashable:
+        """Return the label with id ``index``; raises ``IndexError``."""
+        if index < 0:
+            raise IndexError(f"index must be >= 0, got {index}")
+        return self._labels[index]
+
+    def get(self, label: Hashable, default: int | None = None) -> int | None:
+        """Return the id of ``label`` or ``default`` if unknown."""
+        return self._label_to_id.get(label, default)
+
+    def encode(self, labels: Sequence[Hashable]) -> np.ndarray:
+        """Vector-encode a sequence of known labels to an int64 array."""
+        return np.fromiter(
+            (self._label_to_id[label] for label in labels),
+            dtype=np.int64,
+            count=len(labels),
+        )
+
+    def decode(self, indices: Iterable[int]) -> list[Hashable]:
+        """Map integer ids back to their labels."""
+        return [self._labels[int(i)] for i in indices]
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._label_to_id
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._labels)
+
+    def __repr__(self) -> str:
+        return f"Indexer(n={len(self)})"

@@ -1,0 +1,107 @@
+"""Time discretisation: timestamps → contiguous interval ids.
+
+TCAM operates on discrete time intervals whose length is a tunable
+hyper-parameter (the paper sweeps 1–10 days in Table 3, and uses one month
+for the movie datasets). :class:`TimeDiscretizer` maps raw timestamps to
+``0..T-1`` interval ids for a chosen interval length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True, slots=True)
+class TimeDiscretizer:
+    """Maps timestamps (seconds) into fixed-length intervals.
+
+    Parameters
+    ----------
+    origin:
+        Timestamp of the start of interval 0. Timestamps earlier than the
+        origin are rejected.
+    interval_seconds:
+        Length of one interval in seconds. Use :meth:`from_days` for the
+        day-based granularity the paper sweeps.
+    """
+
+    origin: float
+    interval_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be positive, got {self.interval_seconds}"
+            )
+
+    @classmethod
+    def from_days(cls, origin: float, days: float) -> "TimeDiscretizer":
+        """Build a discretizer with intervals of ``days`` days."""
+        return cls(origin=origin, interval_seconds=days * SECONDS_PER_DAY)
+
+    @classmethod
+    def covering(
+        cls, timestamps: Sequence[float], num_intervals: int
+    ) -> "TimeDiscretizer":
+        """Build a discretizer that splits the span of ``timestamps`` into
+        exactly ``num_intervals`` equal-length intervals."""
+        if num_intervals <= 0:
+            raise ValueError(f"num_intervals must be positive, got {num_intervals}")
+        if len(timestamps) == 0:
+            raise ValueError("cannot cover an empty timestamp collection")
+        lo = float(min(timestamps))
+        hi = float(max(timestamps))
+        span = max(hi - lo, 1e-9)
+        # Stretch slightly so the max timestamp lands inside the last interval.
+        return cls(origin=lo, interval_seconds=span * (1 + 1e-9) / num_intervals)
+
+    def interval_of(self, timestamp: float) -> int:
+        """Return the interval id containing ``timestamp``."""
+        if timestamp < self.origin:
+            raise ValueError(
+                f"timestamp {timestamp} precedes the origin {self.origin}"
+            )
+        return int((timestamp - self.origin) // self.interval_seconds)
+
+    def intervals_of(self, timestamps: Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`interval_of`."""
+        ts = np.asarray(list(timestamps), dtype=np.float64)
+        if ts.size and ts.min() < self.origin:
+            raise ValueError("some timestamps precede the origin")
+        return ((ts - self.origin) // self.interval_seconds).astype(np.int64)
+
+    def start_of(self, interval: int) -> float:
+        """Return the timestamp at which ``interval`` starts."""
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        return self.origin + interval * self.interval_seconds
+
+    def num_intervals(self, timestamps: Sequence[float]) -> int:
+        """Number of intervals needed to cover ``timestamps``."""
+        if len(timestamps) == 0:
+            return 0
+        return self.interval_of(max(timestamps)) + 1
+
+
+def rediscretize(
+    intervals: np.ndarray, old_length: float, new_length: float
+) -> np.ndarray:
+    """Re-bucket interval ids from one granularity to another.
+
+    Used by the Table-3 interval-length sweep: interval ids assigned at a
+    fine granularity (``old_length`` seconds) are merged into coarser
+    buckets of ``new_length`` seconds without revisiting raw timestamps.
+    """
+    if old_length <= 0 or new_length <= 0:
+        raise ValueError("interval lengths must be positive")
+    ratio = new_length / old_length
+    if ratio < 1:
+        raise ValueError("cannot re-discretize to a finer granularity")
+    return (np.asarray(intervals, dtype=np.int64) // int(round(ratio))).astype(
+        np.int64
+    )

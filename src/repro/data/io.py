@@ -1,0 +1,132 @@
+"""Loading and saving timestamped rating data.
+
+Two interchangeable on-disk formats are supported:
+
+* **CSV** — header ``user,interval,item,score``; one rating per row.
+* **JSONL** — one JSON object per line with the same four keys.
+
+Both round-trip through :class:`~repro.data.events.Rating` records, so a
+cuboid written and re-read coalesces to the same tensor.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .cuboid import RatingCuboid
+from .events import Rating
+
+
+def write_csv(ratings: Iterable[Rating], path: str | Path) -> int:
+    """Write ratings to ``path`` as CSV; returns the number of rows."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user", "interval", "item", "score"])
+        for rating in ratings:
+            writer.writerow(
+                [rating.user, rating.interval, rating.item, rating.score]
+            )
+            count += 1
+    return count
+
+
+def read_csv(path: str | Path) -> Iterator[Rating]:
+    """Stream ratings from a CSV file produced by :func:`write_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"user", "interval", "item", "score"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path} is missing required columns {sorted(required)}"
+            )
+        for row in reader:
+            yield Rating(
+                user=row["user"],
+                interval=int(row["interval"]),
+                item=row["item"],
+                score=float(row["score"]),
+            )
+
+
+def write_jsonl(ratings: Iterable[Rating], path: str | Path) -> int:
+    """Write ratings to ``path`` as JSON lines; returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for rating in ratings:
+            handle.write(
+                json.dumps(
+                    {
+                        "user": rating.user,
+                        "interval": rating.interval,
+                        "item": rating.item,
+                        "score": rating.score,
+                    }
+                )
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[Rating]:
+    """Stream ratings from a JSONL file produced by :func:`write_jsonl`."""
+    path = Path(path)
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON") from exc
+            yield Rating(
+                user=record["user"],
+                interval=int(record["interval"]),
+                item=record["item"],
+                score=float(record.get("score", 1.0)),
+            )
+
+
+def cuboid_to_ratings(cuboid: RatingCuboid) -> Iterator[Rating]:
+    """Convert a cuboid back into labelled rating records.
+
+    Requires the cuboid to carry its user/item indexers; integer ids are
+    used as labels otherwise.
+    """
+    for i in range(cuboid.nnz):
+        user_id = int(cuboid.users[i])
+        item_id = int(cuboid.items[i])
+        user = (
+            str(cuboid.user_index.label_of(user_id))
+            if cuboid.user_index is not None
+            else str(user_id)
+        )
+        item = (
+            str(cuboid.item_index.label_of(item_id))
+            if cuboid.item_index is not None
+            else str(item_id)
+        )
+        yield Rating(
+            user=user,
+            interval=int(cuboid.intervals[i]),
+            item=item,
+            score=float(cuboid.scores[i]),
+        )
+
+
+def save_cuboid_csv(cuboid: RatingCuboid, path: str | Path) -> int:
+    """Persist a cuboid as CSV; returns the number of rows written."""
+    return write_csv(cuboid_to_ratings(cuboid), path)
+
+
+def load_cuboid_csv(path: str | Path) -> RatingCuboid:
+    """Load a cuboid from CSV written by :func:`save_cuboid_csv`."""
+    return RatingCuboid.from_ratings(read_csv(path))

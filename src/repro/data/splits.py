@@ -1,0 +1,104 @@
+"""Train/test splitting for temporal top-k evaluation.
+
+The paper's protocol (Section 5.3.1): for each user ``u`` and interval
+``t``, the rated items ``S_t(u)`` are split 80/20 into training and test
+sets, with five-fold cross validation. A recommended item counts as a
+"hit" when it appears in the held-out ``S_t^test(u)``.
+
+Splitting happens at the level of coalesced cuboid entries, grouped by
+``(u, t)``; every fold keeps the original tensor dimensions so train and
+test cuboids are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .cuboid import RatingCuboid
+
+
+@dataclass(frozen=True, slots=True)
+class Split:
+    """One train/test partition of a rating cuboid."""
+
+    train: RatingCuboid
+    test: RatingCuboid
+
+    def query_pairs(self) -> list[tuple[int, int]]:
+        """Distinct ``(user, interval)`` pairs with held-out test items.
+
+        These are the temporal queries the evaluation issues.
+        """
+        pairs = np.unique(
+            self.test.users * self.test.num_intervals + self.test.intervals
+        )
+        t = self.test.num_intervals
+        return [(int(p // t), int(p % t)) for p in pairs]
+
+
+def _fold_assignment(
+    cuboid: RatingCuboid, num_folds: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Assign each cuboid entry a fold id, stratified by ``(u, t)`` group.
+
+    Entries within one ``(u, t)`` group are randomly permuted then dealt
+    round-robin across folds, so every group spreads as evenly as its size
+    allows. Groups smaller than ``num_folds`` contribute their entries to a
+    random subset of folds.
+    """
+    keys = cuboid.users * cuboid.num_intervals + cuboid.intervals
+    order = np.argsort(keys, kind="stable")
+    folds = np.empty(cuboid.nnz, dtype=np.int64)
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    start = 0
+    for end in list(boundaries) + [cuboid.nnz]:
+        group = order[start:end]
+        permuted = rng.permutation(group)
+        offset = int(rng.integers(num_folds))
+        folds[permuted] = (np.arange(group.size) + offset) % num_folds
+        start = end
+    return folds
+
+
+def holdout_split(
+    cuboid: RatingCuboid, test_fraction: float = 0.2, seed: int = 0
+) -> Split:
+    """Single stratified split with ``test_fraction`` of each ``(u, t)``
+    group held out (the paper's 80/20 split)."""
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    num_folds = max(int(round(1 / test_fraction)), 2)
+    rng = np.random.default_rng(seed)
+    folds = _fold_assignment(cuboid, num_folds, rng)
+    test_mask = folds == 0
+    return Split(train=cuboid.select(~test_mask), test=cuboid.select(test_mask))
+
+
+def cross_validation_splits(
+    cuboid: RatingCuboid, num_folds: int = 5, seed: int = 0
+) -> Iterator[Split]:
+    """Yield ``num_folds`` stratified train/test splits (5-fold CV)."""
+    if num_folds < 2:
+        raise ValueError(f"num_folds must be >= 2, got {num_folds}")
+    rng = np.random.default_rng(seed)
+    folds = _fold_assignment(cuboid, num_folds, rng)
+    for fold in range(num_folds):
+        test_mask = folds == fold
+        yield Split(train=cuboid.select(~test_mask), test=cuboid.select(test_mask))
+
+
+def leave_last_interval_split(cuboid: RatingCuboid) -> Split:
+    """Temporal split: the most recent non-empty interval is the test set.
+
+    Not used by the paper's headline protocol but useful for the online/
+    incremental extension and for stress-testing temporal generalisation.
+    """
+    if cuboid.nnz == 0:
+        raise ValueError("cannot split an empty cuboid")
+    last = int(cuboid.intervals.max())
+    test_mask = cuboid.intervals == last
+    return Split(train=cuboid.select(~test_mask), test=cuboid.select(test_mask))

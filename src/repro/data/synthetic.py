@@ -1,0 +1,476 @@
+"""Synthetic timestamped-rating generator (dataset substitute).
+
+The paper evaluates on four crawled datasets (Digg, MovieLens, Douban
+Movie, Delicious) that are not distributable. This module substitutes a
+generator whose generative process **is the TCAM story itself**, with
+ground truth retained for verification:
+
+1. ``K1`` *user-oriented topics* — multinomials over items drawn from a
+   sparse Dirichlet whose base measure is Zipf-skewed, so globally popular
+   items leak into every topic (the exact pathology the paper's
+   item-weighting scheme targets).
+2. ``K2`` *events* — time-localised topics with a Gaussian activity bump
+   around a peak interval and a dedicated pool of bursty items (plus a
+   tunable leak of popular items).
+3. Each user draws an interest distribution ``θ_u``, a mixing weight
+   ``λ_u ~ Beta(a, b)`` and an activity volume; each rating tosses
+   ``s ~ Bernoulli(λ_u)`` and generates the item from either a
+   user-oriented topic or the active temporal context.
+
+Because every experimental claim in the paper is about *relative* model
+behavior, reproducing the causal structure (stable interests + bursty
+public attention + popularity skew) is what matters — not the crawled
+byte streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cuboid import RatingCuboid
+from .indexer import Indexer
+
+
+@dataclass(frozen=True, slots=True)
+class EventSpec:
+    """One time-localised public-attention event.
+
+    Parameters
+    ----------
+    name:
+        Human-readable event name; dedicated items are labelled with it.
+    peak:
+        Interval index at which the event's activity peaks.
+    width:
+        Standard deviation (in intervals) of the Gaussian activity bump.
+    strength:
+        Relative share of public attention the event commands at its peak.
+    num_items:
+        Number of dedicated bursty items minted for the event.
+    """
+
+    name: str
+    peak: int
+    width: float = 1.5
+    strength: float = 1.0
+    num_items: int = 8
+
+    def activity(self, num_intervals: int) -> np.ndarray:
+        """Gaussian activity curve of the event over all intervals."""
+        t = np.arange(num_intervals, dtype=np.float64)
+        curve = np.exp(-0.5 * ((t - self.peak) / max(self.width, 1e-6)) ** 2)
+        return self.strength * curve
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Full parameterisation of one synthetic dataset.
+
+    The four profiles in :mod:`repro.data.profiles` instantiate this with
+    values that mimic the corresponding real dataset's character (scale
+    ratios, time-sensitivity via the ``λ`` Beta prior, rating density).
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    num_intervals: int
+    num_user_topics: int
+    events: tuple[EventSpec, ...]
+    lambda_alpha: float = 4.0
+    lambda_beta: float = 2.0
+    mean_ratings_per_user: float = 40.0
+    min_ratings_per_user: int = 5
+    topic_sparsity: float = 0.05
+    interest_sparsity: float = 0.3
+    popularity_exponent: float = 1.0
+    popularity_offset: float = 0.0
+    popular_leak: float = 0.15
+    noise_fraction: float = 0.0
+    noise_engagement: float = 1.0
+    item_lifecycle: float = float("inf")
+    evergreen_fraction: float = 0.0
+    distinct_items: bool = False
+    explicit_scores: bool = False
+    item_prefix: str = "item"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0 or self.num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        if self.num_intervals <= 0:
+            raise ValueError("num_intervals must be positive")
+        if self.num_user_topics <= 0:
+            raise ValueError("num_user_topics must be positive")
+        if not self.events:
+            raise ValueError("at least one event is required")
+        if not 0 <= self.noise_fraction < 1:
+            raise ValueError(
+                f"noise_fraction must be in [0, 1), got {self.noise_fraction}"
+            )
+        if self.item_lifecycle <= 0:
+            raise ValueError(
+                f"item_lifecycle must be positive, got {self.item_lifecycle}"
+            )
+        if self.noise_engagement < 1.0:
+            raise ValueError(
+                f"noise_engagement must be >= 1, got {self.noise_engagement}"
+            )
+        if not 0 <= self.evergreen_fraction <= 1:
+            raise ValueError(
+                f"evergreen_fraction must be in [0, 1], got {self.evergreen_fraction}"
+            )
+        dedicated = sum(e.num_items for e in self.events)
+        if dedicated >= self.num_items:
+            raise ValueError(
+                f"events claim {dedicated} dedicated items but the catalogue "
+                f"has only {self.num_items}"
+            )
+        for event in self.events:
+            if not 0 <= event.peak < self.num_intervals:
+                raise ValueError(
+                    f"event {event.name!r} peaks outside [0, T)"
+                )
+
+
+@dataclass
+class GroundTruth:
+    """Latent variables behind a synthetic dataset, kept for verification."""
+
+    config: SyntheticConfig
+    lambda_u: np.ndarray  # (N,) true mixing weights
+    theta: np.ndarray  # (N, K1) user interest distributions
+    phi: np.ndarray  # (K1, V) user-oriented topics
+    phi_events: np.ndarray  # (K2, V) event (time-oriented) topics
+    event_activity: np.ndarray  # (K2, T) unnormalised activity curves
+    temporal_context: np.ndarray  # (T, K2) normalised θ′_t
+    item_labels: list[str]
+    event_names: list[str]
+    event_items: dict[str, np.ndarray]  # event name → dedicated item ids
+    source: np.ndarray = field(default=None)  # (R,) 1=interest, 0=context, 2=noise
+    topic_of: np.ndarray = field(default=None)  # (R,) sampled topic index (−1=noise)
+    item_arrival: np.ndarray = field(default=None)  # (V,) arrival interval
+    availability: np.ndarray = field(default=None)  # (V, T) attention curves
+
+
+def sample_rows(
+    probabilities: np.ndarray, rows: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorised categorical sampling from selected rows of a matrix.
+
+    ``probabilities`` is ``(R, C)`` row-stochastic; ``rows`` selects one
+    row per draw; the result holds one column index per draw.
+    """
+    gathered = probabilities[rows]
+    cumulative = np.cumsum(gathered, axis=1)
+    # Guard against rows that do not quite sum to 1 due to float error.
+    cumulative /= cumulative[:, -1:]
+    u = rng.random((rows.size, 1))
+    return (u > cumulative).sum(axis=1).astype(np.int64)
+
+
+def _zipf_base_measure(
+    num_items: int, exponent: float, offset: float = 0.0
+) -> np.ndarray:
+    """Zipf–Mandelbrot base measure giving a popularity head.
+
+    ``weights ∝ (rank + offset)^(−exponent)``. A positive offset flattens
+    the extreme head so no single item saturates the whole user base —
+    matching real platforms, where even the hottest story reaches only a
+    small fraction of users.
+    """
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = (ranks + offset) ** (-exponent)
+    return weights / weights.sum()
+
+
+def _draw_user_topics(
+    config: SyntheticConfig, base: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``(K1, V)`` user-oriented topics from a sparse Dirichlet.
+
+    Each topic gets its own permutation of the Zipf base measure: every
+    genre has its own hit items (within-topic popularity skew) rather
+    than all topics sharing one global head — otherwise "personalised"
+    rankings would collapse into plain popularity.
+    """
+    topics = np.empty((config.num_user_topics, config.num_items))
+    concentration = config.topic_sparsity * config.num_items
+    for z in range(config.num_user_topics):
+        alpha = concentration * base[rng.permutation(config.num_items)] + 1e-6
+        topics[z] = rng.dirichlet(alpha)
+    return topics / topics.sum(axis=1, keepdims=True)
+
+
+def _draw_event_topics(
+    config: SyntheticConfig,
+    base: np.ndarray,
+    event_items: dict[str, np.ndarray],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``(K2, V)`` event topics concentrated on dedicated items.
+
+    Each event topic puts ``1 - popular_leak`` of its mass on the event's
+    dedicated bursty items and leaks the rest onto the popularity head, so
+    unweighted models see popular items crowd the top of time-oriented
+    topics (Figure 5 / Table 5 pathology).
+    """
+    topics = np.zeros((len(config.events), config.num_items), dtype=np.float64)
+    for x, event in enumerate(config.events):
+        dedicated = event_items[event.name]
+        burst_share = rng.dirichlet(np.full(dedicated.size, 2.0))
+        topics[x, dedicated] = (1.0 - config.popular_leak) * burst_share
+        leak = rng.dirichlet(config.num_items * base * 0.5 + 1e-6)
+        topics[x] += config.popular_leak * leak
+        topics[x] /= topics[x].sum()
+    return topics
+
+
+def _assign_event_items(
+    config: SyntheticConfig, rng: np.random.Generator
+) -> dict[str, np.ndarray]:
+    """Reserve disjoint dedicated item-id blocks for each event.
+
+    Dedicated items are drawn from the *tail* of the popularity ranking so
+    they are salient (low overall frequency) as the paper assumes.
+    """
+    tail_start = config.num_items // 3
+    tail = np.arange(tail_start, config.num_items, dtype=np.int64)
+    needed = sum(e.num_items for e in config.events)
+    if needed > tail.size:
+        raise ValueError("not enough tail items for the configured events")
+    chosen = rng.choice(tail, size=needed, replace=False)
+    event_items: dict[str, np.ndarray] = {}
+    offset = 0
+    for event in config.events:
+        event_items[event.name] = np.sort(chosen[offset : offset + event.num_items])
+        offset += event.num_items
+    return event_items
+
+
+def _item_labels(
+    config: SyntheticConfig, event_items: dict[str, np.ndarray]
+) -> list[str]:
+    """Label items; dedicated event items carry the event name."""
+    labels = [f"{config.item_prefix}_{v:05d}" for v in range(config.num_items)]
+    for name, ids in event_items.items():
+        for j, v in enumerate(ids):
+            labels[int(v)] = f"{config.item_prefix}_{name}_{j}"
+    return labels
+
+
+def _item_availability(
+    config: SyntheticConfig,
+    event_items: dict[str, np.ndarray],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-item arrival times and attention-decay curves.
+
+    Real social-media items have life cycles: a story, tag or movie
+    arrives at some point and its attention decays. Every non-event item
+    gets ``τ_v ~ U(−2ℓ, T)`` (pre-history arrivals keep early intervals
+    populated) and curve ``g_v(t) ∝ exp(−(t − τ_v)/ℓ)`` for ``t ≥ τ_v``.
+    Dedicated event items arrive at their event's onset. An infinite
+    lifecycle yields flat curves (the stationary-catalogue special case).
+
+    Returns ``(arrival, availability)`` with availability rows normalised
+    for sampling.
+    """
+    t_grid = np.arange(config.num_intervals, dtype=np.float64)
+    if not np.isfinite(config.item_lifecycle):
+        arrival = np.full(config.num_items, -np.inf)
+        flat = np.full((config.num_items, config.num_intervals), 1.0 / config.num_intervals)
+        return arrival, flat
+
+    lifecycle = config.item_lifecycle
+    arrival = rng.uniform(-2 * lifecycle, config.num_intervals - 1, config.num_items)
+    for event in config.events:
+        onset = max(event.peak - event.width, 0.0)
+        arrival[event_items[event.name]] = onset
+    age = t_grid[None, :] - arrival[:, None]
+    curves = np.where(age >= 0, np.exp(-np.maximum(age, 0) / lifecycle), 0.0)
+    # Evergreen head: the most popular items (base measure is sorted by
+    # rank) never expire — the "news"/"health" steady tags of Figure 5.
+    # Dedicated event items stay bursty regardless of their rank.
+    evergreen_count = int(round(config.evergreen_fraction * config.num_items))
+    if evergreen_count:
+        dedicated = np.concatenate(list(event_items.values()))
+        evergreen = np.setdiff1d(np.arange(evergreen_count), dedicated)
+        curves[evergreen] = 1.0
+        arrival[evergreen] = -np.inf
+    # Every item must be sample-able somewhere; late arrivals keep their
+    # first live interval, fully-expired pre-history items get a floor.
+    totals = curves.sum(axis=1, keepdims=True)
+    dead = totals[:, 0] <= 1e-12
+    if dead.any():
+        curves[dead] = 1.0
+        totals = curves.sum(axis=1, keepdims=True)
+    return arrival, curves / totals
+
+
+def generate(config: SyntheticConfig) -> tuple[RatingCuboid, GroundTruth]:
+    """Generate a synthetic rating cuboid plus its ground truth.
+
+    Deterministic for a fixed ``config`` (including its ``seed``).
+    """
+    rng = np.random.default_rng(config.seed)
+    num_events = len(config.events)
+
+    base = _zipf_base_measure(
+        config.num_items, config.popularity_exponent, config.popularity_offset
+    )
+    event_items = _assign_event_items(config, rng)
+    phi = _draw_user_topics(config, base, rng)
+    phi_events = _draw_event_topics(config, base, event_items, rng)
+    item_arrival, availability = _item_availability(config, event_items, rng)
+
+    activity = np.stack(
+        [event.activity(config.num_intervals) for event in config.events]
+    )  # (K2, T)
+    context = activity.T + 1e-4  # (T, K2); epsilon keeps every interval valid
+    context /= context.sum(axis=1, keepdims=True)
+
+    theta = rng.dirichlet(
+        np.full(config.num_user_topics, config.interest_sparsity),
+        size=config.num_users,
+    )
+    lambda_u = rng.beta(
+        config.lambda_alpha, config.lambda_beta, size=config.num_users
+    )
+
+    volumes = np.maximum(
+        rng.poisson(config.mean_ratings_per_user, size=config.num_users),
+        config.min_ratings_per_user,
+    )
+    users = np.repeat(np.arange(config.num_users, dtype=np.int64), volumes)
+    total = int(volumes.sum())
+
+    # Interval of each rating: background uniform activity plus extra
+    # traffic during event bursts (bursts attract visits).
+    interval_weights = 1.0 + activity.sum(axis=0)
+    interval_probs = interval_weights / interval_weights.sum()
+    intervals = rng.choice(
+        config.num_intervals, size=total, p=interval_probs
+    ).astype(np.int64)
+
+    # Source of each rating: 1 = intrinsic interest, 0 = temporal context,
+    # 2 = popularity noise (herding / front-page clicks), the real-data
+    # pathology the item-weighting scheme exists to counteract.
+    source = (rng.random(total) < lambda_u[users]).astype(np.int64)
+    if config.noise_fraction > 0:
+        source[rng.random(total) < config.noise_fraction] = 2
+    items = np.empty(total, dtype=np.int64)
+    topic_of = np.full(total, -1, dtype=np.int64)
+
+    interest_mask = source == 1
+    if interest_mask.any():
+        z = sample_rows(theta, users[interest_mask], rng)
+        items[interest_mask] = sample_rows(phi, z, rng)
+        topic_of[interest_mask] = z
+        # Interest-driven behaviors happen while the item is alive: the
+        # rating's interval follows the item's attention curve.
+        intervals[interest_mask] = sample_rows(availability, items[interest_mask], rng)
+    context_mask = source == 0
+    if context_mask.any():
+        x = sample_rows(context, intervals[context_mask], rng)
+        items[context_mask] = sample_rows(phi_events, x, rng)
+        topic_of[context_mask] = x
+    noise_mask = source == 2
+    if noise_mask.any():
+        items[noise_mask] = rng.choice(
+            config.num_items, size=int(noise_mask.sum()), p=base
+        )
+        intervals[noise_mask] = sample_rows(availability, items[noise_mask], rng)
+
+    if config.distinct_items:
+        # One rating per (user, item) ever — a user diggs a story or rates
+        # a movie at most once. Keep the first occurrence of each pair.
+        keys = users * config.num_items + items
+        _, first = np.unique(keys, return_index=True)
+        keep = np.sort(first)
+        users, intervals, items = users[keep], intervals[keep], items[keep]
+        source, topic_of = source[keep], topic_of[keep]
+        interest_mask = interest_mask[keep]
+        context_mask = context_mask[keep]
+        noise_mask = noise_mask[keep]
+        total = keep.size
+
+    if config.explicit_scores:
+        # Explicit 1..5 stars: affinity-driven with noise, as in MovieLens.
+        affinity = np.select(
+            [interest_mask, context_mask], [4.0, 3.4], default=3.0
+        )
+        scores = np.clip(np.round(affinity + rng.normal(0, 0.8, total)), 1, 5)
+    else:
+        scores = np.ones(total, dtype=np.float64)
+        if config.noise_engagement > 1.0 and noise_mask.any():
+            # Implicit feedback records engagement *volume*: exposure-driven
+            # actions on popular items repeat (re-visits, repeated tag use),
+            # inflating their raw counts well beyond distinct-user reach —
+            # the exact count-mass skew the item-weighting scheme corrects.
+            scores[noise_mask] += rng.poisson(
+                config.noise_engagement - 1.0, size=int(noise_mask.sum())
+            )
+
+    labels = _item_labels(config, event_items)
+    user_index = Indexer(f"user_{u:05d}" for u in range(config.num_users))
+    item_index = Indexer(labels)
+    cuboid = RatingCuboid(
+        users=users,
+        intervals=intervals,
+        items=items,
+        scores=scores,
+        num_users=config.num_users,
+        num_intervals=config.num_intervals,
+        num_items=config.num_items,
+        user_index=user_index,
+        item_index=item_index,
+    ).coalesce()
+
+    truth = GroundTruth(
+        config=config,
+        lambda_u=lambda_u,
+        theta=theta,
+        phi=phi,
+        phi_events=phi_events,
+        event_activity=activity,
+        temporal_context=context,
+        item_labels=labels,
+        event_names=[event.name for event in config.events],
+        event_items=event_items,
+        source=source,
+        topic_of=topic_of,
+        item_arrival=item_arrival,
+        availability=availability,
+    )
+    return cuboid, truth
+
+
+def auto_events(
+    count: int,
+    num_intervals: int,
+    rng_seed: int = 0,
+    width: float = 1.5,
+    num_items: int = 8,
+) -> tuple[EventSpec, ...]:
+    """Mint ``count`` generic events with evenly spread peaks."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(rng_seed)
+    peaks = np.linspace(0, num_intervals - 1, count + 2)[1:-1]
+    jitter = rng.uniform(-0.5, 0.5, size=count)
+    events = []
+    for i in range(count):
+        peak = int(np.clip(round(peaks[i] + jitter[i]), 0, num_intervals - 1))
+        events.append(
+            EventSpec(
+                name=f"event{i:02d}",
+                peak=peak,
+                width=width,
+                strength=float(rng.uniform(0.8, 1.4)),
+                num_items=num_items,
+            )
+        )
+    return tuple(events)

@@ -1,0 +1,58 @@
+"""Evaluation: ranking metrics, the temporal query protocol, and the
+multi-model cross-validation harness."""
+
+from .beyond_accuracy import (
+    BeyondAccuracyReport,
+    catalogue_coverage,
+    evaluate_beyond_accuracy,
+    intra_list_diversity,
+    novelty,
+)
+from .harness import ExperimentResult, ModelSpec, run_accuracy_experiment
+from .likelihood import heldout_log_likelihood, heldout_perplexity, uniform_perplexity
+from .model_selection import GridCell, GridSearchResult, select_topic_counts
+from .metrics import (
+    METRICS,
+    average_precision_at_k,
+    f1_at_k,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank_at_k,
+)
+from .protocol import EvaluationReport, TemporalQuery, build_queries, evaluate_ranking
+from .significance import PairedComparison, compare_many, paired_bootstrap, per_query_metric
+
+__all__ = [
+    "BeyondAccuracyReport",
+    "catalogue_coverage",
+    "evaluate_beyond_accuracy",
+    "intra_list_diversity",
+    "novelty",
+    "ExperimentResult",
+    "ModelSpec",
+    "run_accuracy_experiment",
+    "heldout_log_likelihood",
+    "heldout_perplexity",
+    "uniform_perplexity",
+    "GridCell",
+    "GridSearchResult",
+    "select_topic_counts",
+    "METRICS",
+    "average_precision_at_k",
+    "f1_at_k",
+    "hit_rate_at_k",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank_at_k",
+    "EvaluationReport",
+    "TemporalQuery",
+    "build_queries",
+    "evaluate_ranking",
+    "PairedComparison",
+    "compare_many",
+    "paired_bootstrap",
+    "per_query_metric",
+]

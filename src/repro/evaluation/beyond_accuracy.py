@@ -1,0 +1,137 @@
+"""Beyond-accuracy recommendation quality: coverage, novelty, diversity.
+
+Hit metrics alone reward recommending the popular head. A production
+evaluation also tracks:
+
+* **catalogue coverage** — the fraction of the catalogue that appears in
+  at least one recommendation list (aggregate diversity);
+* **novelty** — the mean self-information ``−log₂ p(v)`` of recommended
+  items under the training popularity distribution (higher = less
+  mainstream);
+* **intra-list diversity** — one minus the mean pairwise similarity of
+  each list's items in topic space (how varied a single list is).
+
+These are the quantities the paper's item-weighting scheme implicitly
+targets — the W-variants trade a little accuracy for a lot of novelty,
+which :mod:`benchmarks.test_ablation_weighting` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..data.cuboid import RatingCuboid
+from ..recommend.ranking import rank_order
+from .protocol import RankingModel, TemporalQuery
+
+
+@dataclass(frozen=True)
+class BeyondAccuracyReport:
+    """Aggregate beyond-accuracy statistics of one model's top-k lists."""
+
+    coverage: float  # fraction of catalogue recommended at least once
+    novelty: float  # mean −log₂ popularity of recommended items
+    diversity: float  # 1 − mean pairwise topic similarity within lists
+    k: int
+    num_queries: int
+
+    def __str__(self) -> str:
+        return (
+            f"coverage {self.coverage:.3f}, novelty {self.novelty:.2f} bits, "
+            f"intra-list diversity {self.diversity:.3f} (k={self.k}, "
+            f"{self.num_queries} queries)"
+        )
+
+
+def collect_recommendations(
+    model: RankingModel,
+    queries: Sequence[TemporalQuery],
+    k: int,
+) -> list[list[int]]:
+    """The model's top-k list for every query (training items excluded)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    lists = []
+    for query in queries:
+        scores = model.score_items(query.user, query.interval)
+        top = rank_order(
+            scores, k, exclude=np.asarray(query.exclude, dtype=np.int64)
+        )
+        lists.append([int(v) for v in top])
+    return lists
+
+
+def catalogue_coverage(recommendations: Sequence[Sequence[int]], num_items: int) -> float:
+    """Fraction of the catalogue recommended at least once."""
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    seen: set[int] = set()
+    for items in recommendations:
+        seen.update(items)
+    return len(seen) / num_items
+
+
+def novelty(
+    recommendations: Sequence[Sequence[int]], train_popularity: np.ndarray
+) -> float:
+    """Mean self-information of recommended items (bits).
+
+    ``train_popularity`` is any non-negative per-item mass vector (e.g.
+    :meth:`RatingCuboid.item_popularity`); it is normalised internally
+    with add-one smoothing so unseen items have finite information.
+    """
+    popularity = np.asarray(train_popularity, dtype=np.float64)
+    if np.any(popularity < 0):
+        raise ValueError("popularity mass must be non-negative")
+    probs = (popularity + 1.0) / (popularity.sum() + popularity.size)
+    info = -np.log2(probs)
+    values = [info[v] for items in recommendations for v in items]
+    if not values:
+        raise ValueError("no recommendations to score")
+    return float(np.mean(values))
+
+
+def intra_list_diversity(
+    recommendations: Sequence[Sequence[int]], item_topics: np.ndarray
+) -> float:
+    """One minus the mean pairwise cosine similarity within each list.
+
+    ``item_topics`` is a ``(V, K)`` item representation — for TCAM the
+    natural choice is the transposed topic–item matrix, i.e. each item's
+    loading across topics.
+    """
+    vectors = np.asarray(item_topics, dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    unit = vectors / np.maximum(norms, 1e-12)
+    per_list = []
+    for items in recommendations:
+        if len(items) < 2:
+            continue
+        sub = unit[list(items)]
+        sims = sub @ sub.T
+        upper = sims[np.triu_indices(len(items), k=1)]
+        per_list.append(1.0 - float(upper.mean()))
+    if not per_list:
+        raise ValueError("need at least one list with two items")
+    return float(np.mean(per_list))
+
+
+def evaluate_beyond_accuracy(
+    model: RankingModel,
+    queries: Sequence[TemporalQuery],
+    train: RatingCuboid,
+    item_topics: np.ndarray,
+    k: int = 10,
+) -> BeyondAccuracyReport:
+    """Compute all three beyond-accuracy statistics for one model."""
+    recommendations = collect_recommendations(model, queries, k)
+    return BeyondAccuracyReport(
+        coverage=catalogue_coverage(recommendations, train.num_items),
+        novelty=novelty(recommendations, train.item_popularity()),
+        diversity=intra_list_diversity(recommendations, item_topics),
+        k=k,
+        num_queries=len(queries),
+    )

@@ -1,0 +1,131 @@
+"""Experiment harness: fit many models across CV folds and tabulate.
+
+This drives the paper's accuracy experiments (Figures 6–7, Table 3,
+Figure 9): a set of named model factories is fit on each cross-validation
+fold's training cuboid, evaluated on that fold's temporal queries, and
+the per-fold reports are averaged. Output helpers render the same
+rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data.cuboid import RatingCuboid
+from ..data.splits import Split, cross_validation_splits, holdout_split
+from .protocol import EvaluationReport, RankingModel, build_queries, evaluate_ranking
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A named model factory.
+
+    The factory must return a *fresh, unfitted* model exposing
+    ``fit(cuboid)`` and ``score_items(user, interval)`` — every fold gets
+    its own instance.
+    """
+
+    name: str
+    factory: Callable[[], RankingModel]
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated cross-fold results for a set of models.
+
+    ``mean[model][metric][k]`` / ``std[model][metric][k]`` hold the
+    cross-fold mean and standard deviation.
+    """
+
+    mean: dict[str, dict[str, dict[int, float]]]
+    std: dict[str, dict[str, dict[int, float]]]
+    ks: tuple[int, ...]
+    metrics: tuple[str, ...]
+    num_folds: int
+    num_queries: int
+
+    def series(self, model: str, metric: str) -> list[float]:
+        """Mean metric across cutoffs for one model (a plotted curve)."""
+        return [self.mean[model][metric][k] for k in self.ks]
+
+    def at(self, model: str, metric: str, k: int) -> float:
+        """Mean metric at one cutoff."""
+        return self.mean[model][metric][k]
+
+    def winner(self, metric: str, k: int) -> str:
+        """Name of the best model at ``metric@k``."""
+        return max(self.mean, key=lambda name: self.mean[name][metric][k])
+
+    def format_table(self, metric: str) -> str:
+        """Render a ``model × k`` text table for one metric."""
+        header = ["model".ljust(16)] + [f"@{k}".rjust(8) for k in self.ks]
+        lines = ["".join(header)]
+        for model in self.mean:
+            cells = [model.ljust(16)]
+            cells += [f"{self.mean[model][metric][k]:8.4f}" for k in self.ks]
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+
+def run_accuracy_experiment(
+    cuboid: RatingCuboid,
+    specs: Sequence[ModelSpec],
+    ks: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    metrics: Sequence[str] = ("precision", "ndcg", "f1"),
+    num_folds: int = 5,
+    max_queries: int | None = 400,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fit and evaluate every model spec across CV folds.
+
+    ``num_folds=1`` falls back to a single 80/20 holdout split (faster,
+    used by the narrower parameter sweeps).
+    """
+    if not specs:
+        raise ValueError("at least one model spec is required")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate model names in specs: {names}")
+
+    if num_folds <= 1:
+        splits: list[Split] = [holdout_split(cuboid, seed=seed)]
+    else:
+        splits = list(cross_validation_splits(cuboid, num_folds=num_folds, seed=seed))
+
+    per_fold: dict[str, list[EvaluationReport]] = {spec.name: [] for spec in specs}
+    total_queries = 0
+    for fold_index, split in enumerate(splits):
+        queries = build_queries(split, max_queries=max_queries, seed=seed + fold_index)
+        total_queries += len(queries)
+        for spec in specs:
+            model = spec.factory()
+            model.fit(split.train)
+            report = evaluate_ranking(model, queries, ks=ks, metrics=metrics)
+            per_fold[spec.name].append(report)
+
+    ks_tuple = per_fold[specs[0].name][0].ks
+    mean: dict[str, dict[str, dict[int, float]]] = {}
+    std: dict[str, dict[str, dict[int, float]]] = {}
+    for spec in specs:
+        reports = per_fold[spec.name]
+        mean[spec.name] = {}
+        std[spec.name] = {}
+        for metric in metrics:
+            mean[spec.name][metric] = {}
+            std[spec.name][metric] = {}
+            for k in ks_tuple:
+                samples = np.array([r.values[metric][k] for r in reports])
+                mean[spec.name][metric][k] = float(samples.mean())
+                std[spec.name][metric][k] = float(samples.std())
+
+    return ExperimentResult(
+        mean=mean,
+        std=std,
+        ks=ks_tuple,
+        metrics=tuple(metrics),
+        num_folds=len(splits),
+        num_queries=total_queries,
+    )

@@ -1,0 +1,75 @@
+"""Held-out likelihood and perplexity evaluation.
+
+Ranking metrics measure the top of the list; held-out likelihood
+measures the whole fitted distribution. For probabilistic models (the
+TCAM family, UT, TT — anything whose ``score_items`` returns a proper
+distribution over items), this module computes
+
+``perplexity = exp( − Σ c·log P(v|u,t) / Σ c )``
+
+over a held-out cuboid — lower is better, and a uniform model scores
+exactly ``V``. Useful for model selection (K1/K2, smoothing) where
+ranking metrics are too noisy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.cuboid import RatingCuboid
+from .protocol import RankingModel
+
+_EPS = 1e-12
+
+
+def heldout_log_likelihood(
+    model: RankingModel, test: RatingCuboid, renormalize: bool = True
+) -> float:
+    """Σ c·log P(v|u,t) over a held-out cuboid.
+
+    ``score_items`` is called once per distinct ``(u, t)`` pair.
+    ``renormalize`` defensively rescales each score vector to sum to one
+    (a no-op for proper probabilistic models); models with negative
+    scores are rejected — held-out likelihood is undefined for them.
+    """
+    if test.nnz == 0:
+        raise ValueError("held-out cuboid is empty")
+    keys = test.users * test.num_intervals + test.intervals
+    order = np.argsort(keys, kind="stable")
+    total = 0.0
+    start = 0
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    for end in list(boundaries) + [test.nnz]:
+        rows = order[start:end]
+        start = end
+        user = int(test.users[rows[0]])
+        interval = int(test.intervals[rows[0]])
+        scores = np.asarray(model.score_items(user, interval), dtype=np.float64)
+        if np.any(scores < -1e-9):
+            raise ValueError(
+                "model scores are negative; held-out likelihood requires "
+                "a probabilistic scorer"
+            )
+        if renormalize:
+            mass = scores.sum()
+            if mass <= 0:
+                raise ValueError("model scores sum to zero")
+            scores = scores / mass
+        items = test.items[rows]
+        weights = test.scores[rows]
+        total += float(weights @ np.log(scores[items] + _EPS))
+    return total
+
+
+def heldout_perplexity(
+    model: RankingModel, test: RatingCuboid, renormalize: bool = True
+) -> float:
+    """Per-rating perplexity on a held-out cuboid (lower is better)."""
+    log_likelihood = heldout_log_likelihood(model, test, renormalize=renormalize)
+    return float(np.exp(-log_likelihood / test.total_score))
+
+
+def uniform_perplexity(test: RatingCuboid) -> float:
+    """The trivial reference: a uniform model's perplexity is ``V``."""
+    return float(test.num_items)

@@ -1,0 +1,117 @@
+"""Ranking metrics (Section 5.3.1 of the paper).
+
+All metrics take the recommended item ids in rank order plus the set of
+relevant (held-out) items, and are reported "@k". The paper uses
+Precision@k, NDCG@k (binary gains, ``(2^r − 1)/log2(i + 1)`` with ideal
+normalisation) and F1@k; Recall, hit-rate, MAP and MRR are included for
+completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Sequence
+
+import numpy as np
+
+
+def _validate(recommended: Sequence[int], k: int) -> list[int]:
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return list(recommended[:k])
+
+
+def precision_at_k(
+    recommended: Sequence[int], relevant: Collection[int], k: int
+) -> float:
+    """``#hits / k`` over the top-k recommendations."""
+    top = _validate(recommended, k)
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant)
+    return hits / k
+
+
+def recall_at_k(
+    recommended: Sequence[int], relevant: Collection[int], k: int
+) -> float:
+    """``#hits / |relevant|`` over the top-k recommendations."""
+    top = _validate(recommended, k)
+    if not relevant:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(relevant)
+
+
+def f1_at_k(recommended: Sequence[int], relevant: Collection[int], k: int) -> float:
+    """Harmonic mean of Precision@k and Recall@k."""
+    precision = precision_at_k(recommended, relevant, k)
+    recall = recall_at_k(recommended, relevant, k)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def ndcg_at_k(recommended: Sequence[int], relevant: Collection[int], k: int) -> float:
+    """Binary-gain NDCG@k exactly as defined in the paper.
+
+    ``DCG@k = Σ_{i=1..k} (2^{r_i} − 1) / log2(i + 1)`` with ``r_i = 1`` for
+    a hit, normalised by the DCG of the perfect ranking (all available
+    relevant items first).
+    """
+    top = _validate(recommended, k)
+    if not relevant:
+        return 0.0
+    gains = np.array([1.0 if item in relevant else 0.0 for item in top])
+    discounts = 1.0 / np.log2(np.arange(2, len(top) + 2))
+    dcg = float((gains * discounts).sum())
+    ideal_hits = min(len(relevant), k)
+    ideal = float((1.0 / np.log2(np.arange(2, ideal_hits + 2))).sum())
+    return dcg / ideal if ideal > 0 else 0.0
+
+
+def hit_rate_at_k(
+    recommended: Sequence[int], relevant: Collection[int], k: int
+) -> float:
+    """1.0 if any top-k recommendation is relevant, else 0.0."""
+    top = _validate(recommended, k)
+    return 1.0 if any(item in relevant for item in top) else 0.0
+
+
+def average_precision_at_k(
+    recommended: Sequence[int], relevant: Collection[int], k: int
+) -> float:
+    """AP@k: mean of precision values at each hit position."""
+    top = _validate(recommended, k)
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for i, item in enumerate(top, start=1):
+        if item in relevant:
+            hits += 1
+            precision_sum += hits / i
+    denominator = min(len(relevant), k)
+    return precision_sum / denominator if denominator else 0.0
+
+
+def reciprocal_rank_at_k(
+    recommended: Sequence[int], relevant: Collection[int], k: int
+) -> float:
+    """1/rank of the first hit within the top-k; 0 when there is none."""
+    top = _validate(recommended, k)
+    for i, item in enumerate(top, start=1):
+        if item in relevant:
+            return 1.0 / i
+    return 0.0
+
+
+METRICS = {
+    "precision": precision_at_k,
+    "recall": recall_at_k,
+    "f1": f1_at_k,
+    "ndcg": ndcg_at_k,
+    "hit_rate": hit_rate_at_k,
+    "map": average_precision_at_k,
+    "mrr": reciprocal_rank_at_k,
+}
+"""Registry mapping metric names to their ``(recommended, relevant, k)`` fn."""

@@ -1,0 +1,114 @@
+"""Hyper-parameter selection for the topic counts (and friends).
+
+Section 3.2.3: "K1 and K2 are the desired numbers of user-oriented
+topics and time-oriented topics respectively, which need to be tuned
+empirically." This module packages that tuning: a grid search over
+``(K1, K2)`` scored on a holdout split by either ranking NDCG@k or
+held-out perplexity, returning every cell plus the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.ttcam import TTCAM
+from ..data.cuboid import RatingCuboid
+from ..data.splits import holdout_split
+from .likelihood import heldout_perplexity
+from .protocol import build_queries, evaluate_ranking
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One evaluated configuration of the topic-count grid."""
+
+    k1: int
+    k2: int
+    score: float
+    metric: str
+
+    def __str__(self) -> str:
+        return f"K1={self.k1:3d} K2={self.k2:3d}  {self.metric}={self.score:.4f}"
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated cells plus the selected configuration."""
+
+    cells: list[GridCell]
+    best: GridCell
+    higher_is_better: bool
+
+    def format_table(self) -> str:
+        """Render the grid as text, best cell marked."""
+        lines = [f"topic-count grid ({self.best.metric}):"]
+        for cell in self.cells:
+            marker = "  <-- best" if cell == self.best else ""
+            lines.append(f"  {cell}{marker}")
+        return "\n".join(lines)
+
+
+def select_topic_counts(
+    cuboid: RatingCuboid,
+    k1_grid: Sequence[int],
+    k2_grid: Sequence[int],
+    metric: str = "ndcg",
+    ndcg_k: int = 5,
+    max_iter: int = 60,
+    max_queries: int | None = 300,
+    seed: int = 0,
+    model_factory: Callable[[int, int], object] | None = None,
+) -> GridSearchResult:
+    """Grid-search ``(K1, K2)`` on a fresh holdout split.
+
+    Parameters
+    ----------
+    cuboid:
+        The full dataset; an 80/20 split is made internally.
+    k1_grid, k2_grid:
+        Candidate topic counts.
+    metric:
+        ``"ndcg"`` (higher is better, evaluated at ``ndcg_k``) or
+        ``"perplexity"`` (lower is better).
+    model_factory:
+        Optional ``(k1, k2) -> model`` override; defaults to plain TTCAM
+        with the given ``max_iter``/``seed``.
+    """
+    if metric not in ("ndcg", "perplexity"):
+        raise ValueError(f"metric must be 'ndcg' or 'perplexity', got {metric!r}")
+    if not k1_grid or not k2_grid:
+        raise ValueError("k1_grid and k2_grid must be non-empty")
+
+    split = holdout_split(cuboid, seed=seed)
+    queries = (
+        build_queries(split, max_queries=max_queries, seed=seed)
+        if metric == "ndcg"
+        else None
+    )
+    factory = model_factory or (
+        lambda k1, k2: TTCAM(k1, k2, max_iter=max_iter, seed=seed)
+    )
+
+    higher_is_better = metric == "ndcg"
+    cells: list[GridCell] = []
+    for k1 in k1_grid:
+        for k2 in k2_grid:
+            model = factory(int(k1), int(k2))
+            model.fit(split.train)
+            if metric == "ndcg":
+                report = evaluate_ranking(
+                    model, queries, ks=(ndcg_k,), metrics=("ndcg",)
+                )
+                score = report.at("ndcg", ndcg_k)
+            else:
+                score = heldout_perplexity(model, split.test)
+            cells.append(
+                GridCell(k1=int(k1), k2=int(k2), score=float(score), metric=metric)
+            )
+
+    chooser = max if higher_is_better else min
+    best = chooser(cells, key=lambda cell: cell.score)
+    return GridSearchResult(cells=cells, best=best, higher_is_better=higher_is_better)

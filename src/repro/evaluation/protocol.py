@@ -1,0 +1,155 @@
+"""The temporal top-k evaluation protocol (Section 5.3.1).
+
+Given a train/test :class:`~repro.data.splits.Split`, every ``(u, t)``
+pair with held-out items becomes one temporal query. A model answers the
+query with its top-k ranking over the catalogue (minus the user's known
+training items), and a recommendation is a "hit" iff it appears in
+``S_t^test(u)``. Metrics are averaged over queries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..data.splits import Split
+from ..recommend.ranking import rank_order
+from .metrics import METRICS
+
+
+class RankingModel(Protocol):
+    """Anything that scores the whole catalogue for a temporal query."""
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Dense ranking scores, one per item."""
+        ...
+
+
+@dataclass(frozen=True)
+class TemporalQuery:
+    """One evaluation query: a user at a time interval.
+
+    ``relevant`` holds the held-out items of ``(user, interval)``;
+    ``exclude`` holds the user's training items that must not be
+    recommended (minus any that are also relevant here).
+    """
+
+    user: int
+    interval: int
+    relevant: frozenset[int]
+    exclude: tuple[int, ...]
+
+
+@dataclass
+class EvaluationReport:
+    """Metric averages over all issued queries.
+
+    ``values[metric][k]`` is the mean of that metric at cutoff ``k``.
+    """
+
+    values: dict[str, dict[int, float]]
+    num_queries: int
+    ks: tuple[int, ...]
+
+    def at(self, metric: str, k: int) -> float:
+        """Convenience accessor, e.g. ``report.at("ndcg", 5)``."""
+        return self.values[metric][k]
+
+    def series(self, metric: str) -> list[float]:
+        """Metric values across all cutoffs, in ``ks`` order."""
+        return [self.values[metric][k] for k in self.ks]
+
+
+def build_queries(
+    split: Split,
+    max_queries: int | None = None,
+    seed: int = 0,
+    min_relevant: int = 1,
+) -> list[TemporalQuery]:
+    """Materialise the temporal queries implied by a split.
+
+    Parameters
+    ----------
+    split:
+        Train/test partition produced by the splitters.
+    max_queries:
+        Optional cap; queries are sub-sampled uniformly when exceeded.
+    seed:
+        RNG seed for the sub-sampling.
+    min_relevant:
+        Skip queries with fewer held-out items than this.
+    """
+    test = split.test
+    # Group test items by (u, t).
+    grouped: dict[tuple[int, int], set[int]] = defaultdict(set)
+    for u, t, v in zip(test.users, test.intervals, test.items):
+        grouped[(int(u), int(t))].add(int(v))
+
+    # A user's training items are never recommended back (unless the same
+    # item is genuinely relevant for this query's interval).
+    train_items: dict[int, set[int]] = defaultdict(set)
+    for u, v in zip(split.train.users, split.train.items):
+        train_items[int(u)].add(int(v))
+
+    queries = []
+    for (user, interval), relevant in sorted(grouped.items()):
+        if len(relevant) < min_relevant:
+            continue
+        exclude = tuple(sorted(train_items.get(user, set()) - relevant))
+        queries.append(
+            TemporalQuery(
+                user=user,
+                interval=interval,
+                relevant=frozenset(relevant),
+                exclude=exclude,
+            )
+        )
+    if max_queries is not None and len(queries) > max_queries:
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(queries), size=max_queries, replace=False)
+        queries = [queries[i] for i in sorted(chosen)]
+    return queries
+
+
+def evaluate_ranking(
+    model: RankingModel,
+    queries: Sequence[TemporalQuery],
+    ks: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    metrics: Sequence[str] = ("precision", "ndcg", "f1"),
+) -> EvaluationReport:
+    """Score a fitted model on the given temporal queries.
+
+    The model's full score vector is ranked deterministically (ties to
+    the smaller item id) with the user's training items excluded, then
+    every requested metric is computed at every cutoff and averaged over
+    queries.
+    """
+    unknown = [m for m in metrics if m not in METRICS]
+    if unknown:
+        raise ValueError(f"unknown metrics {unknown}; available: {sorted(METRICS)}")
+    if not queries:
+        raise ValueError("no queries to evaluate")
+    ks = tuple(sorted(set(int(k) for k in ks)))
+    max_k = max(ks)
+
+    totals: dict[str, dict[int, float]] = {
+        metric: {k: 0.0 for k in ks} for metric in metrics
+    }
+    for query in queries:
+        scores = model.score_items(query.user, query.interval)
+        exclude = np.asarray(query.exclude, dtype=np.int64)
+        top = rank_order(scores, max_k, exclude=exclude).tolist()
+        for metric in metrics:
+            fn = METRICS[metric]
+            for k in ks:
+                totals[metric][k] += fn(top, query.relevant, k)
+
+    n = len(queries)
+    values = {
+        metric: {k: total / n for k, total in per_k.items()}
+        for metric, per_k in totals.items()
+    }
+    return EvaluationReport(values=values, num_queries=n, ks=ks)

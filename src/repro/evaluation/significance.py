@@ -1,0 +1,142 @@
+"""Statistical significance of model comparisons.
+
+Accuracy differences between recommenders are noisy at realistic query
+counts, so "A beats B" claims deserve error bars. This module provides a
+**paired bootstrap test** over per-query metric values — the standard
+IR-evaluation device: both models answer the *same* temporal queries,
+per-query metric deltas are resampled with replacement, and the fraction
+of resamples where the mean delta flips sign estimates the p-value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .metrics import METRICS
+from .protocol import RankingModel, TemporalQuery
+from ..recommend.ranking import rank_order
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired bootstrap comparison of two models.
+
+    ``delta`` is mean(metric(A) − metric(B)) over the shared queries; the
+    confidence interval and p-value come from ``num_resamples`` bootstrap
+    replicates.
+    """
+
+    metric: str
+    k: int
+    delta: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+    num_queries: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the two-sided p-value is below 0.05."""
+        return self.p_value < 0.05
+
+    def __str__(self) -> str:
+        stars = " *" if self.significant else ""
+        return (
+            f"Δ{self.metric}@{self.k} = {self.delta:+.4f} "
+            f"[{self.ci_low:+.4f}, {self.ci_high:+.4f}], "
+            f"p = {self.p_value:.3f}{stars}"
+        )
+
+
+def per_query_metric(
+    model: RankingModel,
+    queries: Sequence[TemporalQuery],
+    metric: str,
+    k: int,
+) -> np.ndarray:
+    """One metric value per query for one model."""
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; available: {sorted(METRICS)}")
+    fn = METRICS[metric]
+    values = np.empty(len(queries))
+    for i, query in enumerate(queries):
+        scores = model.score_items(query.user, query.interval)
+        top = rank_order(
+            scores, k, exclude=np.asarray(query.exclude, dtype=np.int64)
+        ).tolist()
+        values[i] = fn(top, query.relevant, k)
+    return values
+
+
+def paired_bootstrap(
+    model_a: RankingModel,
+    model_b: RankingModel,
+    queries: Sequence[TemporalQuery],
+    metric: str = "ndcg",
+    k: int = 5,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired bootstrap test of ``model_a`` vs ``model_b``.
+
+    Both models answer the same queries; per-query deltas are resampled
+    ``num_resamples`` times. Returns the observed mean delta, its 95%
+    bootstrap interval, and the two-sided sign-flip p-value.
+    """
+    if not queries:
+        raise ValueError("no queries to compare on")
+    if num_resamples <= 0:
+        raise ValueError(f"num_resamples must be positive, got {num_resamples}")
+    a = per_query_metric(model_a, queries, metric, k)
+    b = per_query_metric(model_b, queries, metric, k)
+    deltas = a - b
+    observed = float(deltas.mean())
+
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(deltas), size=(num_resamples, len(deltas)))
+    resampled = deltas[indices].mean(axis=1)
+    ci_low, ci_high = np.percentile(resampled, [2.5, 97.5])
+    # Two-sided sign test: how often does the resampled mean cross zero?
+    if observed >= 0:
+        p = 2 * float((resampled <= 0).mean())
+    else:
+        p = 2 * float((resampled >= 0).mean())
+    return PairedComparison(
+        metric=metric,
+        k=k,
+        delta=observed,
+        ci_low=float(ci_low),
+        ci_high=float(ci_high),
+        p_value=min(p, 1.0),
+        num_queries=len(queries),
+    )
+
+
+def compare_many(
+    models: dict[str, RankingModel],
+    baseline: str,
+    queries: Sequence[TemporalQuery],
+    metric: str = "ndcg",
+    k: int = 5,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> dict[str, PairedComparison]:
+    """Compare every model against one named baseline.
+
+    Returns ``{model name: PairedComparison vs baseline}`` for all models
+    other than the baseline itself.
+    """
+    if baseline not in models:
+        raise KeyError(f"baseline {baseline!r} not among models {sorted(models)}")
+    reference = models[baseline]
+    return {
+        name: paired_bootstrap(
+            model, reference, queries, metric=metric, k=k,
+            num_resamples=num_resamples, seed=seed,
+        )
+        for name, model in models.items()
+        if name != baseline
+    }

@@ -1,0 +1,25 @@
+"""Extensions implementing the paper's future-work directions:
+social-network influence, background-noise filtering and online
+folding-in."""
+
+from .background import BackgroundTTCAM
+from .drift import DriftTTCAM, drift_interests, generate_drifting
+from .online import OnlineTTCAM
+from .social import (
+    SocialTTCAM,
+    add_social_ratings,
+    build_homophilous_graph,
+    social_interest,
+)
+
+__all__ = [
+    "BackgroundTTCAM",
+    "DriftTTCAM",
+    "drift_interests",
+    "generate_drifting",
+    "OnlineTTCAM",
+    "SocialTTCAM",
+    "add_social_ratings",
+    "build_homophilous_graph",
+    "social_interest",
+]

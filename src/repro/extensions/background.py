@@ -1,0 +1,158 @@
+"""Background-smoothed TCAM (paper future work, Section 6, item 3).
+
+"Since the user generated data in social media is very noisy, it would be
+interesting to incorporate a background distribution to filter the noise"
+— this module does exactly that: a three-way mixture where each rating is
+explained by a fixed background item distribution ``θ_B`` (probability
+``λ_B``), the user's interest, or the temporal context:
+
+``P(v|u,t) = λ_B·P(v|θ_B) + (1 − λ_B)·[λ_u·P(v|θ_u) + (1 − λ_u)·P(v|θ′_t)]``
+
+Routing uniform noise mass into the background frees the user- and
+time-oriented topics from modelling it, sharpening both — the same effect
+the item-weighting scheme achieves by re-weighting, achieved here by
+model structure instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
+from ..core.params import TTCAMParameters
+from ..data.cuboid import RatingCuboid
+
+
+class BackgroundTTCAM:
+    """TTCAM with an additional fixed background noise component.
+
+    Parameters
+    ----------
+    num_user_topics, num_time_topics, max_iter, tol, smoothing, seed:
+        As in :class:`~repro.core.ttcam.TTCAM`.
+    background_weight:
+        ``λ_B``, the fixed share of behavior attributed to background
+        noise. The background distribution itself is the empirical item
+        frequency, held fixed during EM.
+    """
+
+    def __init__(
+        self,
+        num_user_topics: int = 60,
+        num_time_topics: int = 40,
+        background_weight: float = 0.1,
+        max_iter: int = 50,
+        tol: float = 1e-5,
+        smoothing: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= background_weight < 1:
+            raise ValueError(
+                f"background_weight must be in [0, 1), got {background_weight}"
+            )
+        if num_user_topics <= 0 or num_time_topics <= 0:
+            raise ValueError("topic counts must be positive")
+        self.num_user_topics = num_user_topics
+        self.num_time_topics = num_time_topics
+        self.background_weight = background_weight
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.seed = seed
+        self.params_: TTCAMParameters | None = None
+        self.background_: np.ndarray | None = None
+        self.trace_: EMTrace | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name used in evaluation tables."""
+        return "BG-TTCAM"
+
+    def fit(self, cuboid: RatingCuboid) -> "BackgroundTTCAM":
+        """Fit by EM with three-way responsibilities."""
+        if cuboid.nnz == 0:
+            raise ValueError("cannot fit on an empty cuboid")
+        rng = np.random.default_rng(self.seed)
+        n, t_dim, v_dim = cuboid.shape
+        k1, k2 = self.num_user_topics, self.num_time_topics
+        u, t, v, c = cuboid.users, cuboid.intervals, cuboid.items, cuboid.scores
+        lam_b = self.background_weight
+
+        popularity = cuboid.item_popularity()
+        background = popularity / popularity.sum()
+
+        theta = random_stochastic(rng, n, k1)
+        phi = random_stochastic(rng, k1, v_dim)
+        theta_time = random_stochastic(rng, t_dim, k2)
+        phi_time = random_stochastic(rng, k2, v_dim)
+        lam = np.full(n, 0.5)
+
+        trace = EMTrace()
+        for _ in range(self.max_iter):
+            # ---- E-step: three-way split background / interest / context.
+            joint_z = theta[u] * phi[:, v].T
+            p_interest = joint_z.sum(axis=1)
+            joint_x = theta_time[t] * phi_time[:, v].T
+            p_context = joint_x.sum(axis=1)
+            lam_r = lam[u]
+            part_background = lam_b * background[v]
+            part_interest = (1 - lam_b) * lam_r * p_interest
+            part_context = (1 - lam_b) * (1 - lam_r) * p_context
+            denom = part_background + part_interest + part_context + EPS
+            r_interest = part_interest / denom
+            r_context = part_context / denom
+            resp_z = joint_z * (r_interest / (p_interest + EPS))[:, None]
+            resp_x = joint_x * (r_context / (p_context + EPS))[:, None]
+
+            log_likelihood = float(np.dot(c, np.log(denom)))
+            if trace.record(log_likelihood, self.tol):
+                break
+
+            # ---- M-step.
+            c_resp_z = c[:, None] * resp_z
+            c_resp_x = c[:, None] * resp_x
+            theta = normalize_rows(scatter_sum(u, c_resp_z, n), self.smoothing)
+            phi = normalize_rows(scatter_sum(v, c_resp_z, v_dim).T, self.smoothing)
+            theta_time = normalize_rows(scatter_sum(t, c_resp_x, t_dim), self.smoothing)
+            phi_time = normalize_rows(scatter_sum(v, c_resp_x, v_dim).T, self.smoothing)
+            # λ_u is conditional on "not background": normalise by the
+            # user's total non-background responsibility mass.
+            interest_mass = scatter_sum_1d(u, c * r_interest, n)
+            nonbg_mass = scatter_sum_1d(u, c * (r_interest + r_context), n)
+            lam = np.clip(
+                interest_mass / np.where(nonbg_mass <= 0, 1.0, nonbg_mass), 0.0, 1.0
+            )
+
+        self.params_ = TTCAMParameters(
+            theta=theta,
+            phi=phi,
+            theta_time=theta_time,
+            phi_time=phi_time,
+            lambda_u=lam,
+        )
+        self.background_ = background
+        self.trace_ = trace
+        return self
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Full three-way mixture likelihood for every item."""
+        if self.params_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        lam_b = self.background_weight
+        return lam_b * self.background_ + (1 - lam_b) * self.params_.score_items(
+            user, interval
+        )
+
+    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+        """Expanded query with the background as one extra topic row."""
+        if self.params_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        weights, matrix = self.params_.query_space(user, interval)
+        lam_b = self.background_weight
+        full_weights = np.concatenate([(1 - lam_b) * weights, [lam_b]])
+        full_matrix = np.vstack([matrix, self.background_[None, :]])
+        return full_weights, full_matrix
+
+    def matrix_cache_key(self, interval: int) -> str:
+        """The stacked matrix (topics + background row) is static."""
+        return "static"

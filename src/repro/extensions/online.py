@@ -1,0 +1,179 @@
+"""Online folding-in for fitted TTCAM models.
+
+Production recommenders cannot re-run full EM for every new user or every
+new time interval. This extension adds the standard folding-in trick:
+hold the shared topic–item distributions ``φ`` and ``φ′`` fixed and run a
+few partial-EM iterations to estimate only the *local* parameters —
+
+* :meth:`OnlineTTCAM.fold_in_user` — a new user's interest ``θ_u`` and
+  mixing weight ``λ_u`` from that user's ratings;
+* :meth:`OnlineTTCAM.fold_in_interval` — a new interval's temporal
+  context ``θ′_t`` from the ratings observed during it.
+
+This also addresses the paper's future-work note on time-evolving user
+interests: re-folding a user on their recent window tracks drift without
+retraining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.em import EPS
+from ..core.params import TTCAMParameters
+from ..core.ttcam import TTCAM
+
+
+class OnlineTTCAM:
+    """Incremental estimator around a fitted TTCAM model.
+
+    Parameters
+    ----------
+    base:
+        A fitted :class:`~repro.core.ttcam.TTCAM` (or its parameters).
+    fold_iterations:
+        Partial-EM iterations per folding-in call; a handful suffices
+        because only a low-dimensional local parameter is estimated.
+    """
+
+    def __init__(self, base: TTCAM | TTCAMParameters, fold_iterations: int = 15) -> None:
+        if fold_iterations <= 0:
+            raise ValueError(f"fold_iterations must be positive, got {fold_iterations}")
+        params = base.params_ if isinstance(base, TTCAM) else base
+        if params is None:
+            raise ValueError("base model is not fitted")
+        self.params = params
+        self.fold_iterations = fold_iterations
+
+    def fold_in_user(
+        self,
+        items: np.ndarray,
+        intervals: np.ndarray,
+        scores: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, float]:
+        """Estimate ``(θ_u, λ_u)`` for an unseen user from their ratings.
+
+        ``items``/``intervals`` are aligned arrays of the new user's rating
+        behaviors; ``scores`` defaults to implicit 1s. Global topics and
+        all interval contexts stay fixed.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        intervals = np.asarray(intervals, dtype=np.int64)
+        if items.size == 0:
+            raise ValueError("the new user has no ratings to fold in")
+        if items.shape != intervals.shape:
+            raise ValueError("items and intervals must be aligned")
+        if items.max() >= self.params.num_items or items.min() < 0:
+            raise ValueError("item ids out of range of the fitted catalogue")
+        if intervals.max() >= self.params.num_intervals or intervals.min() < 0:
+            raise ValueError("interval ids out of range of the fitted model")
+        c = (
+            np.ones(items.size)
+            if scores is None
+            else np.asarray(scores, dtype=np.float64)
+        )
+
+        phi_v = self.params.phi[:, items].T  # (R, K1), fixed
+        p_context = np.einsum(
+            "rk,kr->r", self.params.theta_time[intervals], self.params.phi_time[:, items]
+        )  # fixed per rating
+
+        k1 = self.params.num_user_topics
+        theta_u = np.full(k1, 1.0 / k1)
+        lam = 0.5
+        for _ in range(self.fold_iterations):
+            joint_z = theta_u[None, :] * phi_v
+            p_interest = joint_z.sum(axis=1)
+            denom = lam * p_interest + (1 - lam) * p_context + EPS
+            ps1 = lam * p_interest / denom
+            resp_z = joint_z * (ps1 / (p_interest + EPS))[:, None]
+            weighted = (c[:, None] * resp_z).sum(axis=0)
+            total = weighted.sum()
+            if total > 0:
+                theta_u = weighted / total
+            lam = float(np.clip(np.dot(c, ps1) / c.sum(), 0.0, 1.0))
+        return theta_u, lam
+
+    def fold_in_interval(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        scores: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Estimate ``θ′_t`` for a brand-new interval from its ratings.
+
+        ``users``/``items`` are the rating behaviors observed during the
+        new interval; user parameters and all topic–item distributions
+        stay fixed. Returns the new interval's ``(K2,)`` context.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            raise ValueError("the new interval has no ratings to fold in")
+        if users.shape != items.shape:
+            raise ValueError("users and items must be aligned")
+        if users.max() >= self.params.num_users or users.min() < 0:
+            raise ValueError("user ids out of range of the fitted model")
+        if items.max() >= self.params.num_items or items.min() < 0:
+            raise ValueError("item ids out of range of the fitted catalogue")
+        c = (
+            np.ones(items.size)
+            if scores is None
+            else np.asarray(scores, dtype=np.float64)
+        )
+
+        p_interest = np.einsum(
+            "rk,kr->r", self.params.theta[users], self.params.phi[:, items]
+        )  # fixed
+        phi_time_v = self.params.phi_time[:, items].T  # (R, K2), fixed
+        lam_r = self.params.lambda_u[users]
+
+        k2 = self.params.num_time_topics
+        theta_t = np.full(k2, 1.0 / k2)
+        for _ in range(self.fold_iterations):
+            joint_x = theta_t[None, :] * phi_time_v
+            p_context = joint_x.sum(axis=1)
+            denom = lam_r * p_interest + (1 - lam_r) * p_context + EPS
+            ps0 = (1 - lam_r) * p_context / denom
+            resp_x = joint_x * (ps0 / (p_context + EPS))[:, None]
+            weighted = (c[:, None] * resp_x).sum(axis=0)
+            total = weighted.sum()
+            if total > 0:
+                theta_t = weighted / total
+        return theta_t
+
+    def extend_with_interval(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        scores: np.ndarray | None = None,
+    ) -> TTCAMParameters:
+        """Return new parameters with one extra interval appended.
+
+        The new interval's context is folded in from its ratings; all
+        other parameters are shared with the base model.
+        """
+        theta_t = self.fold_in_interval(users, items, scores)
+        extended = np.vstack([self.params.theta_time, theta_t[None, :]])
+        new_params = TTCAMParameters(
+            theta=self.params.theta,
+            phi=self.params.phi,
+            theta_time=extended,
+            phi_time=self.params.phi_time,
+            lambda_u=self.params.lambda_u,
+        )
+        self.params = new_params
+        return new_params
+
+    def score_new_user(
+        self,
+        items: np.ndarray,
+        intervals: np.ndarray,
+        query_interval: int,
+        scores: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One-shot cold-start scoring: fold a user in, then rank items."""
+        theta_u, lam = self.fold_in_user(items, intervals, scores)
+        interest = theta_u @ self.params.phi
+        context = self.params.theta_time[query_interval] @ self.params.phi_time
+        return lam * interest + (1 - lam) * context

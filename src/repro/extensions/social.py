@@ -1,0 +1,308 @@
+"""Social-influence extension (paper future work, Section 6, item 1).
+
+"First, we would like to explore enhancements to our models by
+exploiting the effect of user social network on user rating behaviors,
+e.g., to study how a user's friends affect her/his rating behaviors."
+
+Three pieces, mirroring the social mixtures the paper cites (Xu et al.,
+SIGIR'12; Ye et al., SIGIR'12) but with TCAM's distinct-topic-set
+design:
+
+* :func:`build_homophilous_graph` — a social-network substrate: a
+  small-world graph rewired so connected users have similar interests
+  (homophily), built on :mod:`networkx`.
+* :func:`add_social_ratings` — augments a synthetic dataset with
+  imitation behaviors: a user re-rates items drawn from friends'
+  interest distributions.
+* :class:`SocialTTCAM` — a three-way mixture
+  ``P(v|u,t) = λ_int·P(v|θ_u) + λ_soc·P(v|θ̄_{N(u)}) + λ_ctx·P(v|θ′_t)``
+  where ``θ̄_{N(u)}`` is the (fixed-per-iteration) average interest of
+  ``u``'s friends over the same user-oriented topics. Per-user influence
+  weights are learned by EM like TCAM's λ.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..core.em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
+from ..data.cuboid import RatingCuboid
+from ..data.synthetic import GroundTruth, sample_rows
+
+
+def build_homophilous_graph(
+    theta: np.ndarray,
+    avg_degree: int = 8,
+    homophily: float = 0.7,
+    seed: int = 0,
+) -> nx.Graph:
+    """Social graph whose edges prefer users with similar interests.
+
+    Starts from a Watts–Strogatz small world over the users, then rewires
+    each edge, with probability ``homophily``, to connect its source to
+    one of the most interest-similar users instead (cosine over ``theta``
+    rows). The result keeps small-world degree statistics while making
+    "friends like what I like" true in expectation — the property the
+    social model exploits.
+    """
+    if not 0 <= homophily <= 1:
+        raise ValueError(f"homophily must be in [0, 1], got {homophily}")
+    num_users = theta.shape[0]
+    if avg_degree < 2 or avg_degree >= num_users:
+        raise ValueError("avg_degree must be in [2, num_users)")
+    rng = np.random.default_rng(seed)
+    k = avg_degree + (avg_degree % 2)  # watts_strogatz needs an even k
+    graph = nx.watts_strogatz_graph(num_users, k, p=0.3, seed=int(rng.integers(2**31)))
+
+    normalised = theta / (np.linalg.norm(theta, axis=1, keepdims=True) + 1e-12)
+    similarity = normalised @ normalised.T
+    np.fill_diagonal(similarity, -np.inf)
+
+    edges = list(graph.edges())
+    for a, b in edges:
+        if rng.random() < homophily:
+            graph.remove_edge(a, b)
+            # Reconnect "a" to one of its 10 most similar non-neighbours.
+            candidates = np.argsort(-similarity[a])[:10]
+            choices = [c for c in candidates if c != a and not graph.has_edge(a, int(c))]
+            if choices:
+                graph.add_edge(a, int(rng.choice(choices)))
+            else:
+                graph.add_edge(a, b)
+    return graph
+
+
+def adjacency_lists(graph: nx.Graph, num_users: int) -> list[np.ndarray]:
+    """Friend-id arrays per user (empty array for isolated users)."""
+    return [
+        np.fromiter((int(v) for v in graph.neighbors(u)), dtype=np.int64)
+        if graph.has_node(u)
+        else np.empty(0, dtype=np.int64)
+        for u in range(num_users)
+    ]
+
+
+def social_interest(theta: np.ndarray, friends: list[np.ndarray]) -> np.ndarray:
+    """``θ̄_{N(u)}``: average interest of each user's friends.
+
+    Users without friends fall back to their own interest (so the social
+    component degenerates gracefully instead of going uniform).
+    """
+    social = np.empty_like(theta)
+    for u, neighbours in enumerate(friends):
+        social[u] = theta[neighbours].mean(axis=0) if neighbours.size else theta[u]
+    return social
+
+
+def add_social_ratings(
+    cuboid: RatingCuboid,
+    truth: GroundTruth,
+    graph: nx.Graph,
+    imitation_rate: float = 0.3,
+    seed: int = 0,
+) -> RatingCuboid:
+    """Augment a dataset with friend-imitation behaviors.
+
+    For each user, ``imitation_rate`` × their rating volume additional
+    ratings are generated from the averaged interest distribution of
+    their friends (re-using the generator's ground-truth topics), at
+    random intervals. Returns a new coalesced cuboid.
+    """
+    if imitation_rate < 0:
+        raise ValueError(f"imitation_rate must be >= 0, got {imitation_rate}")
+    if imitation_rate == 0:
+        return cuboid
+    rng = np.random.default_rng(seed)
+    friends = adjacency_lists(graph, cuboid.num_users)
+    social_theta = social_interest(truth.theta, friends)
+
+    volumes = np.maximum(
+        rng.poisson(imitation_rate * cuboid.user_activity().astype(float)), 0
+    )
+    users = np.repeat(np.arange(cuboid.num_users, dtype=np.int64), volumes)
+    if users.size == 0:
+        return cuboid
+    z = sample_rows(social_theta, users, rng)
+    items = sample_rows(truth.phi, z, rng)
+    intervals = rng.integers(0, cuboid.num_intervals, size=users.size)
+
+    return RatingCuboid(
+        users=np.concatenate([cuboid.users, users]),
+        intervals=np.concatenate([cuboid.intervals, intervals]),
+        items=np.concatenate([cuboid.items, items]),
+        scores=np.concatenate([cuboid.scores, np.ones(users.size)]),
+        num_users=cuboid.num_users,
+        num_intervals=cuboid.num_intervals,
+        num_items=cuboid.num_items,
+        user_index=cuboid.user_index,
+        item_index=cuboid.item_index,
+    ).coalesce()
+
+
+class SocialTTCAM:
+    """TCAM with a third, social, influence component.
+
+    Parameters
+    ----------
+    graph:
+        The social network over the (dense) user ids.
+    num_user_topics, num_time_topics, max_iter, tol, smoothing, seed:
+        As in :class:`~repro.core.ttcam.TTCAM`.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    theta_, phi_, theta_time_, phi_time_:
+        As in TTCAM.
+    influence_:
+        ``(N, 3)`` per-user influence probabilities over
+        ``(interest, social, context)``; rows sum to one.
+    """
+
+    COMPONENTS = ("interest", "social", "context")
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        num_user_topics: int = 60,
+        num_time_topics: int = 40,
+        max_iter: int = 50,
+        tol: float = 1e-5,
+        smoothing: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if num_user_topics <= 0 or num_time_topics <= 0:
+            raise ValueError("topic counts must be positive")
+        self.graph = graph
+        self.num_user_topics = num_user_topics
+        self.num_time_topics = num_time_topics
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.seed = seed
+        self.theta_: np.ndarray | None = None
+        self.phi_: np.ndarray | None = None
+        self.theta_time_: np.ndarray | None = None
+        self.phi_time_: np.ndarray | None = None
+        self.influence_: np.ndarray | None = None
+        self.trace_: EMTrace | None = None
+        self._social_theta: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name used in evaluation tables."""
+        return "Social-TTCAM"
+
+    def fit(self, cuboid: RatingCuboid) -> "SocialTTCAM":
+        """Fit the three-way mixture by EM.
+
+        The social component's topic mixture ``θ̄_{N(u)}`` is recomputed
+        from the current ``θ`` at the start of every iteration (a
+        mean-field treatment of the neighbourhood coupling).
+        """
+        if cuboid.nnz == 0:
+            raise ValueError("cannot fit on an empty cuboid")
+        rng = np.random.default_rng(self.seed)
+        n, t_dim, v_dim = cuboid.shape
+        k1, k2 = self.num_user_topics, self.num_time_topics
+        u, t, v, c = cuboid.users, cuboid.intervals, cuboid.items, cuboid.scores
+        friends = adjacency_lists(self.graph, n)
+
+        theta = random_stochastic(rng, n, k1)
+        phi = random_stochastic(rng, k1, v_dim)
+        theta_time = random_stochastic(rng, t_dim, k2)
+        phi_time = random_stochastic(rng, k2, v_dim)
+        influence = np.full((n, 3), 1.0 / 3.0)
+
+        trace = EMTrace()
+        user_mass = scatter_sum_1d(u, c, n)
+        safe_user_mass = np.where(user_mass <= 0, 1.0, user_mass)
+
+        for _ in range(self.max_iter):
+            social_theta = social_interest(theta, friends)
+
+            phi_v = phi[:, v].T  # (R, K1)
+            joint_interest = theta[u] * phi_v
+            p_interest = joint_interest.sum(axis=1)
+            joint_social = social_theta[u] * phi_v
+            p_social = joint_social.sum(axis=1)
+            joint_context = theta_time[t] * phi_time[:, v].T
+            p_context = joint_context.sum(axis=1)
+
+            w = influence[u]  # (R, 3)
+            parts = np.stack(
+                [w[:, 0] * p_interest, w[:, 1] * p_social, w[:, 2] * p_context],
+                axis=1,
+            )
+            denom = parts.sum(axis=1) + EPS
+            resp_branch = parts / denom[:, None]  # (R, 3)
+
+            log_likelihood = float(np.dot(c, np.log(denom)))
+            if trace.record(log_likelihood, self.tol):
+                break
+
+            resp_z = joint_interest * (
+                resp_branch[:, 0] / (p_interest + EPS)
+            )[:, None]
+            resp_z_social = joint_social * (
+                resp_branch[:, 1] / (p_social + EPS)
+            )[:, None]
+            resp_x = joint_context * (resp_branch[:, 2] / (p_context + EPS))[:, None]
+
+            # M-step: social responsibilities update the *shared*
+            # user-oriented item distributions φ (a friend's influence is
+            # expressed through the same topics) but not θ_u directly.
+            c_z = c[:, None] * resp_z
+            c_z_social = c[:, None] * resp_z_social
+            c_x = c[:, None] * resp_x
+            theta = normalize_rows(scatter_sum(u, c_z, n), self.smoothing)
+            phi = normalize_rows(
+                scatter_sum(v, c_z + c_z_social, v_dim).T, self.smoothing
+            )
+            theta_time = normalize_rows(scatter_sum(t, c_x, t_dim), self.smoothing)
+            phi_time = normalize_rows(scatter_sum(v, c_x, v_dim).T, self.smoothing)
+            branch_mass = np.stack(
+                [
+                    scatter_sum_1d(u, c * resp_branch[:, i], n)
+                    for i in range(3)
+                ],
+                axis=1,
+            )
+            influence = branch_mass / safe_user_mass[:, None]
+            influence = np.clip(influence, 0.0, 1.0)
+            influence /= influence.sum(axis=1, keepdims=True) + EPS
+
+        self.theta_ = theta
+        self.phi_ = phi
+        self.theta_time_ = theta_time
+        self.phi_time_ = phi_time
+        self.influence_ = influence
+        self.trace_ = trace
+        self._social_theta = social_interest(theta, friends)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.phi_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def score_items(self, user: int, interval: int) -> np.ndarray:
+        """Three-way mixture likelihood for every item."""
+        self._require_fitted()
+        w = self.influence_[user]
+        interest = self.theta_[user] @ self.phi_
+        social = self._social_theta[user] @ self.phi_
+        context = self.theta_time_[interval] @ self.phi_time_
+        return w[0] * interest + w[1] * social + w[2] * context
+
+    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+        """Expanded query: interest+social share the user-oriented topics."""
+        self._require_fitted()
+        w = self.influence_[user]
+        user_side = w[0] * self.theta_[user] + w[1] * self._social_theta[user]
+        weights = np.concatenate([user_side, w[2] * self.theta_time_[interval]])
+        matrix = np.vstack([self.phi_, self.phi_time_])
+        return weights, matrix
+
+    def matrix_cache_key(self, interval: int) -> str:
+        """The stacked topic–item matrix is query-independent."""
+        return "static"

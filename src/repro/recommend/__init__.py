@@ -1,0 +1,20 @@
+"""Temporal top-k recommendation: query expansion, brute-force scan and
+Threshold-Algorithm retrieval (Section 4 of the paper)."""
+
+from .bruteforce import bruteforce_topk
+from .ranking import QuerySpace, Recommendation, TopKResult, rank_order
+from .recommender import TemporalRecommender
+from .threshold import SortedTopicLists, batched_ta_topk, classic_ta_topk, ta_topk
+
+__all__ = [
+    "bruteforce_topk",
+    "QuerySpace",
+    "Recommendation",
+    "TopKResult",
+    "rank_order",
+    "TemporalRecommender",
+    "SortedTopicLists",
+    "batched_ta_topk",
+    "classic_ta_topk",
+    "ta_topk",
+]

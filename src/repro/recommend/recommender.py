@@ -1,0 +1,126 @@
+"""Temporal top-k recommendation facade (Section 4).
+
+:class:`TemporalRecommender` wraps any fitted model that exposes
+``query_space(user, interval)`` (both TCAM variants and the UT/TT
+baselines via adapters) and serves temporal queries ``q = (u, t)``
+through either retrieval engine:
+
+* ``method="ta"`` — the paper's Threshold-Algorithm engine with
+  pre-computed per-topic sorted lists (TCAM-TA);
+* ``method="batched-ta"`` — same threshold semantics with
+  block-vectorised sorted access (fastest here on large catalogues);
+* ``method="bf"`` — brute-force scan (TCAM-BF);
+* ``method="classic-ta"`` — textbook round-robin TA (ablation).
+
+For TTCAM the topic–item matrix is query-independent, so one sorted-list
+index serves every query. For ITCAM the temporal context row depends on
+the queried interval; indexes are built lazily per interval and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from .bruteforce import bruteforce_topk
+from .ranking import QuerySpace, TopKResult
+from .threshold import SortedTopicLists, batched_ta_topk, classic_ta_topk, ta_topk
+
+
+class SupportsQuerySpace(Protocol):
+    """Any fitted model that can expand a temporal query (Eq. 21)."""
+
+    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ϑ_q, ϕ)`` for the query ``(user, interval)``."""
+        ...
+
+
+class TemporalRecommender:
+    """Serves temporal top-k queries over a fitted topic-mixture model.
+
+    Parameters
+    ----------
+    model:
+        A fitted model exposing ``query_space``.
+    method:
+        Default retrieval engine: ``"ta"``, ``"batched-ta"``, ``"bf"``
+        or ``"classic-ta"``.
+    """
+
+    _METHODS = ("ta", "batched-ta", "bf", "classic-ta")
+
+    def __init__(self, model: SupportsQuerySpace, method: str = "ta") -> None:
+        if method not in self._METHODS:
+            raise ValueError(f"method must be one of {self._METHODS}, got {method!r}")
+        self.model = model
+        self.method = method
+        # Sorted-list indexes keyed by the model's matrix cache key: TTCAM's
+        # topic–item matrix is query-independent (one entry), ITCAM's
+        # depends on the queried interval (one entry per interval).
+        self._index_cache: dict[object, SortedTopicLists] = {}
+
+    def recommend(
+        self,
+        user: int,
+        interval: int,
+        k: int = 10,
+        method: str | None = None,
+        exclude: np.ndarray | None = None,
+    ) -> TopKResult:
+        """Top-k items for the temporal query ``(user, interval)``.
+
+        Parameters
+        ----------
+        user, interval:
+            Dense ids of the querying user and time interval.
+        k:
+            Number of recommendations.
+        method:
+            Override the recommender's default engine for this query.
+        exclude:
+            Item ids that must not be recommended (e.g. training items).
+        """
+        engine = method if method is not None else self.method
+        if engine not in self._METHODS:
+            raise ValueError(f"method must be one of {self._METHODS}, got {engine!r}")
+        weights, matrix = self.model.query_space(user, interval)
+        query = QuerySpace(weights=weights, item_matrix=matrix)
+        if engine == "bf":
+            return bruteforce_topk(query, k, exclude=exclude)
+        lists = self._lists_for(matrix, interval)
+        if engine == "ta":
+            return ta_topk(query, lists, k, exclude=exclude)
+        if engine == "batched-ta":
+            return batched_ta_topk(query, lists, k, exclude=exclude)
+        return classic_ta_topk(query, lists, k, exclude=exclude)
+
+    def _lists_for(self, matrix: np.ndarray, interval: int) -> SortedTopicLists:
+        """Fetch or build the sorted-list index for a topic–item matrix.
+
+        Models expose ``matrix_cache_key(interval)`` saying which queries
+        share a topic–item matrix; without it the index is rebuilt per
+        query (correct but slow).
+        """
+        key_fn = getattr(self.model, "matrix_cache_key", None)
+        if key_fn is None:
+            return SortedTopicLists.build(matrix)
+        key = key_fn(interval)
+        lists = self._index_cache.get(key)
+        if lists is None:
+            lists = SortedTopicLists.build(matrix)
+            self._index_cache[key] = lists
+        return lists
+
+    def precompute(self, intervals: np.ndarray | None = None, user: int = 0) -> int:
+        """Eagerly build sorted-list indexes (the paper's offline step).
+
+        For TTCAM one call suffices; for ITCAM pass the intervals you plan
+        to query. Returns the number of cached indexes.
+        """
+        if intervals is None:
+            intervals = np.array([0])
+        for interval in np.asarray(intervals, dtype=np.int64):
+            _, matrix = self.model.query_space(user, int(interval))
+            self._lists_for(matrix, int(interval))
+        return len(self._index_cache)

@@ -1,0 +1,83 @@
+"""Tests for burst analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bursts import (
+    burstiness,
+    item_frequency_curve,
+    item_profile,
+    top_bursty_items,
+    top_popular_items,
+)
+from repro.data.cuboid import RatingCuboid
+
+
+@pytest.fixture
+def burst_cuboid():
+    # Item 0: steady (1/interval, 4 intervals); item 1: burst at t=2 (4 hits).
+    users = [0, 1, 2, 3, 4, 5, 6, 7]
+    intervals = [0, 1, 2, 3, 2, 2, 2, 2]
+    items = [0, 0, 0, 0, 1, 1, 1, 1]
+    return RatingCuboid.from_arrays(users, intervals, items)
+
+
+class TestFrequencyCurve:
+    def test_curve_values(self, burst_cuboid):
+        steady = item_frequency_curve(burst_cuboid, 0)
+        assert steady.tolist() == [1.0, 1.0, 1.0, 1.0]
+        bursty = item_frequency_curve(burst_cuboid, 1)
+        assert bursty.tolist() == [0.0, 0.0, 4.0, 0.0]
+
+    def test_out_of_range(self, burst_cuboid):
+        with pytest.raises(IndexError):
+            item_frequency_curve(burst_cuboid, 99)
+
+
+class TestBurstiness:
+    def test_flat_curve(self):
+        assert burstiness(np.ones(8)) == pytest.approx(1.0)
+
+    def test_spike(self, burst_cuboid):
+        assert burstiness(item_frequency_curve(burst_cuboid, 1)) == pytest.approx(4.0)
+
+    def test_zero_curve(self):
+        assert burstiness(np.zeros(5)) == 0.0
+
+
+class TestItemProfile:
+    def test_profile_normalised_to_peak(self, burst_cuboid):
+        profile = item_profile(burst_cuboid, 1)
+        assert profile.frequency.max() == pytest.approx(1.0)
+        assert profile.burstiness == pytest.approx(4.0)
+        assert profile.total_popularity == pytest.approx(4.0)
+
+    def test_label_fallback_without_indexer(self, burst_cuboid):
+        assert item_profile(burst_cuboid, 0).label == "0"
+
+
+class TestTopLists:
+    def test_bursty_ranked_first(self, burst_cuboid):
+        profiles = top_bursty_items(burst_cuboid, k=2, min_popularity=1.0)
+        assert profiles[0].item == 1
+
+    def test_min_popularity_filters(self, burst_cuboid):
+        profiles = top_bursty_items(burst_cuboid, k=5, min_popularity=100.0)
+        assert profiles == []
+
+    def test_popular_ranked_by_mass(self, burst_cuboid):
+        profiles = top_popular_items(burst_cuboid, k=2)
+        assert {p.item for p in profiles} == {0, 1}
+
+    def test_invalid_k(self, burst_cuboid):
+        with pytest.raises(ValueError):
+            top_bursty_items(burst_cuboid, k=0)
+        with pytest.raises(ValueError):
+            top_popular_items(burst_cuboid, k=0)
+
+    def test_event_items_detected_in_synthetic_data(self, tiny_cuboid):
+        """Generator's dedicated event items appear among the bursty tops."""
+        cuboid, truth = tiny_cuboid
+        bursty = {p.item for p in top_bursty_items(cuboid, k=15)}
+        dedicated = {int(v) for ids in truth.event_items.values() for v in ids}
+        assert bursty & dedicated

@@ -1,0 +1,66 @@
+"""Tests for the influence (λ) distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.influence import (
+    context_influence_cdf,
+    fraction_above,
+    influence_cdf,
+    summarize_influence,
+)
+
+
+class TestInfluenceCDF:
+    def test_cdf_monotone_and_bounded(self, rng):
+        lam = rng.beta(2, 3, size=500)
+        grid, cdf = influence_cdf(lam)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] <= cdf[-1] == 1.0
+        assert np.all((cdf >= 0) & (cdf <= 1))
+
+    def test_cdf_exact_small_case(self):
+        lam = np.array([0.2, 0.4, 0.8])
+        grid, cdf = influence_cdf(lam, grid=np.array([0.0, 0.3, 0.5, 1.0]))
+        np.testing.assert_allclose(cdf, [0.0, 1 / 3, 2 / 3, 1.0])
+
+    def test_context_cdf_is_mirrored(self):
+        lam = np.array([0.2, 0.8])
+        grid = np.linspace(0, 1, 11)
+        _, interest = influence_cdf(lam, grid)
+        _, context = context_influence_cdf(lam, grid)
+        # Context influence of λ=0.2 is 0.8 and vice versa.
+        np.testing.assert_allclose(context, influence_cdf(np.array([0.8, 0.2]), grid)[1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            influence_cdf(np.array([]))
+
+
+class TestFractionAbove:
+    def test_exact(self):
+        lam = np.array([0.1, 0.5, 0.9])
+        assert fraction_above(lam, 0.45) == pytest.approx(2 / 3)
+        assert fraction_above(lam, 0.95) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_above(np.array([]), 0.5)
+
+
+class TestSummary:
+    def test_fields(self):
+        lam = np.array([0.2, 0.4, 0.9, 0.95])
+        summary = summarize_influence(lam)
+        assert summary.mean_interest == pytest.approx(lam.mean())
+        assert summary.median_interest == pytest.approx(np.median(lam))
+        assert summary.fraction_interest_dominant == pytest.approx(0.5)
+        assert summary.fraction_context_dominant == pytest.approx(0.5)
+        assert "mean λ" in str(summary)
+
+    def test_platform_contrast(self, rng):
+        """News-like λ distributions summarise as context-dominant."""
+        news = summarize_influence(rng.beta(2, 5, 400))
+        movies = summarize_influence(rng.beta(8, 2, 400))
+        assert news.fraction_context_dominant > 0.5
+        assert movies.fraction_interest_dominant > 0.5

@@ -1,0 +1,84 @@
+"""Tests for the model report card."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import model_report, sparkline
+from repro.core import TTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    cuboid, truth = c.generate(c.tiny_config())
+    model = TTCAM(4, 3, max_iter=25, seed=0).fit(cuboid)
+    return model, cuboid
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline(np.arange(100), width=20)) == 20
+        assert len(sparkline(np.arange(3), width=20)) == 20
+
+    def test_flat_zero_curve(self):
+        assert sparkline(np.zeros(10), width=8) == " " * 8
+
+    def test_peak_gets_heaviest_block(self):
+        curve = np.zeros(16)
+        curve[8] = 1.0
+        line = sparkline(curve, width=16)
+        assert "@" in line
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+
+class TestModelReport:
+    def test_contains_all_sections(self, fitted):
+        model, cuboid = fitted
+        text = model_report(model.params_, cuboid)
+        assert "TCAM model report" in text
+        assert "influence:" in text
+        assert "user-oriented topics" in text
+        assert "time-oriented topics" in text
+        assert "separation:" in text
+
+    def test_uses_item_labels(self, fitted):
+        model, cuboid = fitted
+        text = model_report(model.params_, cuboid)
+        assert "item_" in text  # tiny profile's item prefix
+
+    def test_max_topics_caps_output(self, fitted):
+        model, cuboid = fitted
+        short = model_report(model.params_, cuboid, max_topics=1)
+        full = model_report(model.params_, cuboid)
+        assert len(short) < len(full)
+
+    def test_platform_characterisation(self, fitted):
+        model, cuboid = fitted
+        text = model_report(model.params_, cuboid)
+        assert "platform character" in text
+
+    def test_dimension_mismatch_rejected(self, fitted):
+        model, _ = fitted
+        other, _ = c.generate(c.tiny_config(num_items=50, seed=99))
+        with pytest.raises(ValueError):
+            model_report(model.params_, other)
+
+
+class TestReportCLI:
+    def test_end_to_end(self, fitted, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core import save_params
+        from repro.data import save_cuboid_csv
+
+        model, cuboid = fitted
+        csv_path = tmp_path / "data.csv"
+        save_cuboid_csv(cuboid, csv_path)
+        snap = save_params(model.params_, tmp_path / "m.npz")
+        code = main(
+            ["report", "--model", str(snap), "--input", str(csv_path), "--max-topics", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TCAM model report" in out

@@ -1,0 +1,117 @@
+"""Tests for topic analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.topics import (
+    match_topics,
+    spikiness,
+    summarize_topic,
+    time_topic_attention,
+    top_items,
+    topic_purity,
+    topic_temporal_profile,
+)
+
+
+class TestTopItems:
+    def test_orders_by_probability(self):
+        dist = np.array([0.1, 0.5, 0.4])
+        triples = top_items(dist, k=2)
+        assert [t[0] for t in triples] == [1, 2]
+        assert triples[0][2] == pytest.approx(0.5)
+
+    def test_labels_applied(self):
+        dist = np.array([0.2, 0.8])
+        triples = top_items(dist, k=1, labels=["cat", "dog"])
+        assert triples[0][1] == "dog"
+
+    def test_ties_break_to_smaller_id(self):
+        dist = np.array([0.5, 0.5])
+        assert top_items(dist, k=2)[0][0] == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_items(np.array([1.0]), k=0)
+
+
+class TestSummarizeTopic:
+    def test_summary_fields(self):
+        dist = np.array([0.7, 0.2, 0.1])
+        summary = summarize_topic(dist, topic=3, kind="time", k=2, labels=["a", "b", "c"])
+        assert summary.topic == 3
+        assert summary.kind == "time"
+        assert summary.labels == ["a", "b"]
+        assert "time-topic 3" in str(summary)
+
+
+class TestTemporalProfiles:
+    def test_profile_normalised(self, tiny_cuboid):
+        cuboid, truth = tiny_cuboid
+        profile = topic_temporal_profile(cuboid, truth.phi_events[0])
+        assert profile.shape == (cuboid.num_intervals,)
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_event_topic_spikier_than_user_topic(self, tiny_cuboid):
+        """The Figure 2 contrast: time-oriented topics spike, user-oriented
+        topics stay flat."""
+        cuboid, truth = tiny_cuboid
+        event_spike = spikiness(topic_temporal_profile(cuboid, truth.phi_events[0]))
+        user_spikes = [
+            spikiness(topic_temporal_profile(cuboid, truth.phi[z]))
+            for z in range(truth.phi.shape[0])
+        ]
+        assert event_spike > np.mean(user_spikes)
+
+    def test_time_topic_attention(self):
+        theta_time = np.array([[0.9, 0.1], [0.2, 0.8]])
+        curve = time_topic_attention(theta_time, 0)
+        assert curve.tolist() == [0.9, 0.2]
+        with pytest.raises(IndexError):
+            time_topic_attention(theta_time, 5)
+
+    def test_spikiness_flat_is_one(self):
+        assert spikiness(np.ones(10)) == pytest.approx(1.0)
+
+    def test_spikiness_of_delta_is_t(self):
+        curve = np.zeros(10)
+        curve[3] = 1.0
+        assert spikiness(curve) == pytest.approx(10.0)
+
+    def test_spikiness_of_zeros(self):
+        assert spikiness(np.zeros(5)) == 0.0
+
+
+class TestMatchTopics:
+    def test_identity_matching(self, rng):
+        topics = rng.dirichlet(np.ones(20) * 0.1, size=5)
+        assignment, similarity = match_topics(topics, topics)
+        assert assignment.tolist() == [0, 1, 2, 3, 4]
+        np.testing.assert_allclose(similarity, 1.0)
+
+    def test_permuted_matching(self, rng):
+        topics = rng.dirichlet(np.ones(20) * 0.1, size=5)
+        perm = [3, 1, 4, 0, 2]
+        assignment, _ = match_topics(topics[perm], topics)
+        assert assignment.tolist() == perm
+
+    def test_one_to_one(self, rng):
+        est = rng.dirichlet(np.ones(10), size=6)
+        ref = rng.dirichlet(np.ones(10), size=3)
+        assignment, _ = match_topics(est, ref)
+        matched = assignment[assignment >= 0]
+        assert len(np.unique(matched)) == len(matched)
+        assert (assignment == -1).sum() == 3
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            match_topics(np.ones((2, 3)) / 3, np.ones((2, 4)) / 4)
+
+
+class TestTopicPurity:
+    def test_counts_member_mass(self):
+        dist = np.array([0.5, 0.3, 0.2])
+        assert topic_purity(dist, np.array([0, 2])) == pytest.approx(0.7)
+
+    def test_empty_members(self):
+        assert topic_purity(np.array([1.0]), np.array([], dtype=int)) == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the BPRMF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bprmf import BPRMF, _sigmoid
+from repro.data.cuboid import RatingCuboid
+
+
+def block_cuboid(num_users=40, num_items=30, seed=0):
+    """Two user communities, each consuming its own half of the catalogue.
+
+    Trivially separable data: a working pairwise ranker must score a
+    user's own block above the other block.
+    """
+    rng = np.random.default_rng(seed)
+    users, items = [], []
+    half_u, half_v = num_users // 2, num_items // 2
+    for u in range(num_users):
+        pool = range(half_v) if u < half_u else range(half_v, num_items)
+        chosen = rng.choice(list(pool), size=8, replace=False)
+        for v in chosen:
+            users.append(u)
+            items.append(int(v))
+    return RatingCuboid.from_arrays(
+        users, [0] * len(users), items, num_items=num_items, num_intervals=1
+    )
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert _sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        out = _sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_monotone(self):
+        x = np.linspace(-5, 5, 50)
+        assert np.all(np.diff(_sigmoid(x)) > 0)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BPRMF(num_factors=0)
+        with pytest.raises(ValueError):
+            BPRMF(learning_rate=0)
+        with pytest.raises(ValueError):
+            BPRMF(num_epochs=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BPRMF().score_items(0)
+
+
+class TestLearning:
+    def test_separates_communities(self):
+        cuboid = block_cuboid()
+        model = BPRMF(num_factors=8, num_epochs=40, seed=0).fit(cuboid)
+        # A block-A user must rank block-A items above block-B items.
+        scores = model.score_items(0)
+        block_a = scores[:15].mean()
+        block_b = scores[15:].mean()
+        assert block_a > block_b
+        scores = model.score_items(30)
+        assert scores[15:].mean() > scores[:15].mean()
+
+    def test_positives_above_negatives_auc(self):
+        cuboid = block_cuboid(seed=3)
+        model = BPRMF(num_factors=8, num_epochs=40, seed=0).fit(cuboid)
+        rated = {}
+        for u, v in zip(cuboid.users, cuboid.items):
+            rated.setdefault(int(u), set()).add(int(v))
+        auc_scores = []
+        for u, positives in rated.items():
+            scores = model.score_items(u)
+            negatives = [v for v in range(cuboid.num_items) if v not in positives]
+            pos = np.array([scores[v] for v in positives])
+            neg = np.array([scores[v] for v in negatives])
+            auc = (pos[:, None] > neg[None, :]).mean()
+            auc_scores.append(auc)
+        assert np.mean(auc_scores) > 0.8
+
+    def test_deterministic_by_seed(self):
+        cuboid = block_cuboid()
+        m1 = BPRMF(num_factors=4, num_epochs=5, seed=9).fit(cuboid)
+        m2 = BPRMF(num_factors=4, num_epochs=5, seed=9).fit(cuboid)
+        np.testing.assert_array_equal(m1.user_factors_, m2.user_factors_)
+
+    def test_interval_ignored(self):
+        cuboid = block_cuboid()
+        model = BPRMF(num_factors=4, num_epochs=5, seed=0).fit(cuboid)
+        np.testing.assert_array_equal(model.score_items(0, 0), model.score_items(0, 1))
+
+    def test_name(self):
+        assert BPRMF().name == "BPRMF"

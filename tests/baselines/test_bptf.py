@@ -1,0 +1,95 @@
+"""Tests for the BPTF (MAP temporal tensor factorisation) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bptf import BPTF
+from repro.data.cuboid import RatingCuboid
+
+
+def temporal_block_cuboid(seed=0):
+    """Communities whose consumption flips between two halves of time.
+
+    Users 0–19 consume block A during t<3 and block B during t>=3; a
+    model with working time factors must capture the flip.
+    """
+    rng = np.random.default_rng(seed)
+    users, intervals, items = [], [], []
+    for u in range(20):
+        for t in range(6):
+            pool = range(15) if t < 3 else range(15, 30)
+            for v in rng.choice(list(pool), size=3, replace=False):
+                users.append(u), intervals.append(t), items.append(int(v))
+    return RatingCuboid.from_arrays(users, intervals, items, num_items=30)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BPTF(num_factors=0)
+        with pytest.raises(ValueError):
+            BPTF(num_epochs=0)
+        with pytest.raises(ValueError):
+            BPTF(negative_ratio=-1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BPTF().score_items(0, 0)
+
+
+class TestLearning:
+    def test_captures_temporal_flip(self):
+        cuboid = temporal_block_cuboid()
+        model = BPTF(num_factors=8, num_epochs=60, seed=0).fit(cuboid)
+        early = model.score_items(0, 0)
+        late = model.score_items(0, 5)
+        assert early[:15].mean() > early[15:].mean()
+        assert late[15:].mean() > late[:15].mean()
+
+    def test_fit_reduces_reconstruction_error(self):
+        cuboid = temporal_block_cuboid()
+        short = BPTF(num_factors=8, num_epochs=2, seed=0).fit(cuboid)
+        long = BPTF(num_factors=8, num_epochs=60, seed=0).fit(cuboid)
+
+        def mse(model):
+            pred = np.einsum(
+                "rd,rd,rd->r",
+                model.user_factors_[cuboid.users],
+                model.item_factors_[cuboid.items],
+                model.time_factors_[cuboid.intervals],
+            )
+            target = np.minimum(
+                cuboid.scores / max(np.percentile(cuboid.scores, 95), 1e-9), 3.0
+            )
+            return float(((pred - target) ** 2).mean())
+
+        assert mse(long) < mse(short)
+
+    def test_time_smoothness_pulls_factors_together(self):
+        cuboid = temporal_block_cuboid()
+        rough = BPTF(num_factors=8, num_epochs=30, time_smoothness=0.0, seed=0).fit(cuboid)
+        smooth = BPTF(num_factors=8, num_epochs=30, time_smoothness=5.0, seed=0).fit(cuboid)
+
+        def roughness(model):
+            return float(np.abs(np.diff(model.time_factors_, axis=0)).mean())
+
+        assert roughness(smooth) < roughness(rough)
+
+    def test_deterministic_by_seed(self):
+        cuboid = temporal_block_cuboid()
+        m1 = BPTF(num_factors=4, num_epochs=3, seed=5).fit(cuboid)
+        m2 = BPTF(num_factors=4, num_epochs=3, seed=5).fit(cuboid)
+        np.testing.assert_array_equal(m1.time_factors_, m2.time_factors_)
+
+    def test_handles_heavy_tailed_counts(self):
+        """Robust target scaling keeps learning alive under count skew."""
+        cuboid = temporal_block_cuboid()
+        skewed = cuboid.with_scores(
+            np.where(np.arange(cuboid.nnz) % 50 == 0, 40.0, 1.0)
+        )
+        model = BPTF(num_factors=8, num_epochs=40, seed=0).fit(skewed)
+        early = model.score_items(0, 0)
+        assert early[:15].mean() > early[15:].mean()
+
+    def test_name(self):
+        assert BPTF().name == "BPTF"

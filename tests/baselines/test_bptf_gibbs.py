@@ -1,0 +1,84 @@
+"""Tests for the Gibbs-sampled Bayesian BPTF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bptf_gibbs import GibbsBPTF, _sample_gaussian, _sample_normal_wishart
+from tests.baselines.test_bptf import temporal_block_cuboid
+
+
+class TestSamplers:
+    def test_gaussian_sampler_moments(self, rng):
+        precision = np.array([[4.0, 0.0], [0.0, 1.0]])
+        linear = precision @ np.array([1.0, -2.0])
+        draws = np.array([_sample_gaussian(precision, linear, rng) for _ in range(4000)])
+        np.testing.assert_allclose(draws.mean(axis=0), [1.0, -2.0], atol=0.1)
+        np.testing.assert_allclose(draws.var(axis=0), [0.25, 1.0], atol=0.12)
+
+    def test_normal_wishart_tracks_empirical_mean(self, rng):
+        factors = rng.normal(3.0, 0.2, size=(500, 3))
+        mus = np.array(
+            [_sample_normal_wishart(factors, rng)[0] for _ in range(200)]
+        )
+        # Posterior mean shrinks slightly toward the zero prior mean.
+        assert np.all(mus.mean(axis=0) > 2.5)
+        assert np.all(mus.mean(axis=0) < 3.2)
+
+    def test_precision_is_positive_definite(self, rng):
+        factors = rng.normal(0, 1, size=(50, 4))
+        _mu, precision = _sample_normal_wishart(factors, rng)
+        eigenvalues = np.linalg.eigvalsh(precision)
+        assert np.all(eigenvalues > 0)
+
+
+class TestGibbsBPTF:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GibbsBPTF(num_factors=0)
+        with pytest.raises(ValueError):
+            GibbsBPTF(num_samples=0)
+        with pytest.raises(ValueError):
+            GibbsBPTF(burn_in=-1)
+        with pytest.raises(ValueError):
+            GibbsBPTF(alpha=0)
+        with pytest.raises(RuntimeError):
+            GibbsBPTF().score_items(0, 0)
+
+    def test_captures_temporal_flip(self):
+        cuboid = temporal_block_cuboid()
+        model = GibbsBPTF(
+            num_factors=8, num_samples=15, burn_in=5, seed=0
+        ).fit(cuboid)
+        early = model.score_items(0, 0)
+        late = model.score_items(0, 5)
+        assert early[:15].mean() > early[15:].mean()
+        assert late[15:].mean() > late[:15].mean()
+
+    def test_deterministic_by_seed(self):
+        cuboid = temporal_block_cuboid()
+        m1 = GibbsBPTF(num_factors=4, num_samples=3, burn_in=1, seed=9).fit(cuboid)
+        m2 = GibbsBPTF(num_factors=4, num_samples=3, burn_in=1, seed=9).fit(cuboid)
+        np.testing.assert_array_equal(m1.mean_user_, m2.mean_user_)
+
+    def test_posterior_mean_shapes(self):
+        cuboid = temporal_block_cuboid()
+        model = GibbsBPTF(num_factors=4, num_samples=3, burn_in=1, seed=0).fit(cuboid)
+        assert model.mean_user_.shape == (cuboid.num_users, 4)
+        assert model.mean_item_.shape == (cuboid.num_items, 4)
+        assert model.mean_time_.shape == (cuboid.num_intervals, 4)
+
+    def test_agrees_with_map_variant_on_ranking(self):
+        """Gibbs and MAP variants should broadly agree on which items a
+        user prefers — they fit the same model."""
+        from repro.baselines.bptf import BPTF
+
+        cuboid = temporal_block_cuboid()
+        gibbs = GibbsBPTF(num_factors=8, num_samples=15, burn_in=5, seed=0).fit(cuboid)
+        map_fit = BPTF(num_factors=8, num_epochs=60, seed=0).fit(cuboid)
+        agreements = []
+        for u in range(0, 20, 4):
+            for t in (0, 5):
+                top_gibbs = set(np.argsort(-gibbs.score_items(u, t))[:10].tolist())
+                top_map = set(np.argsort(-map_fit.score_items(u, t))[:10].tolist())
+                agreements.append(len(top_gibbs & top_map) / 10)
+        assert np.mean(agreements) > 0.5

@@ -1,0 +1,82 @@
+"""Tests for the shared-topic-set TCAM variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sharedtopics import SharedTopicsTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    cuboid, truth = c.generate(c.tiny_config())
+    model = SharedTopicsTCAM(num_topics=6, max_iter=25, seed=0).fit(cuboid)
+    return model, cuboid, truth
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SharedTopicsTCAM(num_topics=0)
+        with pytest.raises(ValueError):
+            SharedTopicsTCAM(max_iter=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SharedTopicsTCAM().score_items(0, 0)
+
+
+class TestFit:
+    def test_log_likelihood_monotone(self, fitted):
+        model, _, _ = fitted
+        assert model.trace_.is_monotone(slack=1e-6)
+
+    def test_parameters_stochastic(self, fitted):
+        model, _, _ = fitted
+        np.testing.assert_allclose(model.theta_.sum(axis=1), 1.0)
+        np.testing.assert_allclose(model.theta_time_.sum(axis=1), 1.0)
+        np.testing.assert_allclose(model.phi_.sum(axis=1), 1.0)
+        assert np.all((model.lambda_ >= 0) & (model.lambda_ <= 1))
+
+    def test_single_topic_set_shared(self, fitted):
+        model, cuboid, _ = fitted
+        # Interest and context distributions live over the same K topics.
+        assert model.theta_.shape[1] == model.theta_time_.shape[1] == 6
+        assert model.phi_.shape == (6, cuboid.num_items)
+
+    def test_reproducible(self):
+        cuboid, _ = c.generate(c.tiny_config())
+        m1 = SharedTopicsTCAM(4, max_iter=8, seed=3).fit(cuboid)
+        m2 = SharedTopicsTCAM(4, max_iter=8, seed=3).fit(cuboid)
+        np.testing.assert_array_equal(m1.phi_, m2.phi_)
+
+
+class TestScoring:
+    def test_scores_form_distribution(self, fitted):
+        model, _, _ = fitted
+        scores = model.score_items(1, 2)
+        assert scores.sum() == pytest.approx(1.0)
+        assert np.all(scores >= 0)
+
+    def test_query_space_matches_score_items(self, fitted):
+        model, _, _ = fitted
+        weights, matrix = model.query_space(2, 4)
+        np.testing.assert_allclose(weights @ matrix, model.score_items(2, 4), atol=1e-12)
+
+    def test_works_with_ta_engine(self, fitted):
+        from repro.recommend import TemporalRecommender
+
+        model, _, _ = fitted
+        rec = TemporalRecommender(model)
+        bf = rec.recommend(0, 1, k=5, method="bf")
+        ta = rec.recommend(0, 1, k=5, method="ta")
+        np.testing.assert_allclose(sorted(bf.scores), sorted(ta.scores), atol=1e-12)
+
+    def test_topics_conflate_interest_and_context(self, fitted):
+        """The design flaw the paper calls out: with one shared set, some
+        topics are used by both the interest and the context factors."""
+        model, _, _ = fitted
+        interest_usage = model.theta_.mean(axis=0)
+        context_usage = model.theta_time_.mean(axis=0)
+        overlap = np.minimum(interest_usage, context_usage).sum()
+        assert overlap > 0.05

@@ -1,0 +1,104 @@
+"""Tests for the shared EM machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.em import (
+    EMTrace,
+    normalize_rows,
+    random_stochastic,
+    scatter_sum,
+    scatter_sum_1d,
+)
+
+
+class TestScatterSum:
+    def test_matches_add_at(self, rng):
+        rows = rng.integers(0, 7, size=200)
+        values = rng.random((200, 5))
+        expected = np.zeros((7, 5))
+        np.add.at(expected, rows, values)
+        np.testing.assert_allclose(scatter_sum(rows, values, 7), expected)
+
+    def test_empty_rows_stay_zero(self):
+        rows = np.array([0, 0])
+        values = np.ones((2, 3))
+        result = scatter_sum(rows, values, 4)
+        assert result[1:].sum() == 0
+        assert result[0].tolist() == [2.0, 2.0, 2.0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_sum(np.array([0, 1]), np.ones((3, 2)), 2)
+
+    def test_1d_variant(self, rng):
+        rows = rng.integers(0, 4, size=50)
+        values = rng.random(50)
+        expected = np.bincount(rows, weights=values, minlength=4)
+        np.testing.assert_allclose(scatter_sum_1d(rows, values, 4), expected)
+
+
+class TestNormalizeRows:
+    def test_rows_sum_to_one(self, rng):
+        matrix = rng.random((6, 9))
+        out = normalize_rows(matrix)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_zero_rows_become_uniform(self):
+        matrix = np.zeros((2, 4))
+        matrix[0, 1] = 3.0
+        out = normalize_rows(matrix)
+        np.testing.assert_allclose(out[1], 0.25)
+        assert out[0, 1] == 1.0
+
+    def test_smoothing_removes_zeros(self):
+        matrix = np.array([[1.0, 0.0, 0.0]])
+        out = normalize_rows(matrix, smoothing=0.1)
+        assert np.all(out > 0)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_input_not_mutated(self):
+        matrix = np.array([[1.0, 1.0]])
+        normalize_rows(matrix)
+        assert matrix.tolist() == [[1.0, 1.0]]
+
+
+class TestRandomStochastic:
+    def test_rows_sum_to_one(self, rng):
+        out = random_stochastic(rng, 5, 8)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_no_near_zero_entries(self, rng):
+        out = random_stochastic(rng, 10, 10)
+        # 0.5 + U(0,1) keeps every cell at least a third of the mean.
+        assert out.min() > 0.5 / (1.5 * 10)
+
+
+class TestEMTrace:
+    def test_records_and_converges(self):
+        trace = EMTrace()
+        assert not trace.record(-100.0, tol=1e-3)
+        assert not trace.record(-50.0, tol=1e-3)  # big improvement
+        assert trace.record(-49.999, tol=1e-3)  # tiny improvement → converged
+        assert trace.converged
+        assert trace.iterations == 3
+        assert trace.final_log_likelihood == -49.999
+
+    def test_nonfinite_rejected(self):
+        trace = EMTrace()
+        with pytest.raises(FloatingPointError):
+            trace.record(float("nan"), tol=1e-3)
+
+    def test_final_requires_iterations(self):
+        with pytest.raises(ValueError):
+            _ = EMTrace().final_log_likelihood
+
+    def test_monotone_check(self):
+        good = EMTrace(log_likelihood=[-10.0, -5.0, -4.0])
+        bad = EMTrace(log_likelihood=[-10.0, -5.0, -6.0])
+        assert good.is_monotone()
+        assert not bad.is_monotone()
+
+    def test_monotone_allows_float_slack(self):
+        trace = EMTrace(log_likelihood=[-10.0, -10.0 - 1e-12])
+        assert trace.is_monotone()

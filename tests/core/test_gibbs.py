@@ -1,0 +1,110 @@
+"""Tests for the collapsed Gibbs sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import GibbsTTCAM
+from repro.core.ttcam import TTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    config = c.tiny_config(
+        num_users=80,
+        num_items=60,
+        mean_ratings_per_user=25,
+        num_user_topics=3,
+        seed=71,
+    )
+    return c.generate(config)
+
+
+@pytest.fixture(scope="module")
+def fitted(small_world):
+    cuboid, truth = small_world
+    model = GibbsTTCAM(
+        num_user_topics=3,
+        num_time_topics=3,
+        num_samples=12,
+        burn_in=6,
+        seed=0,
+    ).fit(cuboid)
+    return model, cuboid, truth
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GibbsTTCAM(num_user_topics=0)
+        with pytest.raises(ValueError):
+            GibbsTTCAM(alpha=0)
+        with pytest.raises(ValueError):
+            GibbsTTCAM(num_samples=0)
+        with pytest.raises(ValueError):
+            GibbsTTCAM(burn_in=-1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GibbsTTCAM().score_items(0, 0)
+
+
+class TestFit:
+    def test_posterior_parameters_valid(self, fitted):
+        model, _, _ = fitted
+        params = model.params_
+        np.testing.assert_allclose(params.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(params.phi.sum(axis=1), 1.0)
+        np.testing.assert_allclose(params.phi_time.sum(axis=1), 1.0)
+        assert np.all((params.lambda_u > 0) & (params.lambda_u < 1))
+
+    def test_assignments_cover_entries(self, fitted):
+        model, cuboid, _ = fitted
+        assert model.assignments_.shape == (cuboid.nnz,)
+        assert model.assignments_.min() >= 0
+        assert model.assignments_.max() < 3 + 3
+
+    def test_deterministic_by_seed(self, small_world):
+        cuboid, _ = small_world
+        m1 = GibbsTTCAM(2, 2, num_samples=3, burn_in=1, seed=4).fit(cuboid)
+        m2 = GibbsTTCAM(2, 2, num_samples=3, burn_in=1, seed=4).fit(cuboid)
+        np.testing.assert_array_equal(m1.params_.theta, m2.params_.theta)
+
+    def test_scores_form_distribution(self, fitted):
+        model, _, _ = fitted
+        scores = model.score_items(0, 2)
+        assert scores.sum() == pytest.approx(1.0)
+        weights, matrix = model.query_space(0, 2)
+        np.testing.assert_allclose(weights @ matrix, scores, atol=1e-12)
+
+
+class TestAgreementWithEM:
+    def test_beats_uniform_perplexity(self, small_world):
+        from repro.data import holdout_split
+        from repro.evaluation import heldout_perplexity, uniform_perplexity
+
+        cuboid, _ = small_world
+        split = holdout_split(cuboid, seed=0)
+        model = GibbsTTCAM(3, 3, num_samples=12, burn_in=6, seed=0).fit(split.train)
+        assert heldout_perplexity(model, split.test) < uniform_perplexity(split.test)
+
+    def test_comparable_to_em_on_heldout(self, small_world):
+        """The Bayesian fit should land in the same quality region as EM
+        (within 25% relative held-out perplexity)."""
+        from repro.data import holdout_split
+        from repro.evaluation import heldout_perplexity
+
+        cuboid, _ = small_world
+        split = holdout_split(cuboid, seed=0)
+        gibbs = GibbsTTCAM(3, 3, num_samples=12, burn_in=8, seed=0).fit(split.train)
+        em = TTCAM(3, 3, max_iter=40, smoothing=1e-3, seed=0).fit(split.train)
+        p_gibbs = heldout_perplexity(gibbs, split.test)
+        p_em = heldout_perplexity(em, split.test)
+        assert p_gibbs < p_em * 1.25
+
+    def test_context_dominance_recovered(self, small_world):
+        """On context-heavy data the sampler's λ should be low, like EM's."""
+        cuboid, truth = small_world
+        model = GibbsTTCAM(3, 3, num_samples=10, burn_in=5, seed=0).fit(cuboid)
+        em = TTCAM(3, 3, max_iter=30, seed=0).fit(cuboid)
+        assert abs(model.params_.lambda_u.mean() - em.params_.lambda_u.mean()) < 0.35

@@ -1,0 +1,134 @@
+"""Tests for the ITCAM model."""
+
+import numpy as np
+import pytest
+
+from repro.core.itcam import ITCAM
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    import tests.conftest as c
+
+    cuboid, _ = c.generate(c.tiny_config())
+    model = ITCAM(num_user_topics=4, max_iter=25, seed=0)
+    model.fit(cuboid)
+    return model, cuboid
+
+
+class TestValidation:
+    def test_rejects_bad_topic_count(self):
+        with pytest.raises(ValueError):
+            ITCAM(num_user_topics=0)
+
+    def test_rejects_bad_max_iter(self):
+        with pytest.raises(ValueError):
+            ITCAM(max_iter=0)
+
+    def test_rejects_negative_smoothing(self):
+        with pytest.raises(ValueError):
+            ITCAM(smoothing=-1.0)
+
+    def test_unfitted_scoring_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ITCAM().score_items(0, 0)
+
+    def test_empty_cuboid_rejected(self):
+        from repro.data.cuboid import RatingCuboid
+
+        empty = RatingCuboid.from_arrays([], [], [], num_users=1, num_intervals=1, num_items=1)
+        with pytest.raises(ValueError):
+            ITCAM(num_user_topics=2).fit(empty)
+
+
+class TestFit:
+    def test_log_likelihood_monotone(self, fitted):
+        model, _ = fitted
+        assert model.trace_.is_monotone(slack=1e-6)
+
+    def test_log_likelihood_improves(self, fitted):
+        model, _ = fitted
+        ll = model.trace_.log_likelihood
+        assert ll[-1] > ll[0]
+
+    def test_parameters_are_stochastic(self, fitted):
+        model, _ = fitted
+        params = model.params_
+        np.testing.assert_allclose(params.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(params.phi.sum(axis=1), 1.0)
+        np.testing.assert_allclose(params.theta_time.sum(axis=1), 1.0)
+        assert np.all((params.lambda_u >= 0) & (params.lambda_u <= 1))
+
+    def test_dimensions(self, fitted):
+        model, cuboid = fitted
+        params = model.params_
+        assert params.theta.shape == (cuboid.num_users, 4)
+        assert params.phi.shape == (4, cuboid.num_items)
+        assert params.theta_time.shape == (cuboid.num_intervals, cuboid.num_items)
+
+    def test_reproducible_by_seed(self):
+        import tests.conftest as c
+
+        cuboid, _ = c.generate(c.tiny_config())
+        m1 = ITCAM(num_user_topics=3, max_iter=10, seed=7).fit(cuboid)
+        m2 = ITCAM(num_user_topics=3, max_iter=10, seed=7).fit(cuboid)
+        np.testing.assert_array_equal(m1.params_.theta, m2.params_.theta)
+
+    def test_name_reflects_weighting(self):
+        assert ITCAM().name == "ITCAM"
+        assert ITCAM(weighted=True).name == "W-ITCAM"
+
+    def test_weighted_variant_fits(self):
+        import tests.conftest as c
+
+        cuboid, _ = c.generate(c.tiny_config())
+        model = ITCAM(num_user_topics=3, max_iter=15, weighted=True, seed=0).fit(cuboid)
+        assert model.trace_.is_monotone(slack=1e-6)
+
+
+class TestScoring:
+    def test_scores_form_distribution(self, fitted):
+        model, _ = fitted
+        scores = model.score_items(0, 0)
+        assert scores.shape == (model.params_.num_items,)
+        assert scores.sum() == pytest.approx(1.0)
+        assert np.all(scores >= 0)
+
+    def test_query_space_matches_score_items(self, fitted):
+        model, cuboid = fitted
+        for user, interval in [(0, 0), (3, 5), (10, 11)]:
+            weights, matrix = model.query_space(user, interval)
+            np.testing.assert_allclose(
+                weights @ matrix, model.score_items(user, interval), atol=1e-12
+            )
+
+    def test_query_space_has_k1_plus_one_dims(self, fitted):
+        model, _ = fitted
+        weights, matrix = model.query_space(0, 0)
+        assert weights.shape == (5,)  # K1 + 1 temporal dimension
+        assert matrix.shape[0] == 5
+
+    def test_matrix_cache_key_is_interval(self, fitted):
+        model, _ = fitted
+        assert model.matrix_cache_key(3) == 3
+        assert model.matrix_cache_key(4) != model.matrix_cache_key(3)
+
+    def test_held_out_log_likelihood_finite(self, fitted):
+        model, cuboid = fitted
+        ll = model.log_likelihood(cuboid)
+        assert np.isfinite(ll)
+        assert ll < 0
+
+
+class TestRecovery:
+    def test_lambda_tracks_time_sensitivity(self):
+        """Context-heavy data yields lower fitted λ than interest-heavy data."""
+        import tests.conftest as c
+
+        ctx_cub, _ = c.generate(c.tiny_config(lambda_alpha=1.0, lambda_beta=6.0, seed=11))
+        int_cub, _ = c.generate(
+            c.tiny_config(lambda_alpha=6.0, lambda_beta=1.0, item_lifecycle=float("inf"), seed=11)
+        )
+        m_ctx = ITCAM(num_user_topics=4, max_iter=30, seed=0).fit(ctx_cub)
+        m_int = ITCAM(num_user_topics=4, max_iter=30, seed=0).fit(int_cub)
+        assert m_ctx.params_.lambda_u.mean() < m_int.params_.lambda_u.mean()

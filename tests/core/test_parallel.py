@@ -1,0 +1,79 @@
+"""Tests for the partitioned (MapReduce-style) EM."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import PartitionedTTCAM
+from repro.core.ttcam import TTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def cuboid():
+    cub, _ = c.generate(c.tiny_config())
+    return cub
+
+
+class TestEquivalence:
+    def test_matches_serial_fit(self, cuboid):
+        serial = TTCAM(3, 3, max_iter=15, seed=4).fit(cuboid)
+        partitioned = PartitionedTTCAM(
+            3, 3, max_iter=15, seed=4, num_partitions=4
+        ).fit(cuboid)
+        np.testing.assert_allclose(
+            partitioned.params_.theta, serial.params_.theta, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            partitioned.params_.phi_time, serial.params_.phi_time, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            partitioned.params_.lambda_u, serial.params_.lambda_u, atol=1e-9
+        )
+
+    def test_partition_count_does_not_change_result(self, cuboid):
+        one = PartitionedTTCAM(3, 3, max_iter=10, seed=1, num_partitions=1).fit(cuboid)
+        many = PartitionedTTCAM(3, 3, max_iter=10, seed=1, num_partitions=7).fit(cuboid)
+        np.testing.assert_allclose(one.params_.theta, many.params_.theta, atol=1e-9)
+
+    def test_threaded_matches_sequential(self, cuboid):
+        seq = PartitionedTTCAM(3, 3, max_iter=8, seed=2, num_partitions=4, workers=1).fit(cuboid)
+        par = PartitionedTTCAM(3, 3, max_iter=8, seed=2, num_partitions=4, workers=4).fit(cuboid)
+        np.testing.assert_allclose(seq.params_.theta, par.params_.theta, atol=1e-9)
+
+    def test_log_likelihood_matches_serial(self, cuboid):
+        serial = TTCAM(3, 3, max_iter=10, seed=4).fit(cuboid)
+        partitioned = PartitionedTTCAM(3, 3, max_iter=10, seed=4, num_partitions=3).fit(cuboid)
+        np.testing.assert_allclose(
+            partitioned.trace_.log_likelihood,
+            serial.trace_.log_likelihood,
+            rtol=1e-9,
+        )
+
+
+class TestBehaviour:
+    def test_more_partitions_than_entries(self):
+        from repro.data.cuboid import RatingCuboid
+
+        small = RatingCuboid.from_arrays([0, 1, 0], [0, 1, 1], [0, 1, 2])
+        model = PartitionedTTCAM(2, 2, max_iter=5, num_partitions=10).fit(small)
+        assert model.params_ is not None
+
+    def test_scoring_api(self, cuboid):
+        model = PartitionedTTCAM(3, 3, max_iter=5, num_partitions=2).fit(cuboid)
+        scores = model.score_items(0, 0)
+        assert scores.sum() == pytest.approx(1.0)
+        weights, matrix = model.query_space(0, 0)
+        np.testing.assert_allclose(weights @ matrix, scores, atol=1e-12)
+        assert model.matrix_cache_key(0) == model.matrix_cache_key(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedTTCAM(num_partitions=0)
+        with pytest.raises(ValueError):
+            PartitionedTTCAM(workers=0)
+        with pytest.raises(RuntimeError):
+            PartitionedTTCAM().score_items(0, 0)
+
+    def test_name(self):
+        assert "partitioned" in PartitionedTTCAM().name
+        assert PartitionedTTCAM(weighted=True).name.startswith("W-")

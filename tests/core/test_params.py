@@ -1,0 +1,117 @@
+"""Tests for the fitted-parameter containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ITCAMParameters, TTCAMParameters
+
+
+def uniform(rows, cols):
+    return np.full((rows, cols), 1.0 / cols)
+
+
+def make_itcam(n=4, k1=3, t=5, v=6):
+    return ITCAMParameters(
+        theta=uniform(n, k1),
+        phi=uniform(k1, v),
+        theta_time=uniform(t, v),
+        lambda_u=np.full(n, 0.5),
+    )
+
+
+def make_ttcam(n=4, k1=3, k2=2, t=5, v=6):
+    return TTCAMParameters(
+        theta=uniform(n, k1),
+        phi=uniform(k1, v),
+        theta_time=uniform(t, k2),
+        phi_time=uniform(k2, v),
+        lambda_u=np.full(n, 0.5),
+    )
+
+
+class TestValidation:
+    def test_itcam_accepts_valid(self):
+        params = make_itcam()
+        assert params.num_users == 4
+        assert params.num_items == 6
+        assert params.num_intervals == 5
+        assert params.num_user_topics == 3
+
+    def test_rejects_unnormalised_rows(self):
+        theta = uniform(4, 3)
+        theta[0] *= 2
+        with pytest.raises(ValueError, match="not normalised"):
+            ITCAMParameters(
+                theta=theta,
+                phi=uniform(3, 6),
+                theta_time=uniform(5, 6),
+                lambda_u=np.full(4, 0.5),
+            )
+
+    def test_rejects_negative_probabilities(self):
+        phi = uniform(3, 6)
+        phi[0, 0] = -0.1
+        phi[0, 1] += 0.1 + 1.0 / 6
+        phi[0] /= phi[0].sum()
+        with pytest.raises(ValueError, match="negative"):
+            ITCAMParameters(
+                theta=uniform(4, 3),
+                phi=phi,
+                theta_time=uniform(5, 6),
+                lambda_u=np.full(4, 0.5),
+            )
+
+    def test_rejects_lambda_outside_unit(self):
+        with pytest.raises(ValueError, match="lambda"):
+            ITCAMParameters(
+                theta=uniform(4, 3),
+                phi=uniform(3, 6),
+                theta_time=uniform(5, 6),
+                lambda_u=np.array([0.5, 1.5, 0.5, 0.5]),
+            )
+
+    def test_rejects_dimension_mismatches(self):
+        with pytest.raises(ValueError, match="disagree"):
+            ITCAMParameters(
+                theta=uniform(4, 3),
+                phi=uniform(2, 6),  # K mismatch
+                theta_time=uniform(5, 6),
+                lambda_u=np.full(4, 0.5),
+            )
+        with pytest.raises(ValueError, match="disagree"):
+            TTCAMParameters(
+                theta=uniform(4, 3),
+                phi=uniform(3, 6),
+                theta_time=uniform(5, 2),
+                phi_time=uniform(2, 7),  # item-dim mismatch
+                lambda_u=np.full(4, 0.5),
+            )
+
+
+class TestScoring:
+    def test_itcam_mixture_formula(self):
+        params = make_itcam()
+        scores = params.score_items(0, 0)
+        # Uniform everything → uniform scores.
+        np.testing.assert_allclose(scores, 1.0 / 6)
+
+    def test_itcam_lambda_extremes(self):
+        params = make_itcam()
+        params.lambda_u[0] = 1.0
+        np.testing.assert_allclose(params.score_items(0, 0), params.interest_scores(0))
+        params.lambda_u[1] = 0.0
+        np.testing.assert_allclose(params.score_items(1, 2), params.context_scores(2))
+
+    def test_ttcam_context_via_topics(self):
+        params = make_ttcam()
+        np.testing.assert_allclose(params.context_scores(0).sum(), 1.0)
+
+    def test_query_space_reproduces_scores(self):
+        for params in (make_itcam(), make_ttcam()):
+            weights, matrix = params.query_space(1, 2)
+            np.testing.assert_allclose(weights @ matrix, params.score_items(1, 2))
+
+    def test_ttcam_query_weights_sum_to_one(self):
+        params = make_ttcam()
+        weights, _ = params.query_space(0, 0)
+        assert weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,99 @@
+"""Tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.itcam import ITCAM
+from repro.core.serialize import LoadedModel, load_params, save_params
+from repro.core.ttcam import TTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    cuboid, _ = c.generate(c.tiny_config())
+    ttcam = TTCAM(4, 3, max_iter=15, seed=0).fit(cuboid)
+    itcam = ITCAM(4, max_iter=15, seed=0).fit(cuboid)
+    return cuboid, ttcam, itcam
+
+
+class TestRoundTrip:
+    def test_ttcam_round_trip(self, fitted_models, tmp_path):
+        _, ttcam, _ = fitted_models
+        path = save_params(ttcam.params_, tmp_path / "model.npz")
+        loaded = load_params(path)
+        np.testing.assert_array_equal(loaded.theta, ttcam.params_.theta)
+        np.testing.assert_array_equal(loaded.phi_time, ttcam.params_.phi_time)
+        np.testing.assert_array_equal(loaded.lambda_u, ttcam.params_.lambda_u)
+
+    def test_itcam_round_trip(self, fitted_models, tmp_path):
+        _, _, itcam = fitted_models
+        path = save_params(itcam.params_, tmp_path / "model.npz")
+        loaded = load_params(path)
+        np.testing.assert_array_equal(loaded.theta_time, itcam.params_.theta_time)
+
+    def test_suffix_appended(self, fitted_models, tmp_path):
+        _, ttcam, _ = fitted_models
+        path = save_params(ttcam.params_, tmp_path / "snapshot")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_loaded_scores_identical(self, fitted_models, tmp_path):
+        _, ttcam, _ = fitted_models
+        path = save_params(ttcam.params_, tmp_path / "model.npz")
+        loaded = load_params(path)
+        for user, interval in [(0, 0), (5, 7)]:
+            np.testing.assert_array_equal(
+                loaded.score_items(user, interval),
+                ttcam.params_.score_items(user, interval),
+            )
+
+
+class TestErrors:
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_params(object(), tmp_path / "bad.npz")
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.ones(3))
+        with pytest.raises(ValueError, match="not a TCAM"):
+            load_params(path)
+
+    def test_corrupted_parameters_rejected(self, fitted_models, tmp_path):
+        _, ttcam, _ = fitted_models
+        params = ttcam.params_
+        path = tmp_path / "tampered.npz"
+        np.savez(
+            path,
+            tcam_format=np.array("ttcam-v1"),
+            theta=params.theta * 2,  # no longer stochastic
+            phi=params.phi,
+            theta_time=params.theta_time,
+            phi_time=params.phi_time,
+            lambda_u=params.lambda_u,
+        )
+        with pytest.raises(ValueError, match="not normalised"):
+            load_params(path)
+
+
+class TestLoadedModel:
+    def test_serves_through_recommender(self, fitted_models, tmp_path):
+        from repro.recommend import TemporalRecommender
+
+        _, ttcam, _ = fitted_models
+        path = save_params(ttcam.params_, tmp_path / "serve.npz")
+        model = LoadedModel.from_file(path)
+        assert model.name == "Loaded-TTCAM"
+        rec_live = TemporalRecommender(ttcam)
+        rec_snap = TemporalRecommender(model)
+        live = rec_live.recommend(2, 3, k=5, method="ta")
+        snap = rec_snap.recommend(2, 3, k=5, method="ta")
+        assert live.items == snap.items
+
+    def test_itcam_cache_key(self, fitted_models, tmp_path):
+        _, _, itcam = fitted_models
+        path = save_params(itcam.params_, tmp_path / "it.npz")
+        model = LoadedModel.from_file(path)
+        assert model.name == "Loaded-ITCAM"
+        assert model.matrix_cache_key(2) == 2

@@ -1,0 +1,94 @@
+"""Tests for stochastic (mini-batch) EM."""
+
+import numpy as np
+import pytest
+
+from repro.core.stochastic import StochasticTTCAM
+from repro.core.ttcam import TTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def cuboid():
+    cub, _ = c.generate(c.tiny_config(num_users=200, mean_ratings_per_user=35, seed=51))
+    return cub
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StochasticTTCAM(num_user_topics=0)
+        with pytest.raises(ValueError):
+            StochasticTTCAM(batch_size=0)
+        with pytest.raises(ValueError):
+            StochasticTTCAM(num_epochs=0)
+        with pytest.raises(ValueError):
+            StochasticTTCAM(kappa=0.4)
+        with pytest.raises(ValueError):
+            StochasticTTCAM(kappa=1.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StochasticTTCAM().score_items(0, 0)
+
+
+class TestFit:
+    def test_likelihood_improves_across_epochs(self, cuboid):
+        model = StochasticTTCAM(
+            4, 3, batch_size=512, num_epochs=8, seed=0
+        ).fit(cuboid)
+        ll = model.trace_.log_likelihood
+        assert len(ll) == 8
+        assert ll[-1] > ll[0]
+
+    def test_parameters_stochastic(self, cuboid):
+        model = StochasticTTCAM(4, 3, batch_size=512, num_epochs=4, seed=0).fit(cuboid)
+        params = model.params_
+        np.testing.assert_allclose(params.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(params.phi_time.sum(axis=1), 1.0)
+        assert np.all((params.lambda_u >= 0) & (params.lambda_u <= 1))
+
+    def test_approaches_batch_em_likelihood(self, cuboid):
+        """Stepwise EM should land within a few percent of batch EM."""
+        batch = TTCAM(4, 3, max_iter=40, seed=0).fit(cuboid)
+        stochastic = StochasticTTCAM(
+            4, 3, batch_size=1024, num_epochs=25, kappa=0.6, seed=0
+        ).fit(cuboid)
+        batch_ll = batch.trace_.final_log_likelihood
+        stochastic_ll = stochastic.trace_.log_likelihood[-1]
+        assert stochastic_ll > batch_ll * 1.05  # LLs negative: within 5%
+
+    def test_small_batches_still_work(self, cuboid):
+        model = StochasticTTCAM(3, 2, batch_size=64, num_epochs=3, seed=0).fit(cuboid)
+        assert np.isfinite(model.trace_.log_likelihood[-1])
+
+    def test_reproducible(self, cuboid):
+        m1 = StochasticTTCAM(3, 2, batch_size=256, num_epochs=2, seed=5).fit(cuboid)
+        m2 = StochasticTTCAM(3, 2, batch_size=256, num_epochs=2, seed=5).fit(cuboid)
+        np.testing.assert_array_equal(m1.params_.phi, m2.params_.phi)
+
+    def test_weighted_variant(self, cuboid):
+        model = StochasticTTCAM(
+            3, 2, batch_size=512, num_epochs=3, weighted=True, seed=0
+        ).fit(cuboid)
+        assert model.name == "W-TTCAM(stochastic)"
+        assert np.isfinite(model.trace_.log_likelihood[-1])
+
+
+class TestScoring:
+    def test_scores_and_query_space(self, cuboid):
+        model = StochasticTTCAM(4, 3, batch_size=512, num_epochs=4, seed=0).fit(cuboid)
+        scores = model.score_items(0, 2)
+        assert scores.sum() == pytest.approx(1.0)
+        weights, matrix = model.query_space(0, 2)
+        np.testing.assert_allclose(weights @ matrix, scores, atol=1e-12)
+        assert model.matrix_cache_key(0) == model.matrix_cache_key(5)
+
+    def test_usable_for_recommendation(self, cuboid):
+        from repro.recommend import TemporalRecommender
+
+        model = StochasticTTCAM(4, 3, batch_size=512, num_epochs=4, seed=0).fit(cuboid)
+        rec = TemporalRecommender(model)
+        bf = rec.recommend(0, 1, k=5, method="bf")
+        ta = rec.recommend(0, 1, k=5, method="ta")
+        np.testing.assert_allclose(sorted(bf.scores), sorted(ta.scores), atol=1e-12)

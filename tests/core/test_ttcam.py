@@ -1,0 +1,167 @@
+"""Tests for the TTCAM model."""
+
+import numpy as np
+import pytest
+
+from repro.core.ttcam import TTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    cuboid, truth = c.generate(c.tiny_config())
+    model = TTCAM(num_user_topics=4, num_time_topics=3, max_iter=25, seed=0)
+    model.fit(cuboid)
+    return model, cuboid, truth
+
+
+class TestValidation:
+    def test_rejects_bad_topic_counts(self):
+        with pytest.raises(ValueError):
+            TTCAM(num_user_topics=0)
+        with pytest.raises(ValueError):
+            TTCAM(num_time_topics=0)
+
+    def test_unfitted_scoring_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TTCAM().score_items(0, 0)
+
+    def test_name_reflects_weighting(self):
+        assert TTCAM().name == "TTCAM"
+        assert TTCAM(weighted=True).name == "W-TTCAM"
+
+
+class TestFit:
+    def test_log_likelihood_monotone(self, fitted):
+        model, _, _ = fitted
+        assert model.trace_.is_monotone(slack=1e-6)
+
+    def test_parameters_are_stochastic(self, fitted):
+        model, _, _ = fitted
+        params = model.params_
+        np.testing.assert_allclose(params.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(params.phi.sum(axis=1), 1.0)
+        np.testing.assert_allclose(params.theta_time.sum(axis=1), 1.0)
+        np.testing.assert_allclose(params.phi_time.sum(axis=1), 1.0)
+
+    def test_dimensions(self, fitted):
+        model, cuboid, _ = fitted
+        params = model.params_
+        assert params.theta_time.shape == (cuboid.num_intervals, 3)
+        assert params.phi_time.shape == (3, cuboid.num_items)
+        assert params.num_user_topics == 4
+        assert params.num_time_topics == 3
+
+    def test_reproducible_by_seed(self):
+        cuboid, _ = c.generate(c.tiny_config())
+        m1 = TTCAM(3, 3, max_iter=10, seed=7).fit(cuboid)
+        m2 = TTCAM(3, 3, max_iter=10, seed=7).fit(cuboid)
+        np.testing.assert_array_equal(m1.params_.phi_time, m2.params_.phi_time)
+
+    def test_weighted_variant_fits(self):
+        cuboid, _ = c.generate(c.tiny_config())
+        model = TTCAM(3, 3, max_iter=15, weighted=True, seed=0).fit(cuboid)
+        assert model.trace_.is_monotone(slack=1e-6)
+
+    def test_score_scale_invariance(self):
+        """Every M-step is a count ratio, so with no absolute pseudo-count
+        (smoothing=0) globally rescaling the rating scores must leave the
+        fitted parameters unchanged."""
+        cuboid, _ = c.generate(c.tiny_config())
+        doubled = cuboid.with_scores(cuboid.scores * 2.0)
+        m1 = TTCAM(3, 3, max_iter=12, smoothing=0.0, tol=0.0, seed=0).fit(cuboid)
+        m2 = TTCAM(3, 3, max_iter=12, smoothing=0.0, tol=0.0, seed=0).fit(doubled)
+        np.testing.assert_allclose(m1.params_.theta, m2.params_.theta, atol=1e-8)
+        np.testing.assert_allclose(m1.params_.phi, m2.params_.phi, atol=1e-8)
+        np.testing.assert_allclose(m1.params_.lambda_u, m2.params_.lambda_u, atol=1e-8)
+
+    def test_strict_monotonicity_without_smoothing(self):
+        """With smoothing=0 the implementation is textbook EM: the
+        training log-likelihood must be exactly non-decreasing."""
+        cuboid, _ = c.generate(c.tiny_config())
+        model = TTCAM(3, 3, max_iter=30, smoothing=0.0, tol=0.0, seed=0).fit(cuboid)
+        ll = model.trace_.log_likelihood
+        assert all(b >= a - 1e-9 * abs(a) for a, b in zip(ll, ll[1:]))
+
+    def test_n_init_keeps_best_likelihood(self):
+        cuboid, _ = c.generate(c.tiny_config())
+        single_lls = [
+            TTCAM(3, 3, max_iter=12, seed=s).fit(cuboid).trace_.final_log_likelihood
+            for s in range(3)
+        ]
+        multi = TTCAM(3, 3, max_iter=12, n_init=3, seed=0).fit(cuboid)
+        assert multi.trace_.final_log_likelihood == pytest.approx(max(single_lls))
+
+    def test_n_init_validated(self):
+        with pytest.raises(ValueError):
+            TTCAM(n_init=0)
+
+    def test_global_lambda_option(self):
+        cuboid, _ = c.generate(c.tiny_config())
+        model = TTCAM(3, 3, max_iter=15, personalized_lambda=False, seed=0).fit(cuboid)
+        lam = model.params_.lambda_u
+        assert np.allclose(lam, lam[0])
+        assert model.trace_.is_monotone(slack=1e-6)
+
+    def test_more_iterations_no_worse_likelihood(self):
+        cuboid, _ = c.generate(c.tiny_config())
+        short = TTCAM(3, 3, max_iter=5, tol=0, seed=0).fit(cuboid)
+        long = TTCAM(3, 3, max_iter=30, tol=0, seed=0).fit(cuboid)
+        assert long.trace_.final_log_likelihood >= short.trace_.final_log_likelihood
+
+
+class TestScoring:
+    def test_scores_form_distribution(self, fitted):
+        model, _, _ = fitted
+        scores = model.score_items(2, 4)
+        assert scores.sum() == pytest.approx(1.0)
+        assert np.all(scores >= 0)
+
+    def test_query_space_matches_score_items(self, fitted):
+        model, _, _ = fitted
+        for user, interval in [(0, 0), (5, 7), (20, 11)]:
+            weights, matrix = model.query_space(user, interval)
+            np.testing.assert_allclose(
+                weights @ matrix, model.score_items(user, interval), atol=1e-12
+            )
+
+    def test_query_space_concatenates_topic_spaces(self, fitted):
+        model, _, _ = fitted
+        weights, matrix = model.query_space(0, 0)
+        assert weights.shape == (7,)  # K1 + K2
+        assert matrix.shape[0] == 7
+        lam = model.params_.lambda_u[0]
+        assert weights[:4].sum() == pytest.approx(lam)
+        assert weights[4:].sum() == pytest.approx(1 - lam)
+
+    def test_static_matrix_cache_key(self, fitted):
+        model, _, _ = fitted
+        assert model.matrix_cache_key(0) == model.matrix_cache_key(9)
+
+    def test_topic_item_matrix_memoised(self, fitted):
+        model, _, _ = fitted
+        m1 = model.params_.topic_item_matrix()
+        m2 = model.params_.topic_item_matrix()
+        assert m1 is m2
+
+    def test_held_out_log_likelihood_finite(self, fitted):
+        model, cuboid, _ = fitted
+        assert np.isfinite(model.log_likelihood(cuboid))
+
+
+class TestRecovery:
+    def test_recovers_event_structure(self, fitted):
+        """Fitted time topics should align with the generator's events."""
+        from repro.analysis.topics import match_topics
+
+        model, _, truth = fitted
+        _, similarity = match_topics(model.params_.phi_time, truth.phi_events)
+        assert similarity.max() > 0.3
+
+    def test_lambda_correlates_with_truth(self):
+        cuboid, truth = c.generate(
+            c.tiny_config(num_users=200, mean_ratings_per_user=40, seed=21)
+        )
+        model = TTCAM(4, 3, max_iter=40, seed=0).fit(cuboid)
+        corr = np.corrcoef(model.params_.lambda_u, truth.lambda_u)[0, 1]
+        assert corr > 0.2

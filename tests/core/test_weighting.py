@@ -1,0 +1,135 @@
+"""Tests for the item-weighting scheme (Equations 17–20)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weighting import (
+    ItemWeights,
+    apply_item_weighting,
+    bursty_degree,
+    compute_item_weights,
+    inverse_user_frequency,
+)
+from repro.data.cuboid import RatingCuboid
+
+
+class TestInverseUserFrequency:
+    def test_hand_computed(self, handmade_cuboid):
+        # N = 3 users; N(v) = [1, 2, 2]
+        iuf = inverse_user_frequency(handmade_cuboid)
+        np.testing.assert_allclose(
+            iuf, [np.log(3 / 1), np.log(3 / 2), np.log(3 / 2)]
+        )
+
+    def test_unrated_item_gets_max_weight(self):
+        cub = RatingCuboid.from_arrays([0, 1], [0, 0], [0, 0], num_items=3)
+        iuf = inverse_user_frequency(cub)
+        assert iuf[1] == pytest.approx(np.log(2))  # N(v)=0 treated as 1
+        assert iuf[1] > iuf[0]
+
+    def test_monotone_decreasing_in_popularity(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        iuf = inverse_user_frequency(cuboid)
+        counts = cuboid.item_user_counts()
+        order = np.argsort(counts)
+        rated = order[counts[order] > 0]
+        # iuf along increasing popularity must be non-increasing.
+        assert np.all(np.diff(iuf[rated]) <= 1e-12)
+
+    def test_item_rated_by_everyone_has_zero_iuf(self):
+        cub = RatingCuboid.from_arrays([0, 1, 2], [0, 0, 0], [0, 0, 0])
+        assert inverse_user_frequency(cub)[0] == pytest.approx(0.0)
+
+
+class TestBurstyDegree:
+    def test_hand_computed(self, handmade_cuboid):
+        # N=3, N_t = [2, 3]; N_t(v): t0 → [1,2,0], t1 → [1,0,2]; N(v)=[1,2,2]
+        burst = bursty_degree(handmade_cuboid)
+        assert burst.shape == (2, 3)
+        assert burst[0, 0] == pytest.approx((1 / 2) * (3 / 1))
+        assert burst[0, 1] == pytest.approx((2 / 2) * (3 / 2))
+        assert burst[1, 2] == pytest.approx((2 / 3) * (3 / 2))
+        assert burst[0, 2] == 0.0
+
+    def test_bursty_item_beats_steady_item(self):
+        # Item 0 appears only in interval 0 (burst); item 1 spread evenly.
+        # Background activity (item 2) keeps every interval equally busy so
+        # per-interval user counts do not distort the comparison.
+        users, intervals, items = [], [], []
+        for u in range(4):  # burst on item 0 at t=0
+            users.append(u), intervals.append(0), items.append(0)
+        for t in range(4):  # steady item 1, one user per interval
+            users.append(t), intervals.append(t), items.append(1)
+        for t in range(4):  # background: users 4..7 active everywhere
+            for u in range(4, 8):
+                users.append(u), intervals.append(t), items.append(2)
+        cub = RatingCuboid.from_arrays(users, intervals, items)
+        burst = bursty_degree(cub)
+        assert burst[0, 0] > burst[:, 1].max()
+
+    def test_empty_interval_contributes_zero(self):
+        cub = RatingCuboid.from_arrays([0], [0], [0], num_intervals=3)
+        burst = bursty_degree(cub)
+        assert burst[1].sum() == 0
+        assert burst[2].sum() == 0
+
+    def test_no_nan_on_degenerate_data(self):
+        cub = RatingCuboid.from_arrays([0], [0], [0], num_items=4, num_intervals=2)
+        burst = bursty_degree(cub)
+        assert np.all(np.isfinite(burst))
+
+
+class TestItemWeights:
+    def test_weight_matches_components(self, handmade_cuboid):
+        weights = compute_item_weights(handmade_cuboid)
+        expected = weights.iuf[1] * weights.burst[0, 1]
+        assert weights.weight(1, 0) == pytest.approx(expected)
+
+    def test_weight_matrix_shape(self, handmade_cuboid):
+        weights = compute_item_weights(handmade_cuboid)
+        matrix = weights.weight_matrix()
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 1] == pytest.approx(weights.weight(1, 0))
+
+
+class TestApplyWeighting:
+    def test_scores_rescaled(self, handmade_cuboid):
+        weights = compute_item_weights(handmade_cuboid)
+        weighted = apply_item_weighting(handmade_cuboid, weights)
+        assert weighted.nnz == handmade_cuboid.nnz
+        i = 0
+        v, t = int(handmade_cuboid.items[i]), int(handmade_cuboid.intervals[i])
+        expected = handmade_cuboid.scores[i] * max(weights.weight(v, t), 1e-6)
+        assert weighted.scores[i] == pytest.approx(expected)
+
+    def test_floor_keeps_entries_positive(self, handmade_cuboid):
+        weighted = apply_item_weighting(handmade_cuboid)
+        assert np.all(weighted.scores > 0)
+
+    def test_weights_computed_on_demand(self, handmade_cuboid):
+        explicit = apply_item_weighting(
+            handmade_cuboid, compute_item_weights(handmade_cuboid)
+        )
+        implicit = apply_item_weighting(handmade_cuboid)
+        np.testing.assert_allclose(explicit.scores, implicit.scores)
+
+    def test_dimension_mismatch_rejected(self, handmade_cuboid, tiny_cuboid):
+        other, _ = tiny_cuboid
+        weights = compute_item_weights(other)
+        with pytest.raises(ValueError):
+            apply_item_weighting(handmade_cuboid, weights)
+
+    def test_promotes_salient_bursty_over_popular_steady(self):
+        """The scheme's purpose: a salient bursty item gains score share
+        at the expense of a popular steady item."""
+        users, intervals, items = [], [], []
+        for t in range(4):  # popular steady item 0: 6 users per interval
+            for u in range(6):
+                users.append(u), intervals.append(t), items.append(0)
+        for u in (6, 7):  # salient bursty item 1: 2 users, only at t=2
+            users.append(u), intervals.append(2), items.append(1)
+        cub = RatingCuboid.from_arrays(users, intervals, items)
+        weighted = apply_item_weighting(cub)
+        before = cub.scores[cub.items == 1].sum() / cub.total_score
+        after = weighted.scores[weighted.items == 1].sum() / weighted.total_score
+        assert after > before

@@ -1,0 +1,119 @@
+"""Tests for the real-data adapters."""
+
+import numpy as np
+import pytest
+
+from repro.data.adapters import (
+    filter_min_activity,
+    from_events,
+    load_movielens_dat,
+    load_timestamped_csv,
+)
+
+DAY = 86_400.0
+
+
+class TestFromEvents:
+    def test_discretises_timestamps(self):
+        events = [
+            ("alice", "matrix", 5.0, 0.0),
+            ("alice", "inception", 4.0, 2.5 * DAY),
+            ("bob", "matrix", 3.0, 7.0 * DAY),
+        ]
+        cuboid = from_events(events, interval_days=3.0)
+        assert cuboid.num_intervals == 3  # days 0-3, 3-6, 6-9
+        assert cuboid.num_users == 2
+        assert cuboid.num_items == 2
+        # alice's two ratings land in interval 0; bob's in interval 2.
+        assert sorted(cuboid.intervals.tolist()) == [0, 0, 2]
+
+    def test_origin_is_earliest_timestamp(self):
+        events = [("u", "a", 1.0, 100 * DAY), ("u", "b", 1.0, 101 * DAY)]
+        cuboid = from_events(events, interval_days=1.0)
+        assert cuboid.intervals.min() == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_events([])
+
+
+class TestMovieLensDat:
+    def test_parses_double_colon_format(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text(
+            "1::10::5::0\n"
+            "1::20::3::86400\n"
+            "2::10::4::172800\n"
+        )
+        cuboid = load_movielens_dat(path, interval_days=1.0)
+        assert cuboid.num_users == 2
+        assert cuboid.num_items == 2
+        assert cuboid.nnz == 3
+        assert cuboid.scores.sum() == 12.0
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10::5::0\nbroken line\n")
+        with pytest.raises(ValueError, match=":2"):
+            load_movielens_dat(path)
+
+    def test_max_rows_caps(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("\n".join(f"{u}::1::3::0" for u in range(10)))
+        cuboid = load_movielens_dat(path, max_rows=4)
+        assert cuboid.num_users == 4
+
+
+class TestTimestampedCSV:
+    def test_loads_by_header_names(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(
+            "when,who,what,stars\n"
+            "0,alice,matrix,5\n"
+            f"{3 * DAY},bob,inception,4\n"
+        )
+        cuboid = load_timestamped_csv(
+            path,
+            interval_days=3.0,
+            user_column="who",
+            item_column="what",
+            rating_column="stars",
+            timestamp_column="when",
+        )
+        assert cuboid.nnz == 2
+        assert cuboid.num_intervals == 2
+
+    def test_implicit_feedback_mode(self, tmp_path):
+        path = tmp_path / "clicks.csv"
+        path.write_text("user,item,timestamp\na,x,0\na,x,10\n")
+        cuboid = load_timestamped_csv(path, rating_column=None, interval_days=1.0)
+        # Two implicit clicks on the same (u, t, v) coalesce to score 2.
+        assert cuboid.nnz == 1
+        assert cuboid.scores[0] == 2.0
+
+    def test_missing_columns_reported(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user,item\na,x\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_timestamped_csv(path)
+
+
+class TestFilterMinActivity:
+    def test_drops_inactive(self):
+        events = [("heavy", f"item{i}", 1.0, i * DAY) for i in range(5)]
+        events += [("light", "item0", 1.0, 0.0)]
+        cuboid = from_events(events, interval_days=1.0)
+        filtered = filter_min_activity(cuboid, min_user_ratings=2)
+        kept_users = set(filtered.users.tolist())
+        assert cuboid.user_index.id_of("light") not in kept_users
+
+    def test_item_threshold(self):
+        events = [("a", "popular", 1.0, 0.0), ("b", "popular", 1.0, 0.0), ("a", "rare", 1.0, 0.0)]
+        cuboid = from_events(events, interval_days=1.0)
+        filtered = filter_min_activity(cuboid, min_item_users=2)
+        assert cuboid.item_index.id_of("rare") not in set(filtered.items.tolist())
+
+    def test_validation(self):
+        cuboid = from_events([("a", "x", 1.0, 0.0)], interval_days=1.0)
+        with pytest.raises(ValueError):
+            filter_min_activity(cuboid, min_user_ratings=0)

@@ -1,0 +1,108 @@
+"""Property-based tests for rating-cuboid invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.cuboid import RatingCuboid
+
+
+@st.composite
+def coordinate_arrays(draw):
+    n = draw(st.integers(1, 8))
+    t = draw(st.integers(1, 6))
+    v = draw(st.integers(1, 10))
+    size = draw(st.integers(0, 60))
+    users = draw(
+        st.lists(st.integers(0, n - 1), min_size=size, max_size=size)
+    )
+    intervals = draw(
+        st.lists(st.integers(0, t - 1), min_size=size, max_size=size)
+    )
+    items = draw(st.lists(st.integers(0, v - 1), min_size=size, max_size=size))
+    scores = draw(
+        st.lists(
+            st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return users, intervals, items, scores, n, t, v
+
+
+def build(data):
+    users, intervals, items, scores, n, t, v = data
+    return RatingCuboid.from_arrays(
+        users, intervals, items, scores, num_users=n, num_intervals=t, num_items=v
+    )
+
+
+class TestCoalesceInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(coordinate_arrays())
+    def test_total_score_preserved(self, data):
+        cub = build(data)
+        assert cub.total_score == np.float64(sum(data[3])) or np.isclose(
+            cub.total_score, sum(data[3])
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(coordinate_arrays())
+    def test_coalesce_idempotent(self, data):
+        cub = build(data)
+        again = cub.coalesce()
+        np.testing.assert_array_equal(cub.users, again.users)
+        np.testing.assert_allclose(cub.scores, again.scores)
+
+    @settings(max_examples=80, deadline=None)
+    @given(coordinate_arrays())
+    def test_coordinates_unique_after_coalesce(self, data):
+        cub = build(data)
+        keys = (
+            cub.users * cub.num_intervals * cub.num_items
+            + cub.intervals * cub.num_items
+            + cub.items
+        )
+        assert len(np.unique(keys)) == cub.nnz
+
+    @settings(max_examples=80, deadline=None)
+    @given(coordinate_arrays())
+    def test_dense_round_trip(self, data):
+        cub = build(data)
+        dense = cub.to_dense()
+        assert np.isclose(dense.sum(), cub.total_score)
+        assert (dense > 0).sum() == cub.nnz
+
+
+class TestTransformInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(coordinate_arrays(), st.integers(1, 5))
+    def test_coarsen_preserves_mass(self, data, factor):
+        cub = build(data)
+        coarse = cub.coarsen_intervals(factor)
+        assert np.isclose(coarse.total_score, cub.total_score)
+        assert coarse.num_intervals == -(-cub.num_intervals // factor)
+        assert coarse.nnz <= cub.nnz
+
+    @settings(max_examples=60, deadline=None)
+    @given(coordinate_arrays(), st.integers(0, 2**31 - 1))
+    def test_select_partition_is_lossless(self, data, seed):
+        cub = build(data)
+        rng = np.random.default_rng(seed)
+        mask = rng.random(cub.nnz) < 0.5
+        a, b = cub.select(mask), cub.select(~mask)
+        assert a.nnz + b.nnz == cub.nnz
+        assert np.isclose(a.total_score + b.total_score, cub.total_score)
+
+    @settings(max_examples=60, deadline=None)
+    @given(coordinate_arrays())
+    def test_statistics_consistent_with_dense(self, data):
+        cub = build(data)
+        dense = cub.to_dense()
+        np.testing.assert_allclose(cub.item_popularity(), dense.sum(axis=(0, 1)))
+        np.testing.assert_allclose(
+            cub.interval_item_matrix(), dense.sum(axis=0)
+        )
+        # Distinct user counts per item.
+        present = (dense > 0).any(axis=1)  # (N, V)
+        np.testing.assert_array_equal(cub.item_user_counts(), present.sum(axis=0))

@@ -1,0 +1,97 @@
+"""Tests for rating events and user documents."""
+
+import pytest
+
+from repro.data.events import (
+    Rating,
+    UserDocument,
+    dataset_statistics,
+    group_by_interval,
+    group_by_user,
+)
+
+
+class TestRating:
+    def test_fields_round_trip(self):
+        rating = Rating("u1", 3, "item9", 2.5)
+        assert rating.as_tuple() == ("u1", 3, "item9", 2.5)
+
+    def test_default_score_is_one(self):
+        assert Rating("u", 0, "v").score == 1.0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            Rating("u", -1, "v")
+
+    def test_zero_score_rejected(self):
+        with pytest.raises(ValueError, match="score"):
+            Rating("u", 0, "v", 0.0)
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(ValueError, match="score"):
+            Rating("u", 0, "v", -1.0)
+
+    def test_is_hashable_and_frozen(self):
+        rating = Rating("u", 0, "v")
+        assert {rating: 1}[Rating("u", 0, "v")] == 1
+        with pytest.raises(AttributeError):
+            rating.score = 2.0
+
+
+class TestUserDocument:
+    def test_add_and_len(self):
+        doc = UserDocument("u")
+        doc.add("a", 0)
+        doc.add("b", 1, 2.0)
+        assert len(doc) == 2
+
+    def test_items_order_preserved(self):
+        doc = UserDocument("u")
+        doc.add("b", 1)
+        doc.add("a", 0)
+        assert doc.items() == ["b", "a"]
+        assert doc.intervals() == [1, 0]
+
+    def test_items_in_interval(self):
+        doc = UserDocument("u")
+        doc.add("a", 0)
+        doc.add("b", 1)
+        doc.add("c", 1)
+        assert doc.items_in_interval(1) == ["b", "c"]
+        assert doc.items_in_interval(5) == []
+
+    def test_iteration_yields_entries(self):
+        doc = UserDocument("u")
+        doc.add("a", 0, 1.5)
+        assert list(doc) == [("a", 0, 1.5)]
+
+
+class TestGrouping:
+    def test_group_by_user(self, simple_ratings):
+        docs = group_by_user(simple_ratings)
+        assert set(docs) == {"alice", "bob", "carol"}
+        assert docs["alice"].items() == ["pizza", "sushi", "pizza"]
+        assert len(docs["bob"]) == 2
+
+    def test_group_by_interval(self, simple_ratings):
+        buckets = group_by_interval(simple_ratings)
+        assert set(buckets) == {0, 1}
+        assert len(buckets[0]) == 3
+        assert len(buckets[1]) == 3
+
+    def test_group_empty_stream(self):
+        assert group_by_user([]) == {}
+        assert group_by_interval([]) == {}
+
+
+class TestDatasetStatistics:
+    def test_counts(self, simple_ratings):
+        stats = dataset_statistics(simple_ratings)
+        assert stats["users"] == 3
+        assert stats["items"] == 3
+        assert stats["ratings"] == 6
+        assert stats["intervals"] == 2
+
+    def test_empty(self):
+        stats = dataset_statistics([])
+        assert stats == {"users": 0, "items": 0, "ratings": 0, "intervals": 0}

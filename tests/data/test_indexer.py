@@ -1,0 +1,66 @@
+"""Tests for the label ↔ id Indexer."""
+
+import numpy as np
+import pytest
+
+from repro.data.indexer import Indexer
+
+
+class TestIndexer:
+    def test_first_seen_order(self):
+        index = Indexer(["b", "a", "c"])
+        assert index.id_of("b") == 0
+        assert index.id_of("a") == 1
+        assert index.id_of("c") == 2
+
+    def test_add_is_idempotent(self):
+        index = Indexer()
+        first = index.add("x")
+        second = index.add("x")
+        assert first == second == 0
+        assert len(index) == 1
+
+    def test_label_of_round_trip(self):
+        index = Indexer(["a", "b"])
+        assert index.label_of(index.id_of("b")) == "b"
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            Indexer().id_of("missing")
+
+    def test_negative_index_raises(self):
+        with pytest.raises(IndexError):
+            Indexer(["a"]).label_of(-1)
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(IndexError):
+            Indexer(["a"]).label_of(5)
+
+    def test_get_with_default(self):
+        index = Indexer(["a"])
+        assert index.get("a") == 0
+        assert index.get("missing") is None
+        assert index.get("missing", -1) == -1
+
+    def test_encode_decode(self):
+        index = Indexer(["a", "b", "c"])
+        encoded = index.encode(["c", "a", "c"])
+        assert encoded.dtype == np.int64
+        assert encoded.tolist() == [2, 0, 2]
+        assert index.decode(encoded) == ["c", "a", "c"]
+
+    def test_encode_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Indexer(["a"]).encode(["a", "zzz"])
+
+    def test_contains_iter_len(self):
+        index = Indexer(["a", "b"])
+        assert "a" in index
+        assert "z" not in index
+        assert list(index) == ["a", "b"]
+        assert len(index) == 2
+
+    def test_non_string_labels(self):
+        index = Indexer([10, (1, 2)])
+        assert index.id_of(10) == 0
+        assert index.id_of((1, 2)) == 1

@@ -1,0 +1,89 @@
+"""Tests for time discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.data.intervals import SECONDS_PER_DAY, TimeDiscretizer, rediscretize
+
+
+class TestTimeDiscretizer:
+    def test_basic_bucketing(self):
+        disc = TimeDiscretizer(origin=0.0, interval_seconds=10.0)
+        assert disc.interval_of(0.0) == 0
+        assert disc.interval_of(9.99) == 0
+        assert disc.interval_of(10.0) == 1
+        assert disc.interval_of(25.0) == 2
+
+    def test_from_days(self):
+        disc = TimeDiscretizer.from_days(origin=0.0, days=3)
+        assert disc.interval_seconds == 3 * SECONDS_PER_DAY
+        assert disc.interval_of(2.9 * SECONDS_PER_DAY) == 0
+        assert disc.interval_of(3.0 * SECONDS_PER_DAY) == 1
+
+    def test_before_origin_rejected(self):
+        disc = TimeDiscretizer(origin=100.0, interval_seconds=10.0)
+        with pytest.raises(ValueError, match="precedes"):
+            disc.interval_of(99.0)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError):
+            TimeDiscretizer(origin=0.0, interval_seconds=0.0)
+
+    def test_vectorised_matches_scalar(self):
+        disc = TimeDiscretizer(origin=5.0, interval_seconds=7.0)
+        stamps = [5.0, 11.9, 12.0, 33.3]
+        vector = disc.intervals_of(stamps)
+        assert vector.tolist() == [disc.interval_of(t) for t in stamps]
+
+    def test_vectorised_rejects_early_timestamps(self):
+        disc = TimeDiscretizer(origin=5.0, interval_seconds=7.0)
+        with pytest.raises(ValueError):
+            disc.intervals_of([5.0, 4.0])
+
+    def test_covering_spans_exactly(self):
+        stamps = [10.0, 50.0, 90.0]
+        disc = TimeDiscretizer.covering(stamps, num_intervals=4)
+        buckets = disc.intervals_of(stamps)
+        assert buckets.min() == 0
+        assert buckets.max() == 3
+
+    def test_covering_single_point(self):
+        disc = TimeDiscretizer.covering([42.0], num_intervals=3)
+        assert disc.interval_of(42.0) == 0
+
+    def test_covering_validation(self):
+        with pytest.raises(ValueError):
+            TimeDiscretizer.covering([], num_intervals=2)
+        with pytest.raises(ValueError):
+            TimeDiscretizer.covering([1.0], num_intervals=0)
+
+    def test_start_of(self):
+        disc = TimeDiscretizer(origin=3.0, interval_seconds=5.0)
+        assert disc.start_of(0) == 3.0
+        assert disc.start_of(2) == 13.0
+        with pytest.raises(ValueError):
+            disc.start_of(-1)
+
+    def test_num_intervals(self):
+        disc = TimeDiscretizer(origin=0.0, interval_seconds=10.0)
+        assert disc.num_intervals([0.0, 35.0]) == 4
+        assert disc.num_intervals([]) == 0
+
+
+class TestRediscretize:
+    def test_merge_by_factor(self):
+        fine = np.array([0, 1, 2, 3, 4, 5])
+        coarse = rediscretize(fine, old_length=1.0, new_length=3.0)
+        assert coarse.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_identity(self):
+        fine = np.array([0, 5, 9])
+        assert rediscretize(fine, 2.0, 2.0).tolist() == [0, 5, 9]
+
+    def test_finer_rejected(self):
+        with pytest.raises(ValueError, match="finer"):
+            rediscretize(np.array([0]), old_length=2.0, new_length=1.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            rediscretize(np.array([0]), old_length=0.0, new_length=1.0)

@@ -1,0 +1,99 @@
+"""Tests for rating data I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    cuboid_to_ratings,
+    load_cuboid_csv,
+    read_csv,
+    read_jsonl,
+    save_cuboid_csv,
+    write_csv,
+    write_jsonl,
+)
+from repro.data.cuboid import RatingCuboid
+from repro.data.events import Rating
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, simple_ratings):
+        path = tmp_path / "ratings.csv"
+        count = write_csv(simple_ratings, path)
+        assert count == len(simple_ratings)
+        loaded = list(read_csv(path))
+        assert loaded == simple_ratings
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user,item\nalice,pizza\n")
+        with pytest.raises(ValueError, match="missing required columns"):
+            list(read_csv(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            list(read_csv(path))
+
+
+class TestJSONL:
+    def test_round_trip(self, tmp_path, simple_ratings):
+        path = tmp_path / "ratings.jsonl"
+        count = write_jsonl(simple_ratings, path)
+        assert count == len(simple_ratings)
+        loaded = list(read_jsonl(path))
+        assert loaded == simple_ratings
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            '{"user": "a", "interval": 0, "item": "x", "score": 1.0}\n'
+            "\n"
+            '{"user": "b", "interval": 1, "item": "y", "score": 2.0}\n'
+        )
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_default_score(self, tmp_path):
+        path = tmp_path / "noscore.jsonl"
+        path.write_text('{"user": "a", "interval": 0, "item": "x"}\n')
+        [rating] = list(read_jsonl(path))
+        assert rating.score == 1.0
+
+    def test_invalid_json_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"user": "a", "interval": 0, "item": "x"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            list(read_jsonl(path))
+
+
+class TestCuboidRoundTrip:
+    def test_save_load_preserves_tensor(self, tmp_path, simple_ratings):
+        original = RatingCuboid.from_ratings(simple_ratings)
+        path = tmp_path / "cuboid.csv"
+        save_cuboid_csv(original, path)
+        loaded = load_cuboid_csv(path)
+        assert loaded.shape == original.shape
+        np.testing.assert_allclose(
+            loaded.to_dense(), original.to_dense()
+        )
+
+    def test_cuboid_to_ratings_uses_labels(self, simple_ratings):
+        cuboid = RatingCuboid.from_ratings(simple_ratings)
+        back = list(cuboid_to_ratings(cuboid))
+        users = {r.user for r in back}
+        assert users == {"alice", "bob", "carol"}
+
+    def test_cuboid_to_ratings_without_indexers(self):
+        cuboid = RatingCuboid.from_arrays([0, 1], [0, 0], [1, 0])
+        back = list(cuboid_to_ratings(cuboid))
+        assert back[0].user == "0"
+        assert back[0].item == "1"
+
+    def test_synthetic_round_trip(self, tmp_path, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        path = tmp_path / "tiny.csv"
+        save_cuboid_csv(cuboid, path)
+        loaded = load_cuboid_csv(path)
+        assert loaded.nnz == cuboid.nnz
+        assert loaded.total_score == pytest.approx(cuboid.total_score)

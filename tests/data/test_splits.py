@@ -1,0 +1,103 @@
+"""Tests for train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.cuboid import RatingCuboid
+from repro.data.splits import (
+    cross_validation_splits,
+    holdout_split,
+    leave_last_interval_split,
+)
+
+
+class TestHoldoutSplit:
+    def test_partitions_all_entries(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        split = holdout_split(cuboid, seed=0)
+        assert split.train.nnz + split.test.nnz == cuboid.nnz
+        assert split.train.shape == cuboid.shape
+        assert split.test.shape == cuboid.shape
+
+    def test_test_fraction_approximate(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        split = holdout_split(cuboid, test_fraction=0.2, seed=0)
+        fraction = split.test.nnz / cuboid.nnz
+        assert 0.12 < fraction < 0.28
+
+    def test_stratified_within_groups(self):
+        # One user, one interval, 10 items: exactly 2 land in test.
+        cub = RatingCuboid.from_arrays([0] * 10, [0] * 10, list(range(10)))
+        split = holdout_split(cub, test_fraction=0.2, seed=3)
+        assert split.test.nnz == 2
+        assert split.train.nnz == 8
+
+    def test_deterministic_by_seed(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        s1 = holdout_split(cuboid, seed=5)
+        s2 = holdout_split(cuboid, seed=5)
+        np.testing.assert_array_equal(s1.test.items, s2.test.items)
+
+    def test_different_seeds_differ(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        s1 = holdout_split(cuboid, seed=1)
+        s2 = holdout_split(cuboid, seed=2)
+        assert not np.array_equal(s1.test.items, s2.test.items)
+
+    def test_invalid_fraction(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        with pytest.raises(ValueError):
+            holdout_split(cuboid, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            holdout_split(cuboid, test_fraction=1.0)
+
+    def test_query_pairs_cover_test_entries(self, tiny_split):
+        pairs = set(tiny_split.query_pairs())
+        test = tiny_split.test
+        observed = set(zip(test.users.tolist(), test.intervals.tolist()))
+        assert pairs == observed
+
+
+class TestCrossValidation:
+    def test_folds_partition_exactly(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        folds = list(cross_validation_splits(cuboid, num_folds=5, seed=0))
+        assert len(folds) == 5
+        total_test = sum(split.test.nnz for split in folds)
+        assert total_test == cuboid.nnz
+        for split in folds:
+            assert split.train.nnz + split.test.nnz == cuboid.nnz
+
+    def test_folds_are_disjoint(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        folds = list(cross_validation_splits(cuboid, num_folds=4, seed=0))
+        seen: set[tuple[int, int, int]] = set()
+        for split in folds:
+            entries = set(
+                zip(
+                    split.test.users.tolist(),
+                    split.test.intervals.tolist(),
+                    split.test.items.tolist(),
+                )
+            )
+            assert not (entries & seen)
+            seen |= entries
+
+    def test_min_folds(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        with pytest.raises(ValueError):
+            list(cross_validation_splits(cuboid, num_folds=1))
+
+
+class TestLeaveLastInterval:
+    def test_last_interval_held_out(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        split = leave_last_interval_split(cuboid)
+        last = int(cuboid.intervals.max())
+        assert np.all(split.test.intervals == last)
+        assert not np.any(split.train.intervals == last)
+
+    def test_empty_cuboid_rejected(self):
+        empty = RatingCuboid.from_arrays([], [], [], num_users=1, num_intervals=1, num_items=1)
+        with pytest.raises(ValueError):
+            leave_last_interval_split(empty)

@@ -1,0 +1,88 @@
+"""Property-based tests for the splitting machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.cuboid import RatingCuboid
+from repro.data.splits import cross_validation_splits, holdout_split
+
+
+@st.composite
+def random_cuboid(draw):
+    n = draw(st.integers(2, 10))
+    t = draw(st.integers(1, 6))
+    v = draw(st.integers(2, 12))
+    size = draw(st.integers(5, 80))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    return RatingCuboid.from_arrays(
+        rng.integers(0, n, size),
+        rng.integers(0, t, size),
+        rng.integers(0, v, size),
+        num_users=n,
+        num_intervals=t,
+        num_items=v,
+    )
+
+
+class TestHoldoutProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_cuboid(), st.integers(0, 1000))
+    def test_partition_exact(self, cuboid, seed):
+        split = holdout_split(cuboid, seed=seed)
+        assert split.train.nnz + split.test.nnz == cuboid.nnz
+        assert np.isclose(
+            split.train.total_score + split.test.total_score, cuboid.total_score
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_cuboid(), st.integers(0, 1000))
+    def test_stratification_bound(self, cuboid, seed):
+        """No (u, t) group loses more than ceil(group/5) entries to test."""
+        split = holdout_split(cuboid, test_fraction=0.2, seed=seed)
+
+        def group_counts(part):
+            keys = part.users * part.num_intervals + part.intervals
+            return dict(zip(*np.unique(keys, return_counts=True)))
+
+        full = group_counts(cuboid)
+        test = group_counts(split.test)
+        for key, test_count in test.items():
+            total = full[key]
+            assert test_count <= -(-total // 5)  # ceil(total / 5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_cuboid())
+    def test_dimensions_preserved(self, cuboid):
+        split = holdout_split(cuboid, seed=0)
+        assert split.train.shape == cuboid.shape
+        assert split.test.shape == cuboid.shape
+
+
+class TestCrossValidationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_cuboid(), st.integers(2, 5), st.integers(0, 500))
+    def test_folds_partition_and_are_disjoint(self, cuboid, folds, seed):
+        splits = list(cross_validation_splits(cuboid, num_folds=folds, seed=seed))
+        assert len(splits) == folds
+        total = sum(split.test.nnz for split in splits)
+        assert total == cuboid.nnz
+        seen: set[tuple[int, int, int]] = set()
+        for split in splits:
+            entries = set(
+                zip(
+                    split.test.users.tolist(),
+                    split.test.intervals.tolist(),
+                    split.test.items.tolist(),
+                )
+            )
+            assert not (entries & seen)
+            seen |= entries
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_cuboid(), st.integers(0, 500))
+    def test_deterministic(self, cuboid, seed):
+        a = list(cross_validation_splits(cuboid, num_folds=3, seed=seed))
+        b = list(cross_validation_splits(cuboid, num_folds=3, seed=seed))
+        for split_a, split_b in zip(a, b):
+            np.testing.assert_array_equal(split_a.test.items, split_b.test.items)

@@ -1,0 +1,200 @@
+"""Tests for the synthetic dataset generator and its ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    EventSpec,
+    SyntheticConfig,
+    auto_events,
+    generate,
+    sample_rows,
+)
+from tests.conftest import tiny_config
+
+
+class TestEventSpec:
+    def test_activity_peaks_at_peak(self):
+        event = EventSpec(name="e", peak=5, width=1.0, strength=2.0)
+        curve = event.activity(10)
+        assert curve.argmax() == 5
+        assert curve.max() == pytest.approx(2.0)
+
+    def test_activity_decays_with_distance(self):
+        curve = EventSpec(name="e", peak=5, width=1.0).activity(10)
+        assert curve[5] > curve[6] > curve[7] > curve[9]
+
+
+class TestConfigValidation:
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            tiny_config(num_users=0)
+
+    def test_rejects_no_events(self):
+        with pytest.raises(ValueError):
+            tiny_config(events=())
+
+    def test_rejects_event_peak_outside_range(self):
+        with pytest.raises(ValueError, match="peaks outside"):
+            tiny_config(events=(EventSpec(name="bad", peak=99),))
+
+    def test_rejects_too_many_dedicated_items(self):
+        events = tuple(
+            EventSpec(name=f"e{i}", peak=1, num_items=30) for i in range(5)
+        )
+        with pytest.raises(ValueError, match="dedicated"):
+            tiny_config(events=events)
+
+    def test_rejects_bad_noise_fraction(self):
+        with pytest.raises(ValueError):
+            tiny_config(noise_fraction=1.0)
+
+    def test_rejects_bad_lifecycle(self):
+        with pytest.raises(ValueError):
+            tiny_config(item_lifecycle=0.0)
+
+    def test_rejects_bad_engagement(self):
+        with pytest.raises(ValueError):
+            tiny_config(noise_engagement=0.5)
+
+
+class TestGenerate:
+    def test_deterministic_for_fixed_seed(self):
+        c1, _ = generate(tiny_config())
+        c2, _ = generate(tiny_config())
+        np.testing.assert_array_equal(c1.users, c2.users)
+        np.testing.assert_array_equal(c1.scores, c2.scores)
+
+    def test_different_seeds_differ(self):
+        c1, _ = generate(tiny_config(seed=1))
+        c2, _ = generate(tiny_config(seed=2))
+        assert not np.array_equal(c1.items, c2.items)
+
+    def test_dimensions_match_config(self, tiny_cuboid):
+        cuboid, truth = tiny_cuboid
+        cfg = truth.config
+        assert cuboid.shape == (cfg.num_users, cfg.num_intervals, cfg.num_items)
+
+    def test_ground_truth_distributions_are_stochastic(self, tiny_cuboid):
+        _, truth = tiny_cuboid
+        np.testing.assert_allclose(truth.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(truth.phi.sum(axis=1), 1.0)
+        np.testing.assert_allclose(truth.phi_events.sum(axis=1), 1.0)
+        np.testing.assert_allclose(truth.temporal_context.sum(axis=1), 1.0)
+        assert np.all((truth.lambda_u >= 0) & (truth.lambda_u <= 1))
+
+    def test_event_items_are_labelled(self, tiny_cuboid):
+        _, truth = tiny_cuboid
+        for name, ids in truth.event_items.items():
+            for v in ids:
+                assert name in truth.item_labels[int(v)]
+
+    def test_event_items_disjoint(self, tiny_cuboid):
+        _, truth = tiny_cuboid
+        all_ids = np.concatenate(list(truth.event_items.values()))
+        assert len(np.unique(all_ids)) == len(all_ids)
+
+    def test_source_values(self, tiny_cuboid):
+        _, truth = tiny_cuboid
+        assert set(np.unique(truth.source)) <= {0, 1, 2}
+
+    def test_noise_fraction_zero_means_no_noise(self):
+        _, truth = generate(tiny_config(noise_fraction=0.0))
+        assert not np.any(truth.source == 2)
+
+    def test_noise_fraction_controls_share(self):
+        _, truth = generate(tiny_config(noise_fraction=0.4, seed=9))
+        share = float(np.mean(truth.source == 2))
+        assert 0.3 < share < 0.5
+
+    def test_context_ratings_cluster_near_event_peaks(self):
+        cfg = tiny_config(lambda_alpha=0.5, lambda_beta=8.0, noise_fraction=0.0)
+        _, truth = generate(cfg)
+        # Almost all ratings are context-driven; their intervals should
+        # concentrate around event peaks.
+        peaks = [event.peak for event in cfg.events]
+        context_shares = truth.temporal_context.max(axis=1)
+        assert context_shares.mean() > 0.4  # peaked contexts
+
+    def test_distinct_items_removes_duplicates(self):
+        cuboid, truth = generate(tiny_config(distinct_items=True))
+        pairs = cuboid.users * cuboid.num_items + cuboid.items
+        assert len(np.unique(pairs)) == len(pairs)
+
+    def test_explicit_scores_in_star_range(self):
+        cuboid, _ = generate(tiny_config(explicit_scores=True))
+        # Coalescing may sum duplicate (u, t, v) stars, so check the floor
+        # and that values are integral multiples of 1.
+        assert cuboid.scores.min() >= 1.0
+        np.testing.assert_allclose(cuboid.scores, np.round(cuboid.scores))
+
+    def test_engagement_inflates_counts(self):
+        calm, _ = generate(tiny_config(noise_fraction=0.3, noise_engagement=1.0))
+        loud, _ = generate(tiny_config(noise_fraction=0.3, noise_engagement=6.0))
+        assert loud.total_score > calm.total_score
+
+    def test_lambda_matches_beta_prior(self):
+        _, truth = generate(tiny_config(lambda_alpha=8.0, lambda_beta=2.0, num_users=400))
+        assert abs(truth.lambda_u.mean() - 0.8) < 0.05
+
+    def test_availability_rows_normalised(self, tiny_cuboid):
+        _, truth = tiny_cuboid
+        np.testing.assert_allclose(truth.availability.sum(axis=1), 1.0)
+
+    def test_evergreen_head_stays_flat(self):
+        _, truth = generate(
+            tiny_config(item_lifecycle=2.0, evergreen_fraction=0.1)
+        )
+        dedicated = {int(v) for ids in truth.event_items.values() for v in ids}
+        evergreen = [v for v in range(8) if v not in dedicated]
+        flat = 1.0 / truth.config.num_intervals
+        for v in evergreen:
+            np.testing.assert_allclose(truth.availability[v], flat)
+        # Non-evergreen items still decay.
+        tail_item = truth.config.num_items - 1
+        if tail_item not in dedicated:
+            assert truth.availability[tail_item].max() > flat
+
+    def test_evergreen_fraction_validated(self):
+        with pytest.raises(ValueError):
+            tiny_config(evergreen_fraction=1.5)
+
+    def test_infinite_lifecycle_flat_availability(self):
+        _, truth = generate(tiny_config(item_lifecycle=float("inf")))
+        expected = 1.0 / truth.config.num_intervals
+        np.testing.assert_allclose(truth.availability, expected)
+
+    def test_labels_round_trip_through_indexer(self, tiny_cuboid):
+        cuboid, truth = tiny_cuboid
+        assert cuboid.item_index.label_of(0) == truth.item_labels[0]
+
+
+class TestSampleRows:
+    def test_respects_row_distributions(self, rng):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        rows = np.array([0, 1, 0, 1])
+        draws = sample_rows(probs, rows, rng)
+        assert draws.tolist() == [0, 1, 0, 1]
+
+    def test_empirical_frequencies(self, rng):
+        probs = np.array([[0.2, 0.8]])
+        rows = np.zeros(20_000, dtype=np.int64)
+        draws = sample_rows(probs, rows, rng)
+        assert abs(draws.mean() - 0.8) < 0.02
+
+
+class TestAutoEvents:
+    def test_count_and_span(self):
+        events = auto_events(5, 50, rng_seed=1)
+        assert len(events) == 5
+        peaks = [e.peak for e in events]
+        assert all(0 <= p < 50 for p in peaks)
+        assert peaks == sorted(peaks)
+
+    def test_unique_names(self):
+        events = auto_events(4, 20)
+        assert len({e.name for e in events}) == 4
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            auto_events(0, 10)

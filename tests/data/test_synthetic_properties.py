@@ -1,0 +1,88 @@
+"""Property-based tests for the synthetic generator's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import generate
+from tests.conftest import tiny_config
+
+
+@st.composite
+def generator_config(draw):
+    from repro.data.synthetic import auto_events
+
+    num_intervals = draw(st.integers(6, 16))
+    return tiny_config(
+        events=auto_events(3, num_intervals, rng_seed=5, width=1.0, num_items=5),
+        num_users=draw(st.integers(30, 120)),
+        num_items=draw(st.integers(40, 100)),
+        num_intervals=num_intervals,
+        lambda_alpha=draw(st.floats(0.5, 8.0)),
+        lambda_beta=draw(st.floats(0.5, 8.0)),
+        noise_fraction=draw(st.floats(0.0, 0.4)),
+        item_lifecycle=draw(st.sampled_from([2.0, 5.0, float("inf")])),
+        distinct_items=draw(st.booleans()),
+        explicit_scores=draw(st.booleans()),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+class TestGeneratorInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(generator_config())
+    def test_cuboid_well_formed(self, config):
+        cuboid, truth = generate(config)
+        assert cuboid.shape == (
+            config.num_users,
+            config.num_intervals,
+            config.num_items,
+        )
+        assert cuboid.nnz > 0
+        assert np.all(cuboid.scores > 0)
+        # Events' peaks fall inside the timeline.
+        for event in config.events:
+            assert 0 <= event.peak < config.num_intervals
+
+    @settings(max_examples=25, deadline=None)
+    @given(generator_config())
+    def test_ground_truth_distributions(self, config):
+        _, truth = generate(config)
+        np.testing.assert_allclose(truth.theta.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(truth.phi.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(truth.phi_events.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(truth.temporal_context.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(truth.availability.sum(axis=1), 1.0, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(generator_config())
+    def test_source_composition_tracks_config(self, config):
+        """The noise share matches noise_fraction and the interest share
+        among non-noise ratings tracks the λ prior mean (in expectation,
+        with a generous tolerance for finite samples)."""
+        _, truth = generate(config)
+        source = truth.source
+        noise_share = float(np.mean(source == 2))
+        assert abs(noise_share - config.noise_fraction) < 0.12
+        non_noise = source[source != 2]
+        if non_noise.size > 200:
+            interest_share = float(np.mean(non_noise == 1))
+            lam_mean = config.lambda_alpha / (config.lambda_alpha + config.lambda_beta)
+            assert abs(interest_share - lam_mean) < 0.2
+
+    @settings(max_examples=25, deadline=None)
+    @given(generator_config())
+    def test_distinct_items_honoured(self, config):
+        cuboid, _ = generate(config)
+        if config.distinct_items:
+            pairs = cuboid.users * cuboid.num_items + cuboid.items
+            assert len(np.unique(pairs)) == len(pairs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(generator_config())
+    def test_determinism(self, config):
+        c1, _ = generate(config)
+        c2, _ = generate(config)
+        np.testing.assert_array_equal(c1.items, c2.items)
+        np.testing.assert_array_equal(c1.scores, c2.scores)

@@ -1,0 +1,95 @@
+"""Tests for the beyond-accuracy evaluation (coverage/novelty/diversity)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.beyond_accuracy import (
+    catalogue_coverage,
+    collect_recommendations,
+    evaluate_beyond_accuracy,
+    intra_list_diversity,
+    novelty,
+)
+from repro.evaluation.protocol import TemporalQuery
+
+
+class TestCatalogueCoverage:
+    def test_exact_fraction(self):
+        lists = [[0, 1], [1, 2], [2, 3]]
+        assert catalogue_coverage(lists, num_items=8) == pytest.approx(0.5)
+
+    def test_full_coverage(self):
+        assert catalogue_coverage([[0], [1]], num_items=2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            catalogue_coverage([[0]], num_items=0)
+
+
+class TestNovelty:
+    def test_popular_items_less_novel(self):
+        popularity = np.array([100.0, 1.0])
+        head = novelty([[0]], popularity)
+        tail = novelty([[1]], popularity)
+        assert tail > head
+
+    def test_exact_value_uniform(self):
+        popularity = np.array([1.0, 1.0])
+        # Smoothed probs = 0.5 each → 1 bit.
+        assert novelty([[0, 1]], popularity) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            novelty([], np.array([1.0]))
+        with pytest.raises(ValueError):
+            novelty([[0]], np.array([-1.0]))
+
+
+class TestIntraListDiversity:
+    def test_identical_items_zero_diversity(self):
+        topics = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert intra_list_diversity([[0, 1]], topics) == pytest.approx(0.0)
+
+    def test_orthogonal_items_full_diversity(self):
+        topics = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert intra_list_diversity([[0, 1]], topics) == pytest.approx(1.0)
+
+    def test_singleton_lists_skipped(self):
+        topics = np.eye(3)
+        with pytest.raises(ValueError):
+            intra_list_diversity([[0]], topics)
+
+    def test_mixed_lists(self):
+        topics = np.eye(3)
+        value = intra_list_diversity([[0], [0, 1]], topics)
+        assert value == pytest.approx(1.0)
+
+
+class TestEndToEnd:
+    def test_full_report_on_fitted_model(self, tiny_split):
+        from repro.core import TTCAM
+        from repro.evaluation import build_queries
+
+        model = TTCAM(4, 3, max_iter=20, seed=0).fit(tiny_split.train)
+        queries = build_queries(tiny_split, max_queries=60, seed=0)
+        item_topics = model.params_.topic_item_matrix().T
+        report = evaluate_beyond_accuracy(
+            model, queries, tiny_split.train, item_topics, k=5
+        )
+        assert 0 < report.coverage <= 1
+        assert report.novelty > 0
+        assert 0 <= report.diversity <= 1
+        assert "coverage" in str(report)
+
+    def test_weighting_increases_novelty(self, tiny_split):
+        """The item-weighting scheme's signature: more novel lists."""
+        from repro.core import TTCAM
+        from repro.evaluation import build_queries
+
+        queries = build_queries(tiny_split, max_queries=80, seed=0)
+        plain = TTCAM(4, 3, max_iter=25, seed=0).fit(tiny_split.train)
+        weighted = TTCAM(4, 3, max_iter=25, weighted=True, seed=0).fit(tiny_split.train)
+        plain_lists = collect_recommendations(plain, queries, k=5)
+        weighted_lists = collect_recommendations(weighted, queries, k=5)
+        popularity = tiny_split.train.item_popularity()
+        assert novelty(weighted_lists, popularity) > novelty(plain_lists, popularity)

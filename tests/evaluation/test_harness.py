@@ -1,0 +1,85 @@
+"""Tests for the multi-model experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.popularity import GlobalPopularity, RecentPopularity
+from repro.evaluation.harness import ModelSpec, run_accuracy_experiment
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def cuboid():
+    cub, _ = c.generate(c.tiny_config())
+    return cub
+
+
+SPECS = [
+    ModelSpec("Pop", GlobalPopularity),
+    ModelSpec("Recent", RecentPopularity),
+]
+
+
+class TestRunAccuracyExperiment:
+    def test_basic_run(self, cuboid):
+        result = run_accuracy_experiment(
+            cuboid, SPECS, ks=(1, 5), metrics=("precision", "ndcg"), num_folds=2,
+            max_queries=50,
+        )
+        assert set(result.mean) == {"Pop", "Recent"}
+        assert result.ks == (1, 5)
+        assert result.num_folds == 2
+        for model in result.mean:
+            for metric in ("precision", "ndcg"):
+                for k in (1, 5):
+                    assert 0.0 <= result.mean[model][metric][k] <= 1.0
+                    assert result.std[model][metric][k] >= 0.0
+
+    def test_holdout_mode(self, cuboid):
+        result = run_accuracy_experiment(
+            cuboid, SPECS, ks=(3,), metrics=("f1",), num_folds=1, max_queries=30
+        )
+        assert result.num_folds == 1
+
+    def test_series_and_at(self, cuboid):
+        result = run_accuracy_experiment(
+            cuboid, SPECS, ks=(1, 3, 5), metrics=("ndcg",), num_folds=1, max_queries=30
+        )
+        series = result.series("Pop", "ndcg")
+        assert len(series) == 3
+        assert series[1] == result.at("Pop", "ndcg", 3)
+
+    def test_winner(self, cuboid):
+        result = run_accuracy_experiment(
+            cuboid, SPECS, ks=(5,), metrics=("ndcg",), num_folds=1, max_queries=30
+        )
+        winner = result.winner("ndcg", 5)
+        assert winner in {"Pop", "Recent"}
+        assert result.at(winner, "ndcg", 5) == max(
+            result.at(name, "ndcg", 5) for name in result.mean
+        )
+
+    def test_format_table(self, cuboid):
+        result = run_accuracy_experiment(
+            cuboid, SPECS, ks=(1, 5), metrics=("precision",), num_folds=1, max_queries=30
+        )
+        table = result.format_table("precision")
+        assert "Pop" in table
+        assert "@5" in table
+
+    def test_duplicate_names_rejected(self, cuboid):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_accuracy_experiment(
+                cuboid, [ModelSpec("X", GlobalPopularity)] * 2, num_folds=1
+            )
+
+    def test_empty_specs_rejected(self, cuboid):
+        with pytest.raises(ValueError):
+            run_accuracy_experiment(cuboid, [], num_folds=1)
+
+    def test_recent_popularity_beats_global_on_temporal_data(self, cuboid):
+        """Sanity: per-interval popularity must help on bursty data."""
+        result = run_accuracy_experiment(
+            cuboid, SPECS, ks=(10,), metrics=("ndcg",), num_folds=2, max_queries=150
+        )
+        assert result.at("Recent", "ndcg", 10) > result.at("Pop", "ndcg", 10)

@@ -1,0 +1,102 @@
+"""Tests for held-out likelihood and perplexity."""
+
+import numpy as np
+import pytest
+
+from repro.core import TTCAM
+from repro.data.cuboid import RatingCuboid
+from repro.evaluation.likelihood import (
+    heldout_log_likelihood,
+    heldout_perplexity,
+    uniform_perplexity,
+)
+
+
+class UniformModel:
+    def __init__(self, num_items):
+        self.num_items = num_items
+
+    def score_items(self, user, interval):
+        return np.full(self.num_items, 1.0 / self.num_items)
+
+
+class OracleModel:
+    """Puts 90% mass on item 0."""
+
+    def score_items(self, user, interval):
+        scores = np.full(5, 0.025)
+        scores[0] = 0.9
+        return scores
+
+
+def small_test_cuboid():
+    return RatingCuboid.from_arrays(
+        users=[0, 0, 1],
+        intervals=[0, 1, 0],
+        items=[0, 0, 0],
+        num_items=5,
+        num_intervals=2,
+    )
+
+
+class TestHeldoutLikelihood:
+    def test_uniform_model_exact_value(self):
+        test = small_test_cuboid()
+        ll = heldout_log_likelihood(UniformModel(5), test)
+        assert ll == pytest.approx(3 * np.log(1 / 5), rel=1e-6)
+
+    def test_better_model_scores_higher(self):
+        test = small_test_cuboid()
+        assert heldout_log_likelihood(OracleModel(), test) > heldout_log_likelihood(
+            UniformModel(5), test
+        )
+
+    def test_weights_respected(self):
+        test = RatingCuboid.from_arrays([0], [0], [0], scores=[3.0], num_items=5)
+        ll = heldout_log_likelihood(UniformModel(5), test)
+        assert ll == pytest.approx(3 * np.log(1 / 5), rel=1e-6)
+
+    def test_negative_scores_rejected(self):
+        class Negative:
+            def score_items(self, user, interval):
+                return np.array([-1.0, 2.0, 0.0, 0.0, 0.0])
+
+        with pytest.raises(ValueError, match="negative"):
+            heldout_log_likelihood(Negative(), small_test_cuboid())
+
+    def test_empty_cuboid_rejected(self):
+        empty = RatingCuboid.from_arrays([], [], [], num_users=1, num_intervals=1, num_items=1)
+        with pytest.raises(ValueError):
+            heldout_log_likelihood(UniformModel(1), empty)
+
+
+class TestPerplexity:
+    def test_uniform_model_perplexity_is_catalogue_size(self):
+        test = small_test_cuboid()
+        assert heldout_perplexity(UniformModel(5), test) == pytest.approx(5.0)
+        assert uniform_perplexity(test) == 5.0
+
+    def test_oracle_beats_uniform(self):
+        test = small_test_cuboid()
+        assert heldout_perplexity(OracleModel(), test) < 5.0
+
+    def test_fitted_tcam_beats_uniform(self, tiny_split):
+        model = TTCAM(4, 3, max_iter=30, seed=0).fit(tiny_split.train)
+        perplexity = heldout_perplexity(model, tiny_split.test)
+        assert perplexity < uniform_perplexity(tiny_split.test)
+
+    def test_matches_model_internal_likelihood(self, tiny_split):
+        """heldout_log_likelihood agrees with TTCAM.log_likelihood."""
+        model = TTCAM(4, 3, max_iter=20, seed=0).fit(tiny_split.train)
+        external = heldout_log_likelihood(model, tiny_split.test, renormalize=False)
+        internal = model.log_likelihood(tiny_split.test)
+        assert external == pytest.approx(internal, rel=1e-6)
+
+    def test_model_selection_signal(self, tiny_split):
+        """More adequate topic counts should not be worse on held-out
+        perplexity than a one-topic model."""
+        rich = TTCAM(4, 3, max_iter=30, seed=0).fit(tiny_split.train)
+        poor = TTCAM(1, 1, max_iter=30, seed=0).fit(tiny_split.train)
+        assert heldout_perplexity(rich, tiny_split.test) < heldout_perplexity(
+            poor, tiny_split.test
+        )

@@ -1,0 +1,144 @@
+"""Tests for ranking metrics, including hand-computed values and
+hypothesis property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    METRICS,
+    average_precision_at_k,
+    f1_at_k,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank_at_k,
+)
+
+RECOMMENDED = [10, 20, 30, 40, 50]
+RELEVANT = {20, 50, 99}
+
+
+class TestHandComputed:
+    def test_precision(self):
+        # hits in top-5: items 20 and 50 → 2/5
+        assert precision_at_k(RECOMMENDED, RELEVANT, 5) == pytest.approx(0.4)
+        assert precision_at_k(RECOMMENDED, RELEVANT, 2) == pytest.approx(0.5)
+        assert precision_at_k(RECOMMENDED, RELEVANT, 1) == 0.0
+
+    def test_recall(self):
+        assert recall_at_k(RECOMMENDED, RELEVANT, 5) == pytest.approx(2 / 3)
+        assert recall_at_k(RECOMMENDED, RELEVANT, 2) == pytest.approx(1 / 3)
+
+    def test_f1(self):
+        p, r = 0.4, 2 / 3
+        assert f1_at_k(RECOMMENDED, RELEVANT, 5) == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_no_hits(self):
+        assert f1_at_k([1, 2], {3}, 2) == 0.0
+
+    def test_ndcg(self):
+        # hits at ranks 2 and 5: DCG = 1/log2(3) + 1/log2(6)
+        dcg = 1 / np.log2(3) + 1 / np.log2(6)
+        # ideal: 3 relevant, k=5 → hits at ranks 1..3
+        idcg = 1 / np.log2(2) + 1 / np.log2(3) + 1 / np.log2(4)
+        assert ndcg_at_k(RECOMMENDED, RELEVANT, 5) == pytest.approx(dcg / idcg)
+
+    def test_ndcg_perfect_ranking_is_one(self):
+        assert ndcg_at_k([1, 2, 3], {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_ndcg_ideal_caps_at_k(self):
+        # 5 relevant items but k=2: perfect top-2 scores 1.0.
+        assert ndcg_at_k([1, 2], {1, 2, 3, 4, 5}, 2) == pytest.approx(1.0)
+
+    def test_hit_rate(self):
+        assert hit_rate_at_k(RECOMMENDED, RELEVANT, 1) == 0.0
+        assert hit_rate_at_k(RECOMMENDED, RELEVANT, 2) == 1.0
+
+    def test_average_precision(self):
+        # hits at ranks 2 (precision 1/2) and 5 (precision 2/5); min(3,5)=3
+        expected = (0.5 + 0.4) / 3
+        assert average_precision_at_k(RECOMMENDED, RELEVANT, 5) == pytest.approx(expected)
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank_at_k(RECOMMENDED, RELEVANT, 5) == pytest.approx(0.5)
+        assert reciprocal_rank_at_k([1, 2], {9}, 2) == 0.0
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_empty_relevant_gives_zero(self, name):
+        assert METRICS[name]([1, 2, 3], set(), 3) == 0.0
+
+    @pytest.mark.parametrize("name", sorted(METRICS))
+    def test_invalid_k_rejected(self, name):
+        with pytest.raises(ValueError):
+            METRICS[name]([1], {1}, 0)
+
+    def test_short_recommendation_list(self):
+        # Only 2 recommendations (both hits) but k=5: still divides by k.
+        assert precision_at_k([20, 99], RELEVANT, 5) == pytest.approx(0.4)
+
+    def test_empty_recommendations(self):
+        assert precision_at_k([], RELEVANT, 5) == 0.0
+        assert ndcg_at_k([], RELEVANT, 5) == 0.0
+
+
+@st.composite
+def ranking_case(draw):
+    catalogue = list(range(30))
+    recommended = draw(
+        st.lists(st.sampled_from(catalogue), max_size=15, unique=True)
+    )
+    relevant = frozenset(draw(st.lists(st.sampled_from(catalogue), max_size=10)))
+    k = draw(st.integers(1, 15))
+    return recommended, relevant, k
+
+
+class TestProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(ranking_case())
+    def test_all_metrics_bounded(self, case):
+        recommended, relevant, k = case
+        for fn in METRICS.values():
+            value = fn(recommended, relevant, k)
+            assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(ranking_case())
+    def test_recall_monotone_in_k(self, case):
+        recommended, relevant, k = case
+        if k > 1:
+            assert recall_at_k(recommended, relevant, k) >= recall_at_k(
+                recommended, relevant, k - 1
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(ranking_case())
+    def test_hit_rate_monotone_in_k(self, case):
+        recommended, relevant, k = case
+        if k > 1:
+            assert hit_rate_at_k(recommended, relevant, k) >= hit_rate_at_k(
+                recommended, relevant, k - 1
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(ranking_case())
+    def test_f1_between_zero_and_min_pr(self, case):
+        recommended, relevant, k = case
+        f1 = f1_at_k(recommended, relevant, k)
+        p = precision_at_k(recommended, relevant, k)
+        r = recall_at_k(recommended, relevant, k)
+        assert f1 <= max(p, r) + 1e-12
+        if p > 0 and r > 0:
+            assert f1 >= min(p, r) * 1e-9  # strictly positive
+
+    @settings(max_examples=100, deadline=None)
+    @given(ranking_case())
+    def test_mrr_at_least_map_signal(self, case):
+        recommended, relevant, k = case
+        rr = reciprocal_rank_at_k(recommended, relevant, k)
+        hits = hit_rate_at_k(recommended, relevant, k)
+        assert (rr > 0) == (hits > 0)

@@ -1,0 +1,80 @@
+"""Tests for the topic-count grid search."""
+
+import pytest
+
+from repro.evaluation.model_selection import GridCell, select_topic_counts
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def cuboid():
+    cub, _ = c.generate(c.tiny_config(num_users=150, seed=61))
+    return cub
+
+
+class TestValidation:
+    def test_unknown_metric(self, cuboid):
+        with pytest.raises(ValueError, match="metric"):
+            select_topic_counts(cuboid, [2], [2], metric="accuracy")
+
+    def test_empty_grid(self, cuboid):
+        with pytest.raises(ValueError, match="non-empty"):
+            select_topic_counts(cuboid, [], [2])
+
+
+class TestNDCGSearch:
+    def test_explores_full_grid(self, cuboid):
+        result = select_topic_counts(
+            cuboid, k1_grid=(2, 4), k2_grid=(2, 3), max_iter=15, max_queries=80
+        )
+        assert len(result.cells) == 4
+        assert {(cell.k1, cell.k2) for cell in result.cells} == {
+            (2, 2), (2, 3), (4, 2), (4, 3),
+        }
+
+    def test_best_is_argmax(self, cuboid):
+        result = select_topic_counts(
+            cuboid, k1_grid=(2, 4), k2_grid=(2, 3), max_iter=15, max_queries=80
+        )
+        assert result.higher_is_better
+        assert result.best.score == max(cell.score for cell in result.cells)
+
+    def test_format_table_marks_best(self, cuboid):
+        result = select_topic_counts(
+            cuboid, k1_grid=(2,), k2_grid=(2, 3), max_iter=10, max_queries=60
+        )
+        table = result.format_table()
+        assert "<-- best" in table
+        assert "K1=" in table
+
+
+class TestPerplexitySearch:
+    def test_best_is_argmin(self, cuboid):
+        result = select_topic_counts(
+            cuboid, k1_grid=(1, 4), k2_grid=(3,), metric="perplexity", max_iter=20
+        )
+        assert not result.higher_is_better
+        assert result.best.score == min(cell.score for cell in result.cells)
+
+    def test_adequate_beats_degenerate(self, cuboid):
+        """The grid search should not pick the 1-topic degenerate model."""
+        result = select_topic_counts(
+            cuboid, k1_grid=(1, 4), k2_grid=(1, 3), metric="perplexity", max_iter=25
+        )
+        assert (result.best.k1, result.best.k2) != (1, 1)
+
+
+class TestCustomFactory:
+    def test_factory_injected(self, cuboid):
+        from repro.core import TTCAM
+
+        calls = []
+
+        def factory(k1, k2):
+            calls.append((k1, k2))
+            return TTCAM(k1, k2, max_iter=5, seed=1)
+
+        select_topic_counts(
+            cuboid, k1_grid=(2,), k2_grid=(2,), model_factory=factory, max_queries=40
+        )
+        assert calls == [(2, 2)]

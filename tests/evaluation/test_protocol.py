@@ -1,0 +1,137 @@
+"""Tests for the temporal evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.cuboid import RatingCuboid
+from repro.data.splits import Split, holdout_split
+from repro.evaluation.protocol import TemporalQuery, build_queries, evaluate_ranking
+
+
+def toy_split():
+    """Hand-built split: train and test cuboids over N=2, T=2, V=5."""
+    train = RatingCuboid.from_arrays(
+        users=[0, 0, 1, 1],
+        intervals=[0, 1, 0, 1],
+        items=[0, 1, 2, 3],
+        num_users=2,
+        num_intervals=2,
+        num_items=5,
+    )
+    test = RatingCuboid.from_arrays(
+        users=[0, 1],
+        intervals=[0, 1],
+        items=[4, 0],
+        num_users=2,
+        num_intervals=2,
+        num_items=5,
+    )
+    return Split(train=train, test=test)
+
+
+class PerfectModel:
+    """Scores each query's relevant items highest (oracle)."""
+
+    def __init__(self, queries):
+        self.lookup = {(q.user, q.interval): q.relevant for q in queries}
+        self.num_items = 5
+
+    def score_items(self, user, interval):
+        scores = np.zeros(self.num_items)
+        for v in self.lookup.get((user, interval), ()):
+            scores[v] = 1.0
+        return scores
+
+
+class AntiModel:
+    """Scores every item identically zero except a wrong one."""
+
+    def score_items(self, user, interval):
+        scores = np.zeros(5)
+        scores[1] = 0.5
+        return scores
+
+
+class TestBuildQueries:
+    def test_groups_by_user_interval(self):
+        queries = build_queries(toy_split())
+        assert len(queries) == 2
+        by_key = {(q.user, q.interval): q for q in queries}
+        assert by_key[(0, 0)].relevant == frozenset({4})
+        assert by_key[(1, 1)].relevant == frozenset({0})
+
+    def test_excludes_train_items_except_relevant(self):
+        queries = build_queries(toy_split())
+        by_key = {(q.user, q.interval): q for q in queries}
+        # user 0 trained on items {0, 1}; neither is relevant → both excluded.
+        assert set(by_key[(0, 0)].exclude) == {0, 1}
+        # user 1 trained on {2, 3}, relevant {0} → {2, 3} excluded.
+        assert set(by_key[(1, 1)].exclude) == {2, 3}
+
+    def test_relevant_item_never_excluded(self, tiny_split):
+        for query in build_queries(tiny_split):
+            assert not (set(query.exclude) & query.relevant)
+
+    def test_max_queries_subsamples(self, tiny_split):
+        full = build_queries(tiny_split)
+        capped = build_queries(tiny_split, max_queries=5, seed=0)
+        assert len(capped) == 5
+        assert set(capped) <= set(full)
+
+    def test_max_queries_deterministic(self, tiny_split):
+        a = build_queries(tiny_split, max_queries=5, seed=3)
+        b = build_queries(tiny_split, max_queries=5, seed=3)
+        assert a == b
+
+    def test_min_relevant_filter(self, tiny_split):
+        all_q = build_queries(tiny_split, min_relevant=1)
+        big_q = build_queries(tiny_split, min_relevant=2)
+        assert len(big_q) < len(all_q)
+        assert all(len(q.relevant) >= 2 for q in big_q)
+
+
+class TestEvaluateRanking:
+    def test_perfect_model_scores_one(self):
+        queries = build_queries(toy_split())
+        report = evaluate_ranking(
+            PerfectModel(queries), queries, ks=(1,), metrics=("precision", "ndcg")
+        )
+        assert report.at("precision", 1) == pytest.approx(1.0)
+        assert report.at("ndcg", 1) == pytest.approx(1.0)
+
+    def test_anti_model_scores_zero_at_one(self):
+        queries = build_queries(toy_split())
+        report = evaluate_ranking(AntiModel(), queries, ks=(1,), metrics=("precision",))
+        assert report.at("precision", 1) == 0.0
+
+    def test_report_structure(self):
+        queries = build_queries(toy_split())
+        report = evaluate_ranking(
+            PerfectModel(queries), queries, ks=(5, 1, 3), metrics=("f1",)
+        )
+        assert report.ks == (1, 3, 5)  # sorted and deduped
+        assert report.num_queries == 2
+        assert len(report.series("f1")) == 3
+
+    def test_unknown_metric_rejected(self):
+        queries = build_queries(toy_split())
+        with pytest.raises(ValueError, match="unknown metrics"):
+            evaluate_ranking(PerfectModel(queries), queries, metrics=("bleu",))
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_ranking(AntiModel(), [], ks=(1,))
+
+    def test_excluded_items_cannot_hit(self):
+        """A model that ranks excluded items top gets no credit for them."""
+        queries = [
+            TemporalQuery(user=0, interval=0, relevant=frozenset({4}), exclude=(1,))
+        ]
+
+        class ExcludedLover:
+            def score_items(self, user, interval):
+                return np.array([0.0, 1.0, 0.0, 0.0, 0.5])
+
+        report = evaluate_ranking(ExcludedLover(), queries, ks=(1,), metrics=("precision",))
+        # Item 1 is excluded, so item 4 tops the ranking → hit.
+        assert report.at("precision", 1) == 1.0

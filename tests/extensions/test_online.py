@@ -1,0 +1,132 @@
+"""Tests for online folding-in."""
+
+import numpy as np
+import pytest
+
+from repro.core.ttcam import TTCAM
+from repro.extensions.online import OnlineTTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def base():
+    cuboid, truth = c.generate(c.tiny_config(seed=12))
+    model = TTCAM(4, 3, max_iter=30, seed=0).fit(cuboid)
+    return model, cuboid, truth
+
+
+class TestConstruction:
+    def test_accepts_model_or_params(self, base):
+        model, _, _ = base
+        assert OnlineTTCAM(model).params is model.params_
+        assert OnlineTTCAM(model.params_).params is model.params_
+
+    def test_rejects_unfitted(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            OnlineTTCAM(TTCAM())
+
+    def test_rejects_bad_iterations(self, base):
+        model, _, _ = base
+        with pytest.raises(ValueError):
+            OnlineTTCAM(model, fold_iterations=0)
+
+
+class TestFoldInUser:
+    def test_returns_valid_parameters(self, base):
+        model, cuboid, _ = base
+        rows = cuboid.entries_of_user(0)
+        theta, lam = OnlineTTCAM(model).fold_in_user(
+            cuboid.items[rows], cuboid.intervals[rows], cuboid.scores[rows]
+        )
+        assert theta.sum() == pytest.approx(1.0)
+        assert 0.0 <= lam <= 1.0
+
+    def test_recovers_existing_user_interest(self, base):
+        """Folding in an existing user's history approximates the jointly
+        fitted interest distribution."""
+        model, cuboid, _ = base
+        online = OnlineTTCAM(model, fold_iterations=30)
+        active = np.argsort(-cuboid.user_activity())[:10]
+        sims = []
+        for user in active:
+            rows = cuboid.entries_of_user(int(user))
+            theta, _ = online.fold_in_user(
+                cuboid.items[rows], cuboid.intervals[rows], cuboid.scores[rows]
+            )
+            fitted = model.params_.theta[int(user)]
+            cos = float(
+                theta @ fitted / (np.linalg.norm(theta) * np.linalg.norm(fitted) + 1e-12)
+            )
+            sims.append(cos)
+        assert np.mean(sims) > 0.7
+
+    def test_validation(self, base):
+        model, _, _ = base
+        online = OnlineTTCAM(model)
+        with pytest.raises(ValueError, match="no ratings"):
+            online.fold_in_user(np.array([]), np.array([]))
+        with pytest.raises(ValueError, match="aligned"):
+            online.fold_in_user(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError, match="item ids"):
+            online.fold_in_user(np.array([10_000]), np.array([0]))
+        with pytest.raises(ValueError, match="interval ids"):
+            online.fold_in_user(np.array([0]), np.array([10_000]))
+
+
+class TestFoldInInterval:
+    def test_returns_valid_context(self, base):
+        model, cuboid, _ = base
+        rows = cuboid.entries_of_interval(3)
+        theta_t = OnlineTTCAM(model).fold_in_interval(
+            cuboid.users[rows], cuboid.items[rows], cuboid.scores[rows]
+        )
+        assert theta_t.shape == (3,)
+        assert theta_t.sum() == pytest.approx(1.0)
+
+    def test_approximates_fitted_context(self, base):
+        model, cuboid, _ = base
+        online = OnlineTTCAM(model, fold_iterations=30)
+        # Pick the busiest interval for a stable comparison.
+        busiest = int(np.bincount(cuboid.intervals).argmax())
+        rows = cuboid.entries_of_interval(busiest)
+        theta_t = online.fold_in_interval(
+            cuboid.users[rows], cuboid.items[rows], cuboid.scores[rows]
+        )
+        fitted = model.params_.theta_time[busiest]
+        cos = float(
+            theta_t @ fitted / (np.linalg.norm(theta_t) * np.linalg.norm(fitted) + 1e-12)
+        )
+        assert cos > 0.7
+
+    def test_validation(self, base):
+        model, _, _ = base
+        online = OnlineTTCAM(model)
+        with pytest.raises(ValueError, match="no ratings"):
+            online.fold_in_interval(np.array([]), np.array([]))
+        with pytest.raises(ValueError, match="user ids"):
+            online.fold_in_interval(np.array([10_000]), np.array([0]))
+
+
+class TestExtendAndColdStart:
+    def test_extend_with_interval_appends(self, base):
+        model, cuboid, _ = base
+        online = OnlineTTCAM(model)
+        before_t = online.params.num_intervals
+        rows = cuboid.entries_of_interval(0)
+        params = online.extend_with_interval(
+            cuboid.users[rows], cuboid.items[rows], cuboid.scores[rows]
+        )
+        assert params.num_intervals == before_t + 1
+        assert online.params.num_intervals == before_t + 1
+        # Shared parameters untouched.
+        np.testing.assert_array_equal(params.theta, model.params_.theta)
+
+    def test_score_new_user(self, base):
+        model, cuboid, _ = base
+        online = OnlineTTCAM(model)
+        rows = cuboid.entries_of_user(1)
+        scores = online.score_new_user(
+            cuboid.items[rows], cuboid.intervals[rows], query_interval=2
+        )
+        assert scores.shape == (model.params_.num_items,)
+        assert scores.sum() == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""End-to-end integration: generate → split → fit → recommend → evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GlobalPopularity, UserTopicModel
+from repro.core import ITCAM, TTCAM
+from repro.data import generate, holdout_split, profile
+from repro.evaluation import build_queries, evaluate_ranking
+from repro.recommend import TemporalRecommender
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    cuboid, truth = generate(profile("digg", scale=0.25, seed=7))
+    split = holdout_split(cuboid, seed=0)
+    queries = build_queries(split, max_queries=150, seed=0)
+    return cuboid, truth, split, queries
+
+
+class TestFullPipeline:
+    def test_tcam_beats_popularity(self, pipeline):
+        """The headline sanity: the paper's model must beat popularity on
+        temporal queries of time-sensitive data."""
+        _, _, split, queries = pipeline
+        tcam = ITCAM(num_user_topics=8, max_iter=40, seed=0).fit(split.train)
+        pop = GlobalPopularity().fit(split.train)
+        r_tcam = evaluate_ranking(tcam, queries, ks=(5,), metrics=("ndcg",))
+        r_pop = evaluate_ranking(pop, queries, ks=(5,), metrics=("ndcg",))
+        assert r_tcam.at("ndcg", 5) > r_pop.at("ndcg", 5) * 1.5
+
+    def test_tcam_beats_user_topics_on_news(self, pipeline):
+        """On news-like data the temporal context matters: full TCAM must
+        beat the interest-only UT baseline (Figure 6's key contrast)."""
+        _, _, split, queries = pipeline
+        tcam = TTCAM(8, 8, max_iter=40, seed=0).fit(split.train)
+        ut = UserTopicModel(num_topics=8, max_iter=40, seed=0).fit(split.train)
+        r_tcam = evaluate_ranking(tcam, queries, ks=(5,), metrics=("ndcg",))
+        r_ut = evaluate_ranking(ut, queries, ks=(5,), metrics=("ndcg",))
+        assert r_tcam.at("ndcg", 5) > r_ut.at("ndcg", 5)
+
+    def test_ta_and_bruteforce_identical_recommendations(self, pipeline):
+        _, _, split, queries = pipeline
+        model = TTCAM(6, 6, max_iter=30, seed=0).fit(split.train)
+        rec = TemporalRecommender(model)
+        for query in queries[:25]:
+            bf = rec.recommend(query.user, query.interval, k=10, method="bf")
+            ta = rec.recommend(query.user, query.interval, k=10, method="ta")
+            np.testing.assert_allclose(
+                sorted(bf.scores), sorted(ta.scores), atol=1e-12
+            )
+
+    def test_ta_examines_fewer_items(self, pipeline):
+        cuboid, _, split, queries = pipeline
+        model = TTCAM(6, 6, max_iter=30, seed=0).fit(split.train)
+        rec = TemporalRecommender(model)
+        scored = [
+            rec.recommend(q.user, q.interval, k=10, method="ta").items_scored
+            for q in queries[:25]
+        ]
+        assert np.mean(scored) < cuboid.num_items * 0.8
+
+    def test_lambda_separates_platforms(self):
+        """Fitted mixing weights are lower on news data than on movie data
+        (the Figures 10–11 contrast)."""
+        news_cub, _ = generate(profile("digg", scale=0.2, seed=3))
+        movie_cub, _ = generate(profile("movielens", scale=0.25, seed=3))
+        news = TTCAM(6, 6, max_iter=40, seed=0).fit(news_cub)
+        movies = TTCAM(6, 6, max_iter=40, seed=0).fit(movie_cub)
+        assert news.params_.lambda_u.mean() < movies.params_.lambda_u.mean()
+
+    def test_weighted_model_demotes_popular_items_in_time_topics(self):
+        """Table 5's direction: weighting lowers the share of globally
+        popular items at the top of time-oriented topics."""
+        from repro.analysis.topics import top_items
+
+        cuboid, truth = generate(profile("delicious", scale=0.35, seed=17))
+        head = set(np.argsort(-cuboid.item_popularity())[:20].tolist())
+
+        def head_contamination(model):
+            count = 0
+            for x in range(model.params_.num_time_topics):
+                tops = top_items(model.params_.phi_time[x], k=8)
+                count += sum(1 for v, _l, _p in tops if v in head)
+            return count
+
+        plain = TTCAM(8, 8, max_iter=40, seed=0).fit(cuboid)
+        weighted = TTCAM(8, 8, max_iter=40, weighted=True, seed=0).fit(cuboid)
+        assert head_contamination(weighted) < head_contamination(plain)

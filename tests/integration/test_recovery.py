@@ -1,0 +1,87 @@
+"""Parameter-recovery integration tests: can the models recover the
+synthetic generator's ground truth?"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.topics import match_topics, topic_purity
+from repro.core import ITCAM, TTCAM
+from repro.core.parallel import PartitionedTTCAM
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    # Stationary interest items and strong events for clean identifiability.
+    config = c.tiny_config(
+        num_users=250,
+        num_items=100,
+        mean_ratings_per_user=45,
+        item_lifecycle=float("inf"),
+        noise_fraction=0.0,
+        popular_leak=0.1,
+        seed=23,
+    )
+    return c.generate(config)
+
+
+class TestTopicRecovery:
+    def test_ttcam_recovers_event_topics(self, dataset):
+        cuboid, truth = dataset
+        model = TTCAM(4, 3, max_iter=60, seed=1).fit(cuboid)
+        _, similarity = match_topics(model.params_.phi_time, truth.phi_events)
+        assert similarity.mean() > 0.5
+
+    def test_ttcam_recovers_user_topics(self, dataset):
+        cuboid, truth = dataset
+        model = TTCAM(4, 3, max_iter=60, seed=1).fit(cuboid)
+        _, similarity = match_topics(model.params_.phi, truth.phi)
+        assert similarity.mean() > 0.5
+
+    def test_event_topics_concentrate_on_dedicated_items(self, dataset):
+        cuboid, truth = dataset
+        model = TTCAM(4, 3, max_iter=60, seed=1).fit(cuboid)
+        best = []
+        for ids in truth.event_items.values():
+            best.append(
+                max(
+                    topic_purity(model.params_.phi_time[x], ids)
+                    for x in range(model.params_.num_time_topics)
+                )
+            )
+        assert np.mean(best) > 0.25
+
+
+class TestLambdaRecovery:
+    def test_lambda_rank_correlates_with_truth(self, dataset):
+        cuboid, truth = dataset
+        model = TTCAM(4, 3, max_iter=60, seed=1).fit(cuboid)
+        fitted = model.params_.lambda_u
+        corr = np.corrcoef(fitted, truth.lambda_u)[0, 1]
+        assert corr > 0.4
+
+    def test_itcam_lambda_also_correlates(self, dataset):
+        cuboid, truth = dataset
+        model = ITCAM(4, max_iter=60, seed=1).fit(cuboid)
+        corr = np.corrcoef(model.params_.lambda_u, truth.lambda_u)[0, 1]
+        assert corr > 0.4
+
+
+class TestImplementationAgreement:
+    def test_partitioned_and_serial_recover_same_topics(self, dataset):
+        cuboid, _ = dataset
+        serial = TTCAM(4, 3, max_iter=20, seed=2).fit(cuboid)
+        partitioned = PartitionedTTCAM(4, 3, max_iter=20, seed=2, num_partitions=5).fit(cuboid)
+        np.testing.assert_allclose(
+            serial.params_.phi_time, partitioned.params_.phi_time, atol=1e-8
+        )
+
+    def test_held_out_likelihood_ordering(self, dataset):
+        """A TCAM fit must explain held-out data better than a 1-topic fit."""
+        from repro.data import holdout_split
+
+        cuboid, _ = dataset
+        split = holdout_split(cuboid, seed=4)
+        rich = TTCAM(4, 3, max_iter=40, smoothing=1e-4, seed=0).fit(split.train)
+        poor = TTCAM(1, 1, max_iter=40, smoothing=1e-4, seed=0).fit(split.train)
+        assert rich.log_likelihood(split.test) > poor.log_likelihood(split.test)

@@ -1,0 +1,84 @@
+"""Focused tests for the block-vectorised Threshold Algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.recommend.bruteforce import bruteforce_topk
+from repro.recommend.ranking import QuerySpace
+from repro.recommend.threshold import SortedTopicLists, batched_ta_topk, rank_order_pool
+
+
+def random_query(num_topics, num_items, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(num_topics) * 0.3)
+    matrix = rng.dirichlet(np.ones(num_items) * 0.1, size=num_topics)
+    return QuerySpace(weights=weights, item_matrix=matrix)
+
+
+class TestRankOrderPool:
+    def test_orders_by_score_then_id(self):
+        items = np.array([5, 2, 9])
+        scores = np.array([0.3, 0.5, 0.5])
+        assert rank_order_pool(items, scores, 3) == [(2, 0.5), (9, 0.5), (5, 0.3)]
+
+    def test_truncates_to_k(self):
+        items = np.array([0, 1, 2])
+        scores = np.array([0.1, 0.2, 0.3])
+        assert len(rank_order_pool(items, scores, 2)) == 2
+
+    def test_empty_pool(self):
+        assert rank_order_pool(np.array([], dtype=int), np.array([]), 5) == []
+
+
+class TestBatchedTA:
+    def test_tiny_block_forces_pruning_path(self):
+        """block=1 with k=1 exercises the candidate-pool pruning branch."""
+        query = random_query(4, 200, seed=1)
+        lists = SortedTopicLists.build(query.item_matrix)
+        bf = bruteforce_topk(query, 1)
+        bta = batched_ta_topk(query, lists, 1, block=1)
+        assert bta.items == bf.items
+
+    def test_block_larger_than_catalogue(self):
+        query = random_query(3, 10, seed=2)
+        lists = SortedTopicLists.build(query.item_matrix)
+        bf = bruteforce_topk(query, 4)
+        bta = batched_ta_topk(query, lists, 4, block=10_000)
+        assert bta.items == bf.items
+
+    def test_k_exceeding_catalogue(self):
+        query = random_query(3, 7, seed=3)
+        lists = SortedTopicLists.build(query.item_matrix)
+        result = batched_ta_topk(query, lists, 50)
+        assert len(result) == 7
+
+    def test_all_items_excluded(self):
+        query = random_query(2, 5, seed=4)
+        lists = SortedTopicLists.build(query.item_matrix)
+        result = batched_ta_topk(query, lists, 3, exclude=np.arange(5))
+        assert result.items == []
+
+    def test_accounting_counts_blocks(self):
+        query = random_query(4, 300, seed=5)
+        lists = SortedTopicLists.build(query.item_matrix)
+        result = batched_ta_topk(query, lists, 5, block=32)
+        assert result.sorted_accesses % 32 == 0 or result.sorted_accesses <= 300 * 4
+        assert 0 < result.items_scored <= 300
+
+    def test_scores_are_exact_values(self):
+        query = random_query(5, 50, seed=6)
+        lists = SortedTopicLists.build(query.item_matrix)
+        result = batched_ta_topk(query, lists, 5)
+        for rec in result.recommendations:
+            assert rec.score == pytest.approx(query.score(rec.item), abs=1e-12)
+
+    def test_skewed_topic_terminates_early(self):
+        """A query on one dominant topic should not scan the catalogue."""
+        num_items = 2000
+        rng = np.random.default_rng(7)
+        matrix = rng.dirichlet(np.ones(num_items) * 0.05, size=3)
+        weights = np.array([0.98, 0.01, 0.01])
+        query = QuerySpace(weights, matrix)
+        lists = SortedTopicLists.build(matrix)
+        result = batched_ta_topk(query, lists, 10, block=64)
+        assert result.items_scored < num_items / 2

@@ -1,0 +1,82 @@
+"""Tests for query expansion and deterministic ranking."""
+
+import numpy as np
+import pytest
+
+from repro.recommend.ranking import QuerySpace, Recommendation, TopKResult, rank_order
+
+
+def make_query(k=3, v=6, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(k))
+    matrix = rng.dirichlet(np.ones(v), size=k)
+    return QuerySpace(weights=weights, item_matrix=matrix)
+
+
+class TestQuerySpace:
+    def test_score_matches_score_all(self):
+        query = make_query()
+        all_scores = query.score_all()
+        for v in range(query.num_items):
+            assert query.score(v) == pytest.approx(all_scores[v])
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="topics"):
+            QuerySpace(weights=np.ones(2) / 2, item_matrix=np.ones((3, 4)) / 4)
+        with pytest.raises(ValueError, match="one-dimensional"):
+            QuerySpace(weights=np.ones((2, 2)), item_matrix=np.ones((2, 4)))
+        with pytest.raises(ValueError, match="two-dimensional"):
+            QuerySpace(weights=np.ones(2), item_matrix=np.ones(4))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            QuerySpace(weights=np.array([0.5, -0.5]), item_matrix=np.ones((2, 3)))
+
+    def test_properties(self):
+        query = make_query(k=4, v=7)
+        assert query.num_topics == 4
+        assert query.num_items == 7
+
+
+class TestTopKResult:
+    def test_accessors(self):
+        result = TopKResult(
+            recommendations=[Recommendation(3, 0.5), Recommendation(1, 0.2)],
+            items_scored=10,
+        )
+        assert result.items == [3, 1]
+        assert result.scores == [0.5, 0.2]
+        assert len(result) == 2
+
+
+class TestRankOrder:
+    def test_orders_by_score(self):
+        scores = np.array([0.1, 0.5, 0.3])
+        assert rank_order(scores, 3).tolist() == [1, 2, 0]
+
+    def test_ties_break_to_smaller_id(self):
+        scores = np.array([0.5, 0.5, 0.5])
+        assert rank_order(scores, 2).tolist() == [0, 1]
+
+    def test_k_larger_than_catalogue(self):
+        scores = np.array([0.2, 0.1])
+        assert len(rank_order(scores, 99)) == 2
+
+    def test_exclusion(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        top = rank_order(scores, 2, exclude=np.array([0, 1]))
+        assert top.tolist() == [2, 3]
+
+    def test_exclusion_can_shrink_result(self):
+        scores = np.array([0.9, 0.8])
+        top = rank_order(scores, 2, exclude=np.array([0]))
+        assert top.tolist() == [1]
+
+    def test_does_not_mutate_input(self):
+        scores = np.array([0.9, 0.8])
+        rank_order(scores, 1, exclude=np.array([0]))
+        assert scores[0] == 0.9
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            rank_order(np.array([1.0]), 0)

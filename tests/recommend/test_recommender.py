@@ -1,0 +1,94 @@
+"""Tests for the TemporalRecommender facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.itcam import ITCAM
+from repro.core.ttcam import TTCAM
+from repro.recommend.recommender import TemporalRecommender
+import tests.conftest as c
+
+
+@pytest.fixture(scope="module")
+def models():
+    cuboid, _ = c.generate(c.tiny_config())
+    ttcam = TTCAM(4, 3, max_iter=20, seed=0).fit(cuboid)
+    itcam = ITCAM(4, max_iter=20, seed=0).fit(cuboid)
+    return cuboid, ttcam, itcam
+
+
+class TestMethods:
+    def test_all_engines_agree(self, models):
+        cuboid, ttcam, _ = models
+        rec = TemporalRecommender(ttcam)
+        for user, interval in [(0, 0), (7, 5), (30, 11)]:
+            bf = rec.recommend(user, interval, k=8, method="bf")
+            for engine in ("ta", "classic-ta", "batched-ta"):
+                other = rec.recommend(user, interval, k=8, method=engine)
+                np.testing.assert_allclose(
+                    sorted(bf.scores), sorted(other.scores), atol=1e-12
+                )
+
+    def test_batched_ta_same_items_as_bruteforce(self, models):
+        _, ttcam, _ = models
+        rec = TemporalRecommender(ttcam, method="batched-ta")
+        bf = rec.recommend(2, 3, k=10, method="bf")
+        bta = rec.recommend(2, 3, k=10)
+        assert bta.items == bf.items
+
+    def test_itcam_engines_agree(self, models):
+        cuboid, _, itcam = models
+        rec = TemporalRecommender(itcam)
+        for interval in (0, 3, 9):
+            bf = rec.recommend(2, interval, k=6, method="bf")
+            ta = rec.recommend(2, interval, k=6, method="ta")
+            np.testing.assert_allclose(sorted(bf.scores), sorted(ta.scores), atol=1e-12)
+
+    def test_default_method_used(self, models):
+        _, ttcam, _ = models
+        rec = TemporalRecommender(ttcam, method="bf")
+        result = rec.recommend(0, 0, k=3)
+        assert result.items_scored == ttcam.params_.num_items
+
+    def test_invalid_method_rejected(self, models):
+        _, ttcam, _ = models
+        with pytest.raises(ValueError):
+            TemporalRecommender(ttcam, method="magic")
+        rec = TemporalRecommender(ttcam)
+        with pytest.raises(ValueError):
+            rec.recommend(0, 0, method="magic")
+
+    def test_exclusion_passthrough(self, models):
+        _, ttcam, _ = models
+        rec = TemporalRecommender(ttcam)
+        base = rec.recommend(0, 0, k=5, method="ta")
+        excluded = rec.recommend(0, 0, k=5, method="ta", exclude=np.array(base.items))
+        assert not set(base.items) & set(excluded.items)
+
+
+class TestCaching:
+    def test_ttcam_uses_one_index(self, models):
+        _, ttcam, _ = models
+        rec = TemporalRecommender(ttcam)
+        rec.recommend(0, 0, k=3, method="ta")
+        rec.recommend(1, 5, k=3, method="ta")
+        assert len(rec._index_cache) == 1
+
+    def test_itcam_caches_per_interval(self, models):
+        _, _, itcam = models
+        rec = TemporalRecommender(itcam)
+        rec.recommend(0, 0, k=3, method="ta")
+        rec.recommend(0, 1, k=3, method="ta")
+        rec.recommend(1, 1, k=3, method="ta")
+        assert len(rec._index_cache) == 2
+
+    def test_precompute_ttcam(self, models):
+        _, ttcam, _ = models
+        rec = TemporalRecommender(ttcam)
+        assert rec.precompute() == 1
+
+    def test_precompute_itcam_intervals(self, models):
+        _, _, itcam = models
+        rec = TemporalRecommender(itcam)
+        count = rec.precompute(intervals=np.array([0, 1, 2]))
+        assert count == 3

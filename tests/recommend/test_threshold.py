@@ -1,0 +1,159 @@
+"""Tests for the Threshold Algorithm engines (exactness vs brute force)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recommend.bruteforce import bruteforce_topk
+from repro.recommend.ranking import QuerySpace
+from repro.recommend.threshold import (
+    SortedTopicLists,
+    batched_ta_topk,
+    classic_ta_topk,
+    ta_topk,
+)
+
+
+def random_query(num_topics, num_items, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(num_topics) * 0.5)
+    matrix = rng.dirichlet(np.ones(num_items) * 0.2, size=num_topics)
+    return QuerySpace(weights=weights, item_matrix=matrix)
+
+
+class TestSortedTopicLists:
+    def test_values_descend(self):
+        query = random_query(4, 20, seed=1)
+        lists = SortedTopicLists.build(query.item_matrix)
+        assert np.all(np.diff(lists.values, axis=1) <= 1e-15)
+
+    def test_order_indexes_values(self):
+        query = random_query(3, 10, seed=2)
+        lists = SortedTopicLists.build(query.item_matrix)
+        for z in range(3):
+            np.testing.assert_allclose(
+                query.item_matrix[z, lists.order[z]], lists.values[z]
+            )
+
+    def test_ties_break_to_smaller_id(self):
+        matrix = np.array([[0.25, 0.25, 0.25, 0.25]])
+        lists = SortedTopicLists.build(matrix)
+        assert lists.order[0].tolist() == [0, 1, 2, 3]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_ta_matches_bruteforce(self, seed, k):
+        query = random_query(5, 60, seed)
+        lists = SortedTopicLists.build(query.item_matrix)
+        bf = bruteforce_topk(query, k)
+        ta = ta_topk(query, lists, k)
+        np.testing.assert_allclose(sorted(ta.scores), sorted(bf.scores), atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_classic_ta_matches_bruteforce(self, seed, k):
+        query = random_query(5, 60, seed)
+        lists = SortedTopicLists.build(query.item_matrix)
+        bf = bruteforce_topk(query, k)
+        cta = classic_ta_topk(query, lists, k)
+        np.testing.assert_allclose(sorted(cta.scores), sorted(bf.scores), atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    @pytest.mark.parametrize("block", [4, 64])
+    def test_batched_ta_matches_bruteforce(self, seed, k, block):
+        query = random_query(5, 60, seed)
+        lists = SortedTopicLists.build(query.item_matrix)
+        bf = bruteforce_topk(query, k)
+        bta = batched_ta_topk(query, lists, k, block=block)
+        np.testing.assert_allclose(sorted(bta.scores), sorted(bf.scores), atol=1e-12)
+        # Deterministic tie-breaking matches brute force item-for-item.
+        assert bta.items == bf.items
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_topics=st.integers(1, 8),
+        num_items=st.integers(1, 40),
+        k=st.integers(1, 15),
+    )
+    def test_ta_matches_bruteforce_property(self, seed, num_topics, num_items, k):
+        query = random_query(num_topics, num_items, seed)
+        lists = SortedTopicLists.build(query.item_matrix)
+        bf = bruteforce_topk(query, k)
+        ta = ta_topk(query, lists, k)
+        np.testing.assert_allclose(sorted(ta.scores), sorted(bf.scores), atol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_topics=st.integers(1, 8),
+        num_items=st.integers(1, 40),
+        k=st.integers(1, 15),
+        block=st.integers(1, 50),
+    )
+    def test_batched_ta_property(self, seed, num_topics, num_items, k, block):
+        query = random_query(num_topics, num_items, seed)
+        lists = SortedTopicLists.build(query.item_matrix)
+        bf = bruteforce_topk(query, k)
+        bta = batched_ta_topk(query, lists, k, block=block)
+        np.testing.assert_allclose(sorted(bta.scores), sorted(bf.scores), atol=1e-12)
+
+    def test_exclusion_respected(self):
+        query = random_query(4, 30, seed=5)
+        lists = SortedTopicLists.build(query.item_matrix)
+        exclude = np.array([0, 1, 2, 3, 4])
+        for engine in (ta_topk, classic_ta_topk, batched_ta_topk):
+            result = engine(query, lists, 5, exclude=exclude)
+            assert not set(result.items) & set(exclude.tolist())
+            bf = bruteforce_topk(query, 5, exclude=exclude)
+            np.testing.assert_allclose(sorted(result.scores), sorted(bf.scores), atol=1e-12)
+
+    def test_k_exceeding_catalogue(self):
+        query = random_query(3, 8, seed=6)
+        lists = SortedTopicLists.build(query.item_matrix)
+        result = ta_topk(query, lists, 50)
+        assert len(result) == 8
+
+
+class TestEfficiency:
+    def test_ta_scores_fewer_items_than_bruteforce(self):
+        query = random_query(6, 500, seed=7)
+        lists = SortedTopicLists.build(query.item_matrix)
+        ta = ta_topk(query, lists, 10)
+        assert ta.items_scored < 500
+
+    def test_accounting_fields(self):
+        query = random_query(4, 50, seed=8)
+        lists = SortedTopicLists.build(query.item_matrix)
+        ta = ta_topk(query, lists, 5)
+        assert ta.sorted_accesses > 0
+        bf = bruteforce_topk(query, 5)
+        assert bf.items_scored == 50
+        assert bf.sorted_accesses == 0
+
+    def test_concentrated_weights_terminate_early(self):
+        """A query concentrated on one topic should stop almost immediately."""
+        matrix = np.vstack([np.linspace(1, 0, 200) / 100.5] * 3)
+        weights = np.array([1.0, 0.0, 0.0])
+        query = QuerySpace(weights=weights, item_matrix=matrix)
+        lists = SortedTopicLists.build(matrix)
+        result = ta_topk(query, lists, 5)
+        assert result.items_scored <= 20
+
+
+class TestValidation:
+    def test_topic_count_mismatch_rejected(self):
+        query = random_query(3, 10, seed=9)
+        lists = SortedTopicLists.build(random_query(4, 10, seed=9).item_matrix)
+        with pytest.raises(ValueError, match="topics"):
+            ta_topk(query, lists, 3)
+
+    def test_invalid_k_rejected(self):
+        query = random_query(3, 10, seed=9)
+        lists = SortedTopicLists.build(query.item_matrix)
+        with pytest.raises(ValueError):
+            ta_topk(query, lists, 0)

@@ -1,0 +1,216 @@
+"""Tests for the ``tcam`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ratings.csv"
+    code = main(
+        [
+            "generate",
+            "--profile",
+            "digg",
+            "--scale",
+            "0.2",
+            "--output",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def snapshot(dataset_csv, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    code = main(
+        [
+            "fit",
+            "--input",
+            str(dataset_csv),
+            "--model",
+            "ttcam",
+            "--k1",
+            "6",
+            "--k2",
+            "6",
+            "--iters",
+            "20",
+            "--output",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_csv(self, dataset_csv):
+        header = dataset_csv.read_text().splitlines()[0]
+        assert header == "user,interval,item,score"
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--profile", "netflix", "--output", str(tmp_path / "x.csv")])
+
+
+class TestInfo:
+    def test_prints_statistics(self, dataset_csv, capsys):
+        assert main(["info", "--input", str(dataset_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "users:" in out
+        assert "density:" in out
+
+
+class TestFit:
+    def test_snapshot_created(self, snapshot):
+        assert snapshot.exists()
+
+    def test_reports_lambda(self, dataset_csv, tmp_path, capsys):
+        main(
+            [
+                "fit",
+                "--input",
+                str(dataset_csv),
+                "--model",
+                "itcam",
+                "--k1",
+                "4",
+                "--iters",
+                "10",
+                "--output",
+                str(tmp_path / "it.npz"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "λ̄" in out
+        assert "snapshot written" in out
+
+    def test_baselines_cannot_snapshot(self, dataset_csv, tmp_path):
+        code = main(
+            [
+                "fit",
+                "--input",
+                str(dataset_csv),
+                "--model",
+                "ut",
+                "--output",
+                str(tmp_path / "ut.npz"),
+            ]
+        )
+        assert code == 2
+
+
+class TestRecommend:
+    def test_top_k_printed(self, snapshot, capsys):
+        code = main(
+            [
+                "recommend",
+                "--model",
+                str(snapshot),
+                "--user",
+                "0",
+                "--interval",
+                "3",
+                "-k",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("item") >= 5
+        assert "fully scored" in out
+
+    def test_out_of_range_user(self, snapshot, capsys):
+        code = main(
+            [
+                "recommend",
+                "--model",
+                str(snapshot),
+                "--user",
+                "999999",
+                "--interval",
+                "0",
+            ]
+        )
+        assert code == 2
+
+    def test_out_of_range_interval(self, snapshot):
+        code = main(
+            [
+                "recommend",
+                "--model",
+                str(snapshot),
+                "--user",
+                "0",
+                "--interval",
+                "999999",
+            ]
+        )
+        assert code == 2
+
+    def test_engine_choices(self, snapshot, capsys):
+        for engine in ("bf", "batched-ta"):
+            code = main(
+                [
+                    "recommend",
+                    "--model",
+                    str(snapshot),
+                    "--user",
+                    "1",
+                    "--interval",
+                    "2",
+                    "--engine",
+                    engine,
+                ]
+            )
+            assert code == 0
+
+
+class TestEvaluate:
+    def test_metrics_table(self, dataset_csv, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--input",
+                str(dataset_csv),
+                "--model",
+                "ttcam",
+                "--k1",
+                "6",
+                "--k2",
+                "6",
+                "--iters",
+                "15",
+                "--ks",
+                "1,5",
+                "--max-queries",
+                "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "ndcg" in out
+
+    def test_baseline_models_evaluable(self, dataset_csv, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--input",
+                str(dataset_csv),
+                "--model",
+                "tt",
+                "--iters",
+                "10",
+                "--ks",
+                "5",
+                "--max-queries",
+                "40",
+            ]
+        )
+        assert code == 0
