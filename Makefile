@@ -1,12 +1,15 @@
 # Convenience targets for the TCAM reproduction.
 
-.PHONY: install test bench examples all
+.PHONY: install test test-robustness bench examples all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+test-robustness:
+	pytest tests/robustness/
 
 bench:
 	pytest benchmarks/ --benchmark-only

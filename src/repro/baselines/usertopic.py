@@ -16,8 +16,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum
+from ..core.em import (
+    EPS,
+    EMTrace,
+    normalize_rows,
+    prepare_fit_controls,
+    random_stochastic,
+    restore_state,
+    run_em,
+    scatter_sum,
+)
 from ..data.cuboid import RatingCuboid
+from ..robustness.checkpoint import CheckpointManager
+from ..robustness.health import HealthMonitor, rejitter_arrays
+
+_STATE_KEYS = ("theta", "phi")
 
 
 class UserTopicModel:
@@ -65,11 +78,20 @@ class UserTopicModel:
         """Display name used in evaluation tables."""
         return "UT"
 
-    def fit(self, cuboid: RatingCuboid) -> "UserTopicModel":
-        """Fit user topics by EM over the (time-collapsed) cuboid."""
+    def fit(
+        self,
+        cuboid: RatingCuboid,
+        checkpoint: CheckpointManager | str | None = None,
+        resume_from: CheckpointManager | str | None = None,
+        monitor: HealthMonitor | bool | None = None,
+    ) -> "UserTopicModel":
+        """Fit user topics by EM over the (time-collapsed) cuboid.
+
+        ``checkpoint``/``resume_from``/``monitor`` enable the same
+        fault-tolerant runtime as :meth:`repro.core.ttcam.TTCAM.fit`.
+        """
         if cuboid.nnz == 0:
             raise ValueError("cannot fit on an empty cuboid")
-        rng = np.random.default_rng(self.seed)
         n, _, v_dim = cuboid.shape
         k = self.num_topics
         u, v, c = cuboid.users, cuboid.items, cuboid.scores
@@ -77,29 +99,65 @@ class UserTopicModel:
 
         popularity = cuboid.item_popularity()
         background = popularity / popularity.sum()
-        theta = random_stochastic(rng, n, k)
-        phi = random_stochastic(rng, k, v_dim)
 
-        trace = EMTrace()
-        for _ in range(self.max_iter):
+        meta = {"model": "ut", "k": k, "seed": self.seed}
+        manager, restored, health = prepare_fit_controls(
+            checkpoint, resume_from, monitor, self.default_monitor, meta
+        )
+        if restored is not None:
+            state, start, trace = restore_state(restored, _STATE_KEYS)
+        else:
+            rng = np.random.default_rng(self.seed)
+            state = {
+                "theta": random_stochastic(rng, n, k),
+                "phi": random_stochastic(rng, k, v_dim),
+            }
+            start, trace = 0, EMTrace()
+
+        def step(
+            current: dict[str, np.ndarray],
+        ) -> tuple[dict[str, np.ndarray], float]:
+            """One EM iteration over the time-collapsed cuboid."""
+            theta, phi = current["theta"], current["phi"]
             joint = (1 - lam_b) * theta[u] * phi[:, v].T  # (R, K)
             p_topics = joint.sum(axis=1)
             denom = lam_b * background[v] + p_topics + EPS
             resp = joint / denom[:, None]
-
             log_likelihood = float(np.dot(c, np.log(denom)))
-            if trace.record(log_likelihood, self.tol):
-                break
-
             c_resp = c[:, None] * resp
-            theta = normalize_rows(scatter_sum(u, c_resp, n), self.smoothing)
-            phi = normalize_rows(scatter_sum(v, c_resp, v_dim).T, self.smoothing)
+            updated = {
+                "theta": normalize_rows(scatter_sum(u, c_resp, n), self.smoothing),
+                "phi": normalize_rows(scatter_sum(v, c_resp, v_dim).T, self.smoothing),
+            }
+            return updated, log_likelihood
 
-        self.theta_ = theta
-        self.phi_ = phi
+        state, trace = run_em(
+            state,
+            step,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            trace=trace,
+            start_iteration=start,
+            checkpoints=manager,
+            monitor=health,
+            rejitter=self._rejitter,
+        )
+
+        self.theta_ = state["theta"]
+        self.phi_ = state["phi"]
         self.background_ = background
         self.trace_ = trace
         return self
+
+    def default_monitor(self) -> HealthMonitor:
+        """The numerical-health invariants of a UT state."""
+        return HealthMonitor(stochastic=_STATE_KEYS, no_collapse=("theta",))
+
+    def _rejitter(
+        self, state: dict[str, np.ndarray], recovery: int
+    ) -> dict[str, np.ndarray]:
+        """Seeded perturbation applied to a rolled-back state."""
+        return rejitter_arrays(state, _STATE_KEYS, (), seed=self.seed + 7919 * recovery)
 
     def score_items(self, user: int, interval: int = 0) -> np.ndarray:
         """``P(v | u)`` for every item; the interval argument is ignored."""

@@ -77,12 +77,29 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_fit(args: argparse.Namespace) -> int:
     """Train a TCAM variant and snapshot it to .npz."""
+    from .robustness import CheckpointManager
+
     if args.model in ("ut", "tt"):
         print("fit snapshots support the TCAM variants only", file=sys.stderr)
         return 2
     cuboid = load_cuboid_csv(args.input)
     model = _build_model(args.model, args.k1, args.k2, args.iters, args.seed)
-    model.fit(cuboid)
+    checkpoint = resume_from = None
+    if args.checkpoint_dir is not None:
+        checkpoint = CheckpointManager(
+            args.checkpoint_dir, every=args.checkpoint_every
+        )
+        if args.resume:
+            resume_from = checkpoint
+    elif args.resume:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    model.fit(
+        cuboid,
+        checkpoint=checkpoint,
+        resume_from=resume_from,
+        monitor=True if args.health_guard else None,
+    )
     trace = model.trace_
     path = save_params(model.params_, args.output)
     lam = model.params_.lambda_u
@@ -96,29 +113,52 @@ def cmd_fit(args: argparse.Namespace) -> int:
 
 
 def cmd_recommend(args: argparse.Namespace) -> int:
-    """Serve temporal top-k from a snapshot."""
-    model = LoadedModel.from_file(args.model)
-    if not 0 <= args.user < model.params_.num_users:
-        print(
-            f"user {args.user} out of range [0, {model.params_.num_users})",
-            file=sys.stderr,
+    """Serve temporal top-k from a snapshot, degrading to popularity."""
+    from .robustness import ServingUnavailableError, SnapshotCorruptError
+
+    fallbacks = []
+    if args.fallback_input is not None:
+        from .baselines import GlobalPopularity
+
+        fallbacks.append(GlobalPopularity().fit(load_cuboid_csv(args.fallback_input)))
+    try:
+        recommender = TemporalRecommender.from_snapshot(
+            args.model, method=args.engine, fallbacks=fallbacks
         )
+    except SnapshotCorruptError as exc:
+        print(f"snapshot unusable and no fallback given: {exc}", file=sys.stderr)
         return 2
-    if not 0 <= args.interval < model.params_.num_intervals:
-        print(
-            f"interval {args.interval} out of range "
-            f"[0, {model.params_.num_intervals})",
-            file=sys.stderr,
+    if not fallbacks and recommender.model is not None:
+        params = recommender.model.params_
+        if not 0 <= args.user < params.num_users:
+            print(
+                f"user {args.user} out of range [0, {params.num_users})",
+                file=sys.stderr,
+            )
+            return 2
+        if not 0 <= args.interval < params.num_intervals:
+            print(
+                f"interval {args.interval} out of range "
+                f"[0, {params.num_intervals})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        result, status = recommender.recommend_with_status(
+            args.user, args.interval, k=args.k
         )
+    except ServingUnavailableError as exc:
+        print(f"serving unavailable: {exc}", file=sys.stderr)
         return 2
-    recommender = TemporalRecommender(model, method=args.engine)
-    result = recommender.recommend(args.user, args.interval, k=args.k)
     for rank, rec in enumerate(result.recommendations, start=1):
         print(f"{rank:3d}. item {rec.item:6d}  score {rec.score:.6f}")
-    print(
-        f"[{args.engine}: fully scored {result.items_scored} of "
-        f"{model.params_.num_items} items]"
-    )
+    if status.degraded:
+        print(f"[DEGRADED: served by {status.served_by} — {status.reason}]")
+    else:
+        print(
+            f"[{args.engine}: fully scored {result.items_scored} of "
+            f"{recommender.model.params_.num_items} items]"
+        )
     return 0
 
 
@@ -208,6 +248,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--iters", type=int, default=60)
     p_fit.add_argument("--seed", type=int, default=0)
     p_fit.add_argument("--output", required=True)
+    p_fit.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for periodic EM checkpoints",
+    )
+    p_fit.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5,
+        help="checkpoint every N EM iterations",
+    )
+    p_fit.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    p_fit.add_argument(
+        "--health-guard",
+        action="store_true",
+        help="validate numerical invariants each iteration and roll back on violation",
+    )
     p_fit.set_defaults(func=cmd_fit)
 
     p_rec = sub.add_parser("recommend", help="serve top-k from a snapshot")
@@ -217,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("-k", type=int, default=10)
     p_rec.add_argument(
         "--engine", choices=("ta", "batched-ta", "bf", "classic-ta"), default="ta"
+    )
+    p_rec.add_argument(
+        "--fallback-input",
+        default=None,
+        help="ratings CSV used to fit a popularity fallback for degraded serving",
     )
     p_rec.set_defaults(func=cmd_recommend)
 

@@ -1,15 +1,25 @@
-"""Shared EM machinery: scatter sums, normalisation, convergence tracking.
+"""Shared EM machinery: scatter sums, normalisation, convergence tracking,
+and the fault-tolerant iteration driver.
 
 Both TCAM variants (and the UT/TT baselines) are latent-class mixture
 models fit by expectation–maximisation over the sparse rating cuboid. The
-helpers here keep the per-model code focused on the model equations.
+helpers here keep the per-model code focused on the model equations, while
+:func:`run_em` owns the loop itself — convergence, periodic checkpoints,
+numerical-health rollback and fault-injection points — identically for
+every model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
+
+from ..robustness.checkpoint import Checkpoint, CheckpointManager
+from ..robustness.errors import HealthViolation
+from ..robustness.faults import fault_point, maybe_poison
+from ..robustness.health import HealthMonitor
 
 EPS = 1e-12
 
@@ -110,3 +120,178 @@ class EMTrace:
             ll[i + 1] >= ll[i] - slack * max(abs(ll[i]), 1.0)
             for i in range(len(ll) - 1)
         )
+
+
+EMStep = Callable[[dict[str, np.ndarray]], tuple[dict[str, np.ndarray], float]]
+
+
+def _copy_state(state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Deep-copy one EM state (rollback must not alias live arrays)."""
+    return {name: np.array(value, copy=True) for name, value in state.items()}
+
+
+def run_em(
+    state: dict[str, np.ndarray],
+    step: EMStep,
+    max_iter: int,
+    tol: float,
+    trace: EMTrace | None = None,
+    start_iteration: int = 0,
+    checkpoints: CheckpointManager | None = None,
+    monitor: HealthMonitor | None = None,
+    rejitter: Callable[[dict[str, np.ndarray], int], dict[str, np.ndarray]] | None = None,
+    max_recoveries: int = 3,
+) -> tuple[dict[str, np.ndarray], EMTrace]:
+    """Drive one EM run to convergence, fault-tolerantly.
+
+    Parameters
+    ----------
+    state:
+        Named parameter arrays at ``start_iteration`` (the random
+        initialisation, or a restored checkpoint).
+    step:
+        One full EM iteration: maps the current state to
+        ``(updated_state, log_likelihood)`` where the likelihood is
+        evaluated on the *current* state (standard E-then-M ordering).
+        Must be a pure function of the state for resume/retry
+        determinism.
+    max_iter, tol:
+        Iteration cap and relative-improvement convergence threshold.
+    trace:
+        Existing :class:`EMTrace` to continue (resume); a fresh one by
+        default.
+    start_iteration:
+        Completed-iteration count represented by ``state``.
+    checkpoints:
+        Optional :class:`~repro.robustness.CheckpointManager`; the state
+        is saved on the manager's cadence and on health rollback the last
+        good checkpoint is restored.
+    monitor:
+        Optional :class:`~repro.robustness.HealthMonitor` validating the
+        updated state every iteration.
+    rejitter:
+        ``(state, recovery_index) -> state`` applied after a rollback so
+        the replayed trajectory can diverge from the one that failed.
+    max_recoveries:
+        Health rollbacks allowed before the violation propagates.
+
+    Returns the final state and the trace. Convergence keeps the state
+    the likelihood was evaluated on, matching the textbook loop.
+    """
+    trace = trace if trace is not None else EMTrace()
+    initial = _copy_state(state)
+    initial_trace = list(trace.log_likelihood)
+    iteration = start_iteration
+    recoveries = 0
+    just_rolled_back = False
+    while iteration < max_iter:
+        fault_point("em.iteration", iteration=iteration)
+        new_state, log_likelihood = step(state)
+        new_state = maybe_poison("em.state", new_state, iteration=iteration)
+        if monitor is not None:
+            # The rejitter perturbs a restored state on purpose, so the
+            # first post-rollback likelihood may dip below the trace.
+            previous = (
+                None
+                if just_rolled_back or not trace.log_likelihood
+                else trace.log_likelihood[-1]
+            )
+            try:
+                monitor.check(new_state, log_likelihood, previous)
+                just_rolled_back = False
+            except HealthViolation:
+                recoveries += 1
+                if recoveries > max_recoveries:
+                    raise
+                restored = checkpoints.latest() if checkpoints is not None else None
+                if restored is not None:
+                    state = _copy_state(restored.arrays)
+                    trace = EMTrace(log_likelihood=list(restored.log_likelihood))
+                    iteration = restored.iteration
+                else:
+                    state = _copy_state(initial)
+                    trace = EMTrace(log_likelihood=list(initial_trace))
+                    iteration = start_iteration
+                if rejitter is not None:
+                    state = rejitter(state, recoveries)
+                just_rolled_back = True
+                continue
+        if trace.record(log_likelihood, tol):
+            break
+        state = new_state
+        iteration += 1
+        if checkpoints is not None and checkpoints.should_save(iteration):
+            checkpoints.save(state, iteration, trace.log_likelihood)
+    return state, trace
+
+
+def prepare_fit_controls(
+    checkpoint: "CheckpointManager | str | None",
+    resume_from: "CheckpointManager | str | None",
+    monitor: "HealthMonitor | bool | None",
+    default_monitor: Callable[[], HealthMonitor],
+    meta: dict,
+) -> tuple[CheckpointManager | None, Checkpoint | None, HealthMonitor | None]:
+    """Normalise a model's ``fit(...)`` fault-tolerance arguments.
+
+    ``checkpoint`` and ``resume_from`` each accept a
+    :class:`~repro.robustness.CheckpointManager` or a directory path;
+    ``resume_from`` additionally loads the directory's latest verified
+    checkpoint and validates its metadata against ``meta`` (the model's
+    identifying hyper-parameters), so resuming with a different
+    configuration fails loudly instead of silently mixing runs.
+    ``monitor`` accepts ``True`` (build the model's default
+    :class:`~repro.robustness.HealthMonitor`), an explicit monitor, or
+    ``None``/``False``.
+
+    Returns ``(manager, restored_checkpoint, monitor)``; the manager is
+    ``None`` when neither argument was given, and the restored checkpoint
+    is ``None`` for fresh fits (including resumes from an empty
+    directory).
+    """
+    from ..robustness.errors import CheckpointError
+
+    def as_manager(source):
+        if source is None or isinstance(source, CheckpointManager):
+            return source
+        return CheckpointManager(source)
+
+    save_to = as_manager(checkpoint)
+    resume = as_manager(resume_from)
+    manager = save_to if save_to is not None else resume
+    restored = resume.latest() if resume is not None else None
+    if restored is not None and restored.meta:
+        mismatched = {
+            key: (restored.meta[key], meta[key])
+            for key in meta
+            if key in restored.meta and restored.meta[key] != meta[key]
+        }
+        if mismatched:
+            raise CheckpointError(
+                f"checkpoint {restored.path} was written by a different "
+                f"configuration: {mismatched}"
+            )
+    if manager is not None:
+        manager.meta = dict(meta)
+    health = default_monitor() if monitor is True else (monitor or None)
+    return manager, restored, health
+
+
+def restore_state(
+    restored: Checkpoint, keys: tuple[str, ...]
+) -> tuple[dict[str, np.ndarray], int, EMTrace]:
+    """Turn a loaded checkpoint back into ``(state, iteration, trace)``.
+
+    Validates that the checkpoint carries exactly the arrays the model
+    expects (``keys``), preserving the model's canonical ordering.
+    """
+    from ..robustness.errors import CheckpointError
+
+    missing = [key for key in keys if key not in restored.arrays]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {restored.path} is missing arrays {missing}"
+        )
+    state = {key: np.array(restored.arrays[key], copy=True) for key in keys}
+    trace = EMTrace(log_likelihood=list(restored.log_likelihood))
+    return state, restored.iteration, trace

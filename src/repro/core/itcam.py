@@ -16,9 +16,24 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.cuboid import RatingCuboid
-from .em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
+from ..robustness.checkpoint import CheckpointManager
+from ..robustness.health import HealthMonitor, rejitter_arrays
+from .em import (
+    EPS,
+    EMTrace,
+    normalize_rows,
+    prepare_fit_controls,
+    random_stochastic,
+    restore_state,
+    run_em,
+    scatter_sum,
+    scatter_sum_1d,
+)
 from .params import ITCAMParameters
 from .weighting import apply_item_weighting
+
+_STATE_KEYS = ("theta", "phi", "theta_time", "lambda_u")
+_STOCHASTIC = ("theta", "phi", "theta_time")
 
 
 class ITCAM:
@@ -85,44 +100,107 @@ class ITCAM:
         """Display name used in evaluation tables."""
         return "W-ITCAM" if self.weighted else "ITCAM"
 
-    def fit(self, cuboid: RatingCuboid) -> "ITCAM":
+    def fit(
+        self,
+        cuboid: RatingCuboid,
+        checkpoint: CheckpointManager | str | None = None,
+        resume_from: CheckpointManager | str | None = None,
+        monitor: HealthMonitor | bool | None = None,
+    ) -> "ITCAM":
         """Fit the model to a rating cuboid by EM.
 
         With ``n_init > 1``, runs that many random restarts and keeps the
         one with the best final training log-likelihood.
+
+        ``checkpoint``/``resume_from``/``monitor`` enable the
+        fault-tolerant runtime exactly as in
+        :meth:`repro.core.ttcam.TTCAM.fit`: periodic atomic checkpoints,
+        bit-compatible resume, and health-guarded rollback. Checkpointing
+        requires ``n_init == 1``.
         """
         if cuboid.nnz == 0:
             raise ValueError("cannot fit on an empty cuboid")
+        if (checkpoint is not None or resume_from is not None) and self.n_init != 1:
+            raise ValueError("checkpoint/resume require n_init == 1")
         if self.weighted:
             cuboid = apply_item_weighting(cuboid)
 
+        manager, restored, health = prepare_fit_controls(
+            checkpoint, resume_from, monitor, self.default_monitor, self._meta()
+        )
         best: tuple[ITCAMParameters, EMTrace] | None = None
         for restart in range(self.n_init):
-            params, trace = self._fit_once(cuboid, seed=self.seed + restart)
+            params, trace = self._fit_once(
+                cuboid,
+                seed=self.seed + restart,
+                checkpoints=manager,
+                restored=restored,
+                monitor=health,
+            )
             if best is None or trace.final_log_likelihood > best[1].final_log_likelihood:
                 best = (params, trace)
         self.params_, self.trace_ = best
         return self
 
+    def _meta(self) -> dict:
+        """Identifying configuration stored in (and checked against) checkpoints."""
+        return {
+            "model": "itcam",
+            "k1": self.num_user_topics,
+            "weighted": self.weighted,
+            "seed": self.seed,
+        }
+
+    def default_monitor(self) -> HealthMonitor:
+        """The numerical-health invariants of an ITCAM state."""
+        return HealthMonitor(
+            stochastic=_STOCHASTIC,
+            unit_interval=("lambda_u",),
+            no_collapse=("theta",),
+        )
+
+    def _rejitter(
+        self, state: dict[str, np.ndarray], recovery: int
+    ) -> dict[str, np.ndarray]:
+        """Seeded perturbation applied to a rolled-back state."""
+        return rejitter_arrays(
+            state, _STOCHASTIC, ("lambda_u",), seed=self.seed + 7919 * recovery
+        )
+
     def _fit_once(
-        self, cuboid: RatingCuboid, seed: int
+        self,
+        cuboid: RatingCuboid,
+        seed: int,
+        checkpoints: CheckpointManager | None = None,
+        restored=None,
+        monitor: HealthMonitor | None = None,
     ) -> tuple[ITCAMParameters, EMTrace]:
-        """One EM run from a random initialisation."""
-        rng = np.random.default_rng(seed)
+        """One EM run from a random initialisation (or a checkpoint)."""
         n, t_dim, v_dim = cuboid.shape
         k1 = self.num_user_topics
         u, t, v, c = cuboid.users, cuboid.intervals, cuboid.items, cuboid.scores
 
-        theta = random_stochastic(rng, n, k1)
-        phi = random_stochastic(rng, k1, v_dim)
-        theta_time = random_stochastic(rng, t_dim, v_dim)
-        lam = np.full(n, 0.5)
+        if restored is not None:
+            state, start, trace = restore_state(restored, _STATE_KEYS)
+        else:
+            rng = np.random.default_rng(seed)
+            state = {
+                "theta": random_stochastic(rng, n, k1),
+                "phi": random_stochastic(rng, k1, v_dim),
+                "theta_time": random_stochastic(rng, t_dim, v_dim),
+                "lambda_u": np.full(n, 0.5),
+            }
+            start, trace = 0, EMTrace()
 
-        trace = EMTrace()
         user_mass = scatter_sum_1d(u, c, n)  # Σ_t Σ_v C[u,t,v], fixed
         safe_user_mass = np.where(user_mass <= 0, 1.0, user_mass)
 
-        for _ in range(self.max_iter):
+        def step(
+            current: dict[str, np.ndarray],
+        ) -> tuple[dict[str, np.ndarray], float]:
+            """One full EM iteration (E-step likelihood, then M-step update)."""
+            theta, phi = current["theta"], current["phi"]
+            theta_time, lam = current["theta_time"], current["lambda_u"]
             # ---- E-step --------------------------------------------------
             # joint[r, z] = θ[u_r, z] · φ[z, v_r]  (numerator of Eq. 5)
             joint = theta[u] * phi[:, v].T  # (R, K1)
@@ -135,25 +213,38 @@ class ITCAM:
             ps1 = weighted_interest / denom  # P(s=1|u,t,v), Eq. 4
             # resp[r, z] = P(z|u,t,v) = P(z|s=1,·)·P(s=1|·), Eq. 6
             resp = joint * (ps1 / (p_interest + EPS))[:, None]
-
             log_likelihood = float(np.dot(c, np.log(denom)))
-            if trace.record(log_likelihood, self.tol):
-                break
-
             # ---- M-step --------------------------------------------------
             c_resp = c[:, None] * resp
-            theta = normalize_rows(scatter_sum(u, c_resp, n), self.smoothing)  # Eq. 8
-            phi = normalize_rows(scatter_sum(v, c_resp, v_dim).T, self.smoothing)  # Eq. 9
             c_ps0 = c * (1 - ps1)
-            time_counts = np.zeros((t_dim, v_dim))
             flat = np.bincount(t * v_dim + v, weights=c_ps0, minlength=t_dim * v_dim)
             time_counts = flat.reshape(t_dim, v_dim)
-            theta_time = normalize_rows(time_counts, self.smoothing)  # Eq. 10
-            lam = scatter_sum_1d(u, c * ps1, n) / safe_user_mass  # Eq. 11
-            lam = np.clip(lam, 0.0, 1.0)
+            updated = {
+                "theta": normalize_rows(scatter_sum(u, c_resp, n), self.smoothing),  # Eq. 8
+                "phi": normalize_rows(scatter_sum(v, c_resp, v_dim).T, self.smoothing),  # Eq. 9
+                "theta_time": normalize_rows(time_counts, self.smoothing),  # Eq. 10
+                "lambda_u": np.clip(
+                    scatter_sum_1d(u, c * ps1, n) / safe_user_mass, 0.0, 1.0
+                ),  # Eq. 11
+            }
+            return updated, log_likelihood
 
+        state, trace = run_em(
+            state,
+            step,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            trace=trace,
+            start_iteration=start,
+            checkpoints=checkpoints,
+            monitor=monitor,
+            rejitter=self._rejitter,
+        )
         params = ITCAMParameters(
-            theta=theta, phi=phi, theta_time=theta_time, lambda_u=lam
+            theta=state["theta"],
+            phi=state["phi"],
+            theta_time=state["theta_time"],
+            lambda_u=state["lambda_u"],
         )
         return params, trace
 

@@ -12,19 +12,47 @@ which the test suite verifies.
 The shard map runs sequentially by default (or in a thread pool with
 ``workers > 1``; the heavy numpy kernels release the GIL), but the point
 is the *algebraic* decomposition — any map/reduce substrate can run it.
+
+Like a real MapReduce substrate, the shard map tolerates worker
+failures: a crashed or timed-out shard is re-executed with exponential
+backoff (the mapper is a pure function of the broadcast parameters, so
+re-execution is bit-deterministic), and a shard that keeps failing
+raises :class:`~repro.robustness.errors.ShardFailedError`. The EM loop
+itself runs through :func:`~repro.core.em.run_em`, so partitioned fits
+get the same checkpoint/resume and health-rollback machinery as the
+serial models.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..data.cuboid import RatingCuboid
-from .em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
+from ..robustness.checkpoint import CheckpointManager
+from ..robustness.errors import ShardFailedError
+from ..robustness.faults import fault_point
+from ..robustness.health import HealthMonitor, rejitter_arrays
+from ..robustness.retry import run_with_retry
+from .em import (
+    EPS,
+    EMTrace,
+    normalize_rows,
+    prepare_fit_controls,
+    random_stochastic,
+    restore_state,
+    run_em,
+    scatter_sum,
+    scatter_sum_1d,
+)
 from .params import TTCAMParameters
 from .weighting import apply_item_weighting
+
+_STATE_KEYS = ("theta", "phi", "theta_time", "phi_time", "lambda_u")
+_STOCHASTIC = ("theta", "phi", "theta_time", "phi_time")
 
 
 @dataclass
@@ -52,7 +80,22 @@ class PartitionedTTCAM:
     """TTCAM fit by partitioned EM (map over shards, reduce, normalise).
 
     Accepts the same hyper-parameters as :class:`~repro.core.ttcam.TTCAM`
-    plus the number of shards and optional thread workers.
+    plus the number of shards, optional thread workers, and the shard
+    fault-tolerance controls:
+
+    Parameters
+    ----------
+    max_shard_retries:
+        Re-executions allowed per shard per iteration before the fit
+        fails with :class:`~repro.robustness.errors.ShardFailedError`.
+    retry_backoff:
+        Base of the deterministic exponential backoff (seconds) between
+        shard re-executions.
+    shard_timeout:
+        Per-shard wall-clock budget (seconds) in threaded mode; a shard
+        exceeding it is treated as failed and re-executed. ``None``
+        disables the timeout. (Sequential mode cannot preempt a running
+        shard, so the timeout applies only with ``workers > 1``.)
     """
 
     def __init__(
@@ -66,11 +109,18 @@ class PartitionedTTCAM:
         seed: int = 0,
         num_partitions: int = 4,
         workers: int = 1,
+        max_shard_retries: int = 2,
+        retry_backoff: float = 0.05,
+        shard_timeout: float | None = None,
     ) -> None:
         if num_partitions <= 0:
             raise ValueError(f"num_partitions must be positive, got {num_partitions}")
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if max_shard_retries < 0:
+            raise ValueError(f"max_shard_retries must be >= 0, got {max_shard_retries}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be positive, got {shard_timeout}")
         self.num_user_topics = num_user_topics
         self.num_time_topics = num_time_topics
         self.max_iter = max_iter
@@ -80,6 +130,9 @@ class PartitionedTTCAM:
         self.seed = seed
         self.num_partitions = num_partitions
         self.workers = workers
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff = retry_backoff
+        self.shard_timeout = shard_timeout
         self.params_: TTCAMParameters | None = None
         self.trace_: EMTrace | None = None
 
@@ -121,56 +174,122 @@ class PartitionedTTCAM:
             log_likelihood=float(np.dot(c, np.log(denom))),
         )
 
-    def fit(self, cuboid: RatingCuboid) -> "PartitionedTTCAM":
-        """Fit by partitioned EM; equivalent to the serial TTCAM fit."""
+    def fit(
+        self,
+        cuboid: RatingCuboid,
+        checkpoint: CheckpointManager | str | None = None,
+        resume_from: CheckpointManager | str | None = None,
+        monitor: HealthMonitor | bool | None = None,
+    ) -> "PartitionedTTCAM":
+        """Fit by partitioned EM; equivalent to the serial TTCAM fit.
+
+        ``checkpoint``/``resume_from``/``monitor`` behave as in
+        :meth:`repro.core.ttcam.TTCAM.fit`, so a run killed between
+        iterations (for instance by a permanently failing shard) resumes
+        bit-compatibly from its last checkpoint.
+        """
         if cuboid.nnz == 0:
             raise ValueError("cannot fit on an empty cuboid")
         if self.weighted:
             cuboid = apply_item_weighting(cuboid)
 
-        rng = np.random.default_rng(self.seed)
         n, t_dim, v_dim = cuboid.shape
         k1, k2 = self.num_user_topics, self.num_time_topics
+        manager, restored, health = prepare_fit_controls(
+            checkpoint, resume_from, monitor, self.default_monitor, self._meta()
+        )
 
-        # Same initialisation order as the serial TTCAM for a fixed seed.
-        theta = random_stochastic(rng, n, k1)
-        phi = random_stochastic(rng, k1, v_dim)
-        theta_time = random_stochastic(rng, t_dim, k2)
-        phi_time = random_stochastic(rng, k2, v_dim)
-        lam = np.full(n, 0.5)
+        if restored is not None:
+            state, start, trace = restore_state(restored, _STATE_KEYS)
+        else:
+            # Same initialisation order as the serial TTCAM for a fixed seed.
+            rng = np.random.default_rng(self.seed)
+            state = {
+                "theta": random_stochastic(rng, n, k1),
+                "phi": random_stochastic(rng, k1, v_dim),
+                "theta_time": random_stochastic(rng, t_dim, k2),
+                "phi_time": random_stochastic(rng, k2, v_dim),
+                "lambda_u": np.full(n, 0.5),
+            }
+            start, trace = 0, EMTrace()
 
         shards = self._partition(cuboid)
         user_mass = scatter_sum_1d(cuboid.users, cuboid.scores, n)
         safe_user_mass = np.where(user_mass <= 0, 1.0, user_mass)
-        trace = EMTrace()
         shape = cuboid.shape
 
-        for _ in range(self.max_iter):
+        def step(
+            current: dict[str, np.ndarray],
+        ) -> tuple[dict[str, np.ndarray], float]:
+            """One partitioned EM iteration: map shards, reduce, normalise."""
             partials = self._run_map(
-                shards, theta, phi, theta_time, phi_time, lam, shape
+                shards,
+                current["theta"],
+                current["phi"],
+                current["theta_time"],
+                current["phi_time"],
+                current["lambda_u"],
+                shape,
             )
             total = partials[0]
             for partial in partials[1:]:
                 total += partial
+            updated = {
+                "theta": normalize_rows(total.theta_num, self.smoothing),
+                "phi": normalize_rows(total.phi_num.T, self.smoothing),
+                "theta_time": normalize_rows(total.theta_time_num, self.smoothing),
+                "phi_time": normalize_rows(total.phi_time_num.T, self.smoothing),
+                "lambda_u": np.clip(total.lam_num / safe_user_mass, 0.0, 1.0),
+            }
+            return updated, total.log_likelihood
 
-            if trace.record(total.log_likelihood, self.tol):
-                break
-
-            theta = normalize_rows(total.theta_num, self.smoothing)
-            phi = normalize_rows(total.phi_num.T, self.smoothing)
-            theta_time = normalize_rows(total.theta_time_num, self.smoothing)
-            phi_time = normalize_rows(total.phi_time_num.T, self.smoothing)
-            lam = np.clip(total.lam_num / safe_user_mass, 0.0, 1.0)
+        state, trace = run_em(
+            state,
+            step,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            trace=trace,
+            start_iteration=start,
+            checkpoints=manager,
+            monitor=health,
+            rejitter=self._rejitter,
+        )
 
         self.params_ = TTCAMParameters(
-            theta=theta,
-            phi=phi,
-            theta_time=theta_time,
-            phi_time=phi_time,
-            lambda_u=lam,
+            theta=state["theta"],
+            phi=state["phi"],
+            theta_time=state["theta_time"],
+            phi_time=state["phi_time"],
+            lambda_u=state["lambda_u"],
         )
         self.trace_ = trace
         return self
+
+    def _meta(self) -> dict:
+        """Identifying configuration stored in (and checked against) checkpoints."""
+        return {
+            "model": "ttcam",  # partitioned EM is bit-compatible with serial TTCAM
+            "k1": self.num_user_topics,
+            "k2": self.num_time_topics,
+            "weighted": self.weighted,
+            "seed": self.seed,
+        }
+
+    def default_monitor(self) -> HealthMonitor:
+        """The numerical-health invariants of a TTCAM state."""
+        return HealthMonitor(
+            stochastic=_STOCHASTIC,
+            unit_interval=("lambda_u",),
+            no_collapse=("theta", "theta_time"),
+        )
+
+    def _rejitter(
+        self, state: dict[str, np.ndarray], recovery: int
+    ) -> dict[str, np.ndarray]:
+        """Seeded perturbation applied to a rolled-back state."""
+        return rejitter_arrays(
+            state, _STOCHASTIC, ("lambda_u",), seed=self.seed + 7919 * recovery
+        )
 
     def _partition(
         self, cuboid: RatingCuboid
@@ -191,20 +310,46 @@ class PartitionedTTCAM:
         return shards
 
     def _run_map(self, shards, theta, phi, theta_time, phi_time, lam, shape):
-        """Run the mapper over all shards (sequentially or threaded)."""
+        """Run the mapper over all shards with per-shard retry.
+
+        The mapper is a pure function of the broadcast parameters, so a
+        re-executed shard reproduces its statistics bit-for-bit and the
+        reduce (performed in fixed shard order by the caller) is
+        unaffected by which attempt finally succeeded.
+        """
+
+        def attempt_shard(index: int, shard, attempt: int) -> _ShardStats:
+            fault_point("parallel.shard", shard=index, attempt=attempt)
+            return self._map_shard(shard, theta, phi, theta_time, phi_time, lam, shape)
+
+        def guarded(index: int, shard) -> _ShardStats:
+            return run_with_retry(
+                lambda attempt: attempt_shard(index, shard, attempt),
+                retries=self.max_shard_retries,
+                backoff=self.retry_backoff,
+                label=f"E-step shard {index}",
+                error=ShardFailedError,
+            )
+
         if self.workers == 1 or len(shards) == 1:
-            return [
-                self._map_shard(s, theta, phi, theta_time, phi_time, lam, shape)
-                for s in shards
-            ]
+            return [guarded(i, s) for i, s in enumerate(shards)]
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [
-                pool.submit(
-                    self._map_shard, s, theta, phi, theta_time, phi_time, lam, shape
-                )
-                for s in shards
+                pool.submit(attempt_shard, i, s, 0) for i, s in enumerate(shards)
             ]
-            return [f.result() for f in futures]
+            results: list[_ShardStats | None] = [None] * len(shards)
+            stragglers: list[int] = []
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result(timeout=self.shard_timeout)
+                except (Exception, FutureTimeoutError):
+                    # Crashed or overran its budget — re-execute below.
+                    stragglers.append(index)
+            for index in stragglers:
+                # Attempt 0 already failed; replay it against the retry
+                # budget so fault plans keyed on attempt numbers line up.
+                results[index] = guarded(index, shards[index])
+            return results
 
     def score_items(self, user: int, interval: int) -> np.ndarray:
         """Ranking scores for every item, as in the serial model."""

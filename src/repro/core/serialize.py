@@ -5,82 +5,119 @@ snapshot. This module persists fitted parameter containers to a single
 ``.npz`` file (numpy's zipped archive) with a format tag, and restores
 them with full validation — a loaded model scores identically to the
 one that was saved, which the tests verify bit-for-bit.
+
+Snapshots are crash- and corruption-safe: :func:`save_params` writes to
+a temporary sibling and publishes it with :func:`os.replace` (no reader
+ever sees a half-written archive) and embeds a SHA-256 content checksum;
+:func:`load_params` verifies the checksum and wraps every decoding
+failure — truncated file, bad zip, missing array, tampered parameters —
+in :class:`~repro.robustness.errors.SnapshotCorruptError` instead of
+leaking raw numpy/zipfile tracebacks.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
 
+from ..robustness.checkpoint import digest_arrays
+from ..robustness.errors import SnapshotCorruptError
 from .params import ITCAMParameters, TTCAMParameters
 
 _FORMAT_KEY = "tcam_format"
+_CHECKSUM_KEY = "tcam_checksum"
 _ITCAM_TAG = "itcam-v1"
 _TTCAM_TAG = "ttcam-v1"
+
+_TTCAM_FIELDS = ("theta", "phi", "theta_time", "phi_time", "lambda_u")
+_ITCAM_FIELDS = ("theta", "phi", "theta_time", "lambda_u")
 
 
 def save_params(
     params: ITCAMParameters | TTCAMParameters, path: str | Path
 ) -> Path:
-    """Persist fitted parameters to ``path`` (.npz).
+    """Persist fitted parameters to ``path`` (.npz), atomically.
 
     The variant is recorded in the archive, so :func:`load_params`
-    reconstructs the right container without being told.
+    reconstructs the right container without being told, and a SHA-256
+    checksum over the parameter arrays lets it detect corruption. The
+    archive is written to a temporary file and renamed into place, so a
+    crash mid-save never leaves a truncated snapshot at ``path``.
     """
     path = Path(path)
     if isinstance(params, TTCAMParameters):
-        np.savez_compressed(
-            path,
-            **{_FORMAT_KEY: np.array(_TTCAM_TAG)},
-            theta=params.theta,
-            phi=params.phi,
-            theta_time=params.theta_time,
-            phi_time=params.phi_time,
-            lambda_u=params.lambda_u,
-        )
+        tag, fields = _TTCAM_TAG, _TTCAM_FIELDS
     elif isinstance(params, ITCAMParameters):
-        np.savez_compressed(
-            path,
-            **{_FORMAT_KEY: np.array(_ITCAM_TAG)},
-            theta=params.theta,
-            phi=params.phi,
-            theta_time=params.theta_time,
-            lambda_u=params.lambda_u,
-        )
+        tag, fields = _ITCAM_TAG, _ITCAM_FIELDS
     else:
         raise TypeError(f"unsupported parameter type: {type(params).__name__}")
-    # np.savez appends .npz when missing; report the real location.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    arrays = {name: np.asarray(getattr(params, name)) for name in fields}
+    # np.savez appends .npz when missing; resolve the real location first.
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    final.parent.mkdir(parents=True, exist_ok=True)
+    tmp = final.parent / (final.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            **{
+                _FORMAT_KEY: np.array(tag),
+                _CHECKSUM_KEY: np.array(digest_arrays(arrays)),
+            },
+            **arrays,
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)
+    return final
 
 
 def load_params(path: str | Path) -> ITCAMParameters | TTCAMParameters:
     """Load fitted parameters saved by :func:`save_params`.
 
-    Validation in the parameter containers runs on load, so a corrupted
-    or hand-edited archive fails loudly rather than serving nonsense.
+    The embedded checksum is verified and the parameter containers
+    re-validate their invariants on construction, so a truncated,
+    bit-flipped or hand-edited archive raises
+    :class:`~repro.robustness.errors.SnapshotCorruptError` (a
+    :class:`ValueError` subclass) rather than serving nonsense.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        if _FORMAT_KEY not in archive:
-            raise ValueError(f"{path} is not a TCAM parameter archive")
-        tag = str(archive[_FORMAT_KEY])
-        if tag == _TTCAM_TAG:
-            return TTCAMParameters(
-                theta=archive["theta"],
-                phi=archive["phi"],
-                theta_time=archive["theta_time"],
-                phi_time=archive["phi_time"],
-                lambda_u=archive["lambda_u"],
-            )
-        if tag == _ITCAM_TAG:
-            return ITCAMParameters(
-                theta=archive["theta"],
-                phi=archive["phi"],
-                theta_time=archive["theta_time"],
-                lambda_u=archive["lambda_u"],
-            )
-        raise ValueError(f"unknown TCAM archive format {tag!r} in {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _FORMAT_KEY not in archive:
+                raise SnapshotCorruptError(f"{path} is not a TCAM parameter archive")
+            tag = str(archive[_FORMAT_KEY])
+            if tag == _TTCAM_TAG:
+                cls, fields = TTCAMParameters, _TTCAM_FIELDS
+            elif tag == _ITCAM_TAG:
+                cls, fields = ITCAMParameters, _ITCAM_FIELDS
+            else:
+                raise SnapshotCorruptError(
+                    f"unknown TCAM archive format {tag!r} in {path}"
+                )
+            missing = [name for name in fields if name not in archive]
+            if missing:
+                raise SnapshotCorruptError(f"{path} is missing arrays {missing}")
+            arrays = {name: archive[name] for name in fields}
+            if _CHECKSUM_KEY in archive:
+                expected = str(archive[_CHECKSUM_KEY])
+                actual = digest_arrays(arrays)
+                if actual != expected:
+                    raise SnapshotCorruptError(
+                        f"{path} failed its checksum (stored {expected[:12]}…, "
+                        f"recomputed {actual[:12]}…)"
+                    )
+            try:
+                return cls(**arrays)
+            except ValueError as exc:
+                raise SnapshotCorruptError(
+                    f"{path} holds invalid parameters: {exc}"
+                ) from exc
+    except (SnapshotCorruptError, FileNotFoundError):
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, EOFError, ...
+        raise SnapshotCorruptError(f"snapshot {path} is unreadable: {exc}") from exc
 
 
 class LoadedModel:

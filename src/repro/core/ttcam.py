@@ -18,9 +18,24 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.cuboid import RatingCuboid
-from .em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
+from ..robustness.checkpoint import CheckpointManager
+from ..robustness.health import HealthMonitor, rejitter_arrays
+from .em import (
+    EPS,
+    EMTrace,
+    normalize_rows,
+    prepare_fit_controls,
+    random_stochastic,
+    restore_state,
+    run_em,
+    scatter_sum,
+    scatter_sum_1d,
+)
 from .params import TTCAMParameters
 from .weighting import apply_item_weighting
+
+_STATE_KEYS = ("theta", "phi", "theta_time", "phi_time", "lambda_u")
+_STOCHASTIC = ("theta", "phi", "theta_time", "phi_time")
 
 
 class TTCAM:
@@ -92,45 +107,113 @@ class TTCAM:
         """Display name used in evaluation tables."""
         return "W-TTCAM" if self.weighted else "TTCAM"
 
-    def fit(self, cuboid: RatingCuboid) -> "TTCAM":
+    def fit(
+        self,
+        cuboid: RatingCuboid,
+        checkpoint: CheckpointManager | str | None = None,
+        resume_from: CheckpointManager | str | None = None,
+        monitor: HealthMonitor | bool | None = None,
+    ) -> "TTCAM":
         """Fit the model to a rating cuboid by EM.
 
         With ``n_init > 1``, runs that many random restarts and keeps the
         one with the best final training log-likelihood.
+
+        ``checkpoint`` (a :class:`~repro.robustness.CheckpointManager` or
+        directory) enables periodic atomic parameter checkpoints;
+        ``resume_from`` continues an interrupted run bit-compatibly from
+        the directory's latest checkpoint; ``monitor`` (``True`` or a
+        :class:`~repro.robustness.HealthMonitor`) validates numerical
+        invariants each iteration and rolls back to the last good
+        checkpoint on violation. Checkpointing requires ``n_init == 1``.
         """
         if cuboid.nnz == 0:
             raise ValueError("cannot fit on an empty cuboid")
+        if (checkpoint is not None or resume_from is not None) and self.n_init != 1:
+            raise ValueError("checkpoint/resume require n_init == 1")
         if self.weighted:
             cuboid = apply_item_weighting(cuboid)
 
+        manager, restored, health = prepare_fit_controls(
+            checkpoint, resume_from, monitor, self.default_monitor, self._meta()
+        )
         best: tuple[TTCAMParameters, EMTrace] | None = None
         for restart in range(self.n_init):
-            params, trace = self._fit_once(cuboid, seed=self.seed + restart)
+            params, trace = self._fit_once(
+                cuboid,
+                seed=self.seed + restart,
+                checkpoints=manager,
+                restored=restored,
+                monitor=health,
+            )
             if best is None or trace.final_log_likelihood > best[1].final_log_likelihood:
                 best = (params, trace)
         self.params_, self.trace_ = best
         return self
 
+    def _meta(self) -> dict:
+        """Identifying configuration stored in (and checked against) checkpoints."""
+        return {
+            "model": "ttcam",
+            "k1": self.num_user_topics,
+            "k2": self.num_time_topics,
+            "weighted": self.weighted,
+            "personalized_lambda": self.personalized_lambda,
+            "seed": self.seed,
+        }
+
+    def default_monitor(self) -> HealthMonitor:
+        """The numerical-health invariants of a TTCAM state."""
+        return HealthMonitor(
+            stochastic=_STOCHASTIC,
+            unit_interval=("lambda_u",),
+            no_collapse=("theta", "theta_time"),
+        )
+
+    def _rejitter(
+        self, state: dict[str, np.ndarray], recovery: int
+    ) -> dict[str, np.ndarray]:
+        """Seeded perturbation applied to a rolled-back state."""
+        return rejitter_arrays(
+            state, _STOCHASTIC, ("lambda_u",), seed=self.seed + 7919 * recovery
+        )
+
     def _fit_once(
-        self, cuboid: RatingCuboid, seed: int
+        self,
+        cuboid: RatingCuboid,
+        seed: int,
+        checkpoints: CheckpointManager | None = None,
+        restored=None,
+        monitor: HealthMonitor | None = None,
     ) -> tuple[TTCAMParameters, EMTrace]:
-        """One EM run from a random initialisation."""
-        rng = np.random.default_rng(seed)
+        """One EM run from a random initialisation (or a checkpoint)."""
         n, t_dim, v_dim = cuboid.shape
         k1, k2 = self.num_user_topics, self.num_time_topics
         u, t, v, c = cuboid.users, cuboid.intervals, cuboid.items, cuboid.scores
 
-        theta = random_stochastic(rng, n, k1)
-        phi = random_stochastic(rng, k1, v_dim)
-        theta_time = random_stochastic(rng, t_dim, k2)
-        phi_time = random_stochastic(rng, k2, v_dim)
-        lam = np.full(n, 0.5)
+        if restored is not None:
+            state, start, trace = restore_state(restored, _STATE_KEYS)
+        else:
+            rng = np.random.default_rng(seed)
+            state = {
+                "theta": random_stochastic(rng, n, k1),
+                "phi": random_stochastic(rng, k1, v_dim),
+                "theta_time": random_stochastic(rng, t_dim, k2),
+                "phi_time": random_stochastic(rng, k2, v_dim),
+                "lambda_u": np.full(n, 0.5),
+            }
+            start, trace = 0, EMTrace()
 
-        trace = EMTrace()
         user_mass = scatter_sum_1d(u, c, n)
         safe_user_mass = np.where(user_mass <= 0, 1.0, user_mass)
 
-        for _ in range(self.max_iter):
+        def step(
+            current: dict[str, np.ndarray],
+        ) -> tuple[dict[str, np.ndarray], float]:
+            """One full EM iteration (E-step likelihood, then M-step update)."""
+            theta, phi = current["theta"], current["phi"]
+            theta_time, phi_time = current["theta_time"], current["phi_time"]
+            lam = current["lambda_u"]
             # ---- E-step --------------------------------------------------
             joint_z = theta[u] * phi[:, v].T  # (R, K1), numerator of Eq. 5
             p_interest = joint_z.sum(axis=1)  # Eq. 2
@@ -143,30 +226,40 @@ class TTCAM:
             ps1 = weighted_interest / denom  # Eq. 4
             resp_z = joint_z * (ps1 / (p_interest + EPS))[:, None]  # Eq. 6
             resp_x = joint_x * ((1 - ps1) / (p_context + EPS))[:, None]  # Eq. 14
-
             log_likelihood = float(np.dot(c, np.log(denom)))
-            if trace.record(log_likelihood, self.tol):
-                break
-
             # ---- M-step --------------------------------------------------
             c_resp_z = c[:, None] * resp_z
             c_resp_x = c[:, None] * resp_x
-            theta = normalize_rows(scatter_sum(u, c_resp_z, n), self.smoothing)  # Eq. 8
-            phi = normalize_rows(scatter_sum(v, c_resp_z, v_dim).T, self.smoothing)  # Eq. 9
-            theta_time = normalize_rows(scatter_sum(t, c_resp_x, t_dim), self.smoothing)  # Eq. 15
-            phi_time = normalize_rows(scatter_sum(v, c_resp_x, v_dim).T, self.smoothing)  # Eq. 16
             if self.personalized_lambda:
-                lam = scatter_sum_1d(u, c * ps1, n) / safe_user_mass  # Eq. 11
+                new_lam = scatter_sum_1d(u, c * ps1, n) / safe_user_mass  # Eq. 11
             else:
-                lam = np.full(n, np.dot(c, ps1) / c.sum())  # single global λ
-            lam = np.clip(lam, 0.0, 1.0)
+                new_lam = np.full(n, np.dot(c, ps1) / c.sum())  # single global λ
+            updated = {
+                "theta": normalize_rows(scatter_sum(u, c_resp_z, n), self.smoothing),  # Eq. 8
+                "phi": normalize_rows(scatter_sum(v, c_resp_z, v_dim).T, self.smoothing),  # Eq. 9
+                "theta_time": normalize_rows(scatter_sum(t, c_resp_x, t_dim), self.smoothing),  # Eq. 15
+                "phi_time": normalize_rows(scatter_sum(v, c_resp_x, v_dim).T, self.smoothing),  # Eq. 16
+                "lambda_u": np.clip(new_lam, 0.0, 1.0),
+            }
+            return updated, log_likelihood
 
+        state, trace = run_em(
+            state,
+            step,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            trace=trace,
+            start_iteration=start,
+            checkpoints=checkpoints,
+            monitor=monitor,
+            rejitter=self._rejitter,
+        )
         params = TTCAMParameters(
-            theta=theta,
-            phi=phi,
-            theta_time=theta_time,
-            phi_time=phi_time,
-            lambda_u=lam,
+            theta=state["theta"],
+            phi=state["phi"],
+            theta_time=state["theta_time"],
+            phi_time=state["phi_time"],
+            lambda_u=state["lambda_u"],
         )
         return params, trace
 

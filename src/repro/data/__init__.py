@@ -7,6 +7,7 @@ from .events import Rating, UserDocument, dataset_statistics, group_by_interval,
 from .indexer import Indexer
 from .intervals import SECONDS_PER_DAY, TimeDiscretizer, rediscretize
 from .io import (
+    DataValidationError,
     load_cuboid_csv,
     read_csv,
     read_jsonl,
@@ -40,6 +41,7 @@ __all__ = [
     "SECONDS_PER_DAY",
     "TimeDiscretizer",
     "rediscretize",
+    "DataValidationError",
     "load_cuboid_csv",
     "read_csv",
     "read_jsonl",

@@ -7,17 +7,80 @@ Two interchangeable on-disk formats are supported:
 
 Both round-trip through :class:`~repro.data.events.Rating` records, so a
 cuboid written and re-read coalesces to the same tensor.
+
+Readers validate each row — intervals must be non-negative integers,
+scores finite and positive — and report problems with the offending
+line number via :class:`DataValidationError`. Pass ``strict=False`` to
+skip malformed rows instead, counting them and summarising the damage in
+a single :class:`UserWarning` (the right mode for scraped production
+logs where a handful of bad rows should not abort a training run).
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
+import warnings
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from .cuboid import RatingCuboid
 from .events import Rating
+
+
+class DataValidationError(ValueError):
+    """A ratings file contains a row that violates the data contract.
+
+    The message names the file, the 1-based line number and the field
+    that failed, so bad exports can be fixed at the source.
+    """
+
+
+def _validated_rating(
+    path: Path, line_number: int, user: str, interval: str, item: str, score: str
+) -> Rating:
+    """Build one :class:`Rating` from raw fields, validating everything.
+
+    Raises :class:`DataValidationError` naming ``path:line_number`` on
+    any malformed field: non-integer or negative interval, non-numeric,
+    NaN/infinite or non-positive score, or empty user/item labels.
+    """
+    where = f"{path}:{line_number}"
+    if user is None or item is None or interval is None or score is None:
+        raise DataValidationError(f"{where}: row has missing fields")
+    if not str(user).strip():
+        raise DataValidationError(f"{where}: empty user label")
+    if not str(item).strip():
+        raise DataValidationError(f"{where}: empty item label")
+    try:
+        interval_id = int(interval)
+    except (TypeError, ValueError) as exc:
+        raise DataValidationError(
+            f"{where}: interval {interval!r} is not an integer"
+        ) from exc
+    if interval_id < 0:
+        raise DataValidationError(f"{where}: negative interval {interval_id}")
+    try:
+        value = float(score)
+    except (TypeError, ValueError) as exc:
+        raise DataValidationError(f"{where}: score {score!r} is not a number") from exc
+    if math.isnan(value) or math.isinf(value):
+        raise DataValidationError(f"{where}: score is {value}")
+    if value <= 0:
+        raise DataValidationError(f"{where}: score must be positive, got {value}")
+    return Rating(user=str(user), interval=interval_id, item=str(item), score=value)
+
+
+def _warn_skipped(path: Path, skipped: int, first_error: str | None) -> None:
+    """Summarise rows dropped by a non-strict read in one warning."""
+    if skipped:
+        warnings.warn(
+            f"skipped {skipped} malformed row(s) in {path} "
+            f"(first: {first_error})",
+            UserWarning,
+            stacklevel=3,
+        )
 
 
 def write_csv(ratings: Iterable[Rating], path: str | Path) -> int:
@@ -35,23 +98,41 @@ def write_csv(ratings: Iterable[Rating], path: str | Path) -> int:
     return count
 
 
-def read_csv(path: str | Path) -> Iterator[Rating]:
-    """Stream ratings from a CSV file produced by :func:`write_csv`."""
+def read_csv(path: str | Path, strict: bool = True) -> Iterator[Rating]:
+    """Stream ratings from a CSV file produced by :func:`write_csv`.
+
+    With ``strict=True`` (default) a malformed row raises
+    :class:`DataValidationError` with its line number. With
+    ``strict=False`` malformed rows are skipped; once the file is
+    exhausted a single :class:`UserWarning` reports how many were
+    dropped and the first failure. A missing header is always fatal.
+    """
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.DictReader(handle)
         required = {"user", "interval", "item", "score"}
         if reader.fieldnames is None or not required <= set(reader.fieldnames):
-            raise ValueError(
+            raise DataValidationError(
                 f"{path} is missing required columns {sorted(required)}"
             )
-        for row in reader:
-            yield Rating(
-                user=row["user"],
-                interval=int(row["interval"]),
-                item=row["item"],
-                score=float(row["score"]),
-            )
+        skipped, first_error = 0, None
+        # Header occupies line 1; DictReader rows start at line 2.
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                yield _validated_rating(
+                    path,
+                    line_number,
+                    row["user"],
+                    row["interval"],
+                    row["item"],
+                    row["score"],
+                )
+            except DataValidationError as exc:
+                if strict:
+                    raise
+                skipped += 1
+                first_error = first_error or str(exc)
+        _warn_skipped(path, skipped, first_error)
 
 
 def write_jsonl(ratings: Iterable[Rating], path: str | Path) -> int:
@@ -75,24 +156,40 @@ def write_jsonl(ratings: Iterable[Rating], path: str | Path) -> int:
     return count
 
 
-def read_jsonl(path: str | Path) -> Iterator[Rating]:
-    """Stream ratings from a JSONL file produced by :func:`write_jsonl`."""
+def read_jsonl(path: str | Path, strict: bool = True) -> Iterator[Rating]:
+    """Stream ratings from a JSONL file produced by :func:`write_jsonl`.
+
+    Validation and the ``strict`` flag behave as in :func:`read_csv`;
+    an unparseable JSON line counts as a malformed row.
+    """
     path = Path(path)
     with path.open() as handle:
+        skipped, first_error = 0, None
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_number}: invalid JSON") from exc
-            yield Rating(
-                user=record["user"],
-                interval=int(record["interval"]),
-                item=record["item"],
-                score=float(record.get("score", 1.0)),
-            )
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise DataValidationError(
+                        f"{path}:{line_number}: invalid JSON"
+                    ) from exc
+                yield _validated_rating(
+                    path,
+                    line_number,
+                    record.get("user"),
+                    record.get("interval"),
+                    record.get("item"),
+                    record.get("score", 1.0),
+                )
+            except DataValidationError as exc:
+                if strict:
+                    raise
+                skipped += 1
+                first_error = first_error or str(exc)
+        _warn_skipped(path, skipped, first_error)
 
 
 def cuboid_to_ratings(cuboid: RatingCuboid) -> Iterator[Rating]:
@@ -127,6 +224,10 @@ def save_cuboid_csv(cuboid: RatingCuboid, path: str | Path) -> int:
     return write_csv(cuboid_to_ratings(cuboid), path)
 
 
-def load_cuboid_csv(path: str | Path) -> RatingCuboid:
-    """Load a cuboid from CSV written by :func:`save_cuboid_csv`."""
-    return RatingCuboid.from_ratings(read_csv(path))
+def load_cuboid_csv(path: str | Path, strict: bool = True) -> RatingCuboid:
+    """Load a cuboid from CSV written by :func:`save_cuboid_csv`.
+
+    ``strict=False`` skips malformed rows (with a summary warning)
+    instead of raising :class:`DataValidationError` on the first one.
+    """
+    return RatingCuboid.from_ratings(read_csv(path, strict=strict))

@@ -17,6 +17,8 @@ retraining.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.em import EPS
@@ -56,11 +58,22 @@ class OnlineTTCAM:
         ``items``/``intervals`` are aligned arrays of the new user's rating
         behaviors; ``scores`` defaults to implicit 1s. Global topics and
         all interval contexts stay fixed.
+
+        A user with no ratings cannot be estimated; rather than crash a
+        serving path, the cold-start prior is returned — uniform interests
+        and ``λ_u = 0.5`` — with a :class:`UserWarning`.
         """
         items = np.asarray(items, dtype=np.int64)
         intervals = np.asarray(intervals, dtype=np.int64)
         if items.size == 0:
-            raise ValueError("the new user has no ratings to fold in")
+            warnings.warn(
+                "new user has no ratings; returning the cold-start prior "
+                "(uniform interests, lambda=0.5)",
+                UserWarning,
+                stacklevel=2,
+            )
+            k1 = self.params.num_user_topics
+            return np.full(k1, 1.0 / k1), 0.5
         if items.shape != intervals.shape:
             raise ValueError("items and intervals must be aligned")
         if items.max() >= self.params.num_items or items.min() < 0:
@@ -105,11 +118,21 @@ class OnlineTTCAM:
         ``users``/``items`` are the rating behaviors observed during the
         new interval; user parameters and all topic–item distributions
         stay fixed. Returns the new interval's ``(K2,)`` context.
+
+        An interval with no observed ratings yet (e.g. the first seconds
+        of a new time slice) gets the uniform prior context with a
+        :class:`UserWarning` instead of an exception.
         """
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         if items.size == 0:
-            raise ValueError("the new interval has no ratings to fold in")
+            warnings.warn(
+                "new interval has no ratings; returning the uniform prior context",
+                UserWarning,
+                stacklevel=2,
+            )
+            k2 = self.params.num_time_topics
+            return np.full(k2, 1.0 / k2)
         if users.shape != items.shape:
             raise ValueError("users and items must be aligned")
         if users.max() >= self.params.num_users or users.min() < 0:

@@ -3,7 +3,7 @@ Threshold-Algorithm retrieval (Section 4 of the paper)."""
 
 from .bruteforce import bruteforce_topk
 from .ranking import QuerySpace, Recommendation, TopKResult, rank_order
-from .recommender import TemporalRecommender
+from .recommender import ServingStatus, TemporalRecommender
 from .threshold import SortedTopicLists, batched_ta_topk, classic_ta_topk, ta_topk
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "Recommendation",
     "TopKResult",
     "rank_order",
+    "ServingStatus",
     "TemporalRecommender",
     "SortedTopicLists",
     "batched_ta_topk",

@@ -15,16 +15,28 @@ through either retrieval engine:
 For TTCAM the topic–item matrix is query-independent, so one sorted-list
 index serves every query. For ITCAM the temporal context row depends on
 the queried interval; indexes are built lazily per interval and cached.
+
+A production deployment also needs to keep answering when things go
+wrong, so the recommender accepts a **fallback chain** — simpler fitted
+models (typically popularity baselines) consulted, in order, when the
+primary model is unavailable (snapshot failed its checksum), the query
+is out of the primary's range (unknown user or interval), or the primary
+raises at serve time. Every answer carries a structured
+:class:`ServingStatus` saying who served it and why, so degradation is
+observable instead of silent.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol, Sequence
 
 import numpy as np
 
+from ..robustness.errors import ServingUnavailableError
 from .bruteforce import bruteforce_topk
-from .ranking import QuerySpace, TopKResult
+from .ranking import QuerySpace, Recommendation, TopKResult, rank_order
 from .threshold import SortedTopicLists, batched_ta_topk, classic_ta_topk, ta_topk
 
 
@@ -36,29 +48,103 @@ class SupportsQuerySpace(Protocol):
         ...
 
 
+@dataclass(frozen=True)
+class ServingStatus:
+    """Structured account of how one query (or recommender) was served.
+
+    Attributes
+    ----------
+    degraded:
+        True when anything other than the primary model answered.
+    served_by:
+        Display name of the model that produced the result.
+    reason:
+        Why the primary model could not serve (``None`` when healthy).
+    attempted:
+        Names of models tried and skipped before the serving one.
+    """
+
+    degraded: bool
+    served_by: str
+    reason: str | None = None
+    attempted: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _model_name(model: object) -> str:
+    """Best-effort display name for any model-like object."""
+    name = getattr(model, "name", None)
+    return name if isinstance(name, str) else type(model).__name__
+
+
 class TemporalRecommender:
     """Serves temporal top-k queries over a fitted topic-mixture model.
 
     Parameters
     ----------
     model:
-        A fitted model exposing ``query_space``.
+        A fitted model exposing ``query_space``. ``None`` declares the
+        primary unavailable from the start (used by
+        :meth:`from_snapshot` when the snapshot is corrupt), in which
+        case every query is served by the fallback chain.
     method:
         Default retrieval engine: ``"ta"``, ``"batched-ta"``, ``"bf"``
         or ``"classic-ta"``.
+    fallbacks:
+        Fitted degradation chain, consulted in order when the primary
+        cannot serve. Each entry needs ``query_space`` or ``score_items``
+        (any fitted baseline, e.g.
+        :class:`~repro.baselines.popularity.GlobalPopularity`).
     """
 
     _METHODS = ("ta", "batched-ta", "bf", "classic-ta")
 
-    def __init__(self, model: SupportsQuerySpace, method: str = "ta") -> None:
+    def __init__(
+        self,
+        model: SupportsQuerySpace | None,
+        method: str = "ta",
+        fallbacks: Sequence[object] = (),
+        unavailable_reason: str | None = None,
+    ) -> None:
         if method not in self._METHODS:
             raise ValueError(f"method must be one of {self._METHODS}, got {method!r}")
+        if model is None and not fallbacks:
+            raise ValueError("a recommender needs a model or at least one fallback")
         self.model = model
         self.method = method
+        self.fallbacks = tuple(fallbacks)
+        self.unavailable_reason = unavailable_reason
+        self.last_status: ServingStatus | None = None
         # Sorted-list indexes keyed by the model's matrix cache key: TTCAM's
         # topic–item matrix is query-independent (one entry), ITCAM's
         # depends on the queried interval (one entry per interval).
         self._index_cache: dict[object, SortedTopicLists] = {}
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str | Path,
+        method: str = "ta",
+        fallbacks: Sequence[object] = (),
+    ) -> "TemporalRecommender":
+        """Serve from a snapshot file, degrading instead of crashing.
+
+        A snapshot that fails its checksum or validation normally raises
+        :class:`~repro.robustness.errors.SnapshotCorruptError`; with a
+        non-empty fallback chain the recommender comes up anyway and
+        serves every query from the chain, flagging the degradation in
+        each :class:`ServingStatus`. Without fallbacks the error
+        propagates.
+        """
+        from ..core.serialize import LoadedModel
+
+        try:
+            model: SupportsQuerySpace | None = LoadedModel.from_file(path)
+            reason = None
+        except (ValueError, OSError) as exc:
+            if not fallbacks:
+                raise
+            model, reason = None, f"snapshot unusable: {exc}"
+        return cls(model, method=method, fallbacks=fallbacks, unavailable_reason=reason)
 
     def recommend(
         self,
@@ -80,10 +166,87 @@ class TemporalRecommender:
             Override the recommender's default engine for this query.
         exclude:
             Item ids that must not be recommended (e.g. training items).
+
+        The serving outcome of the most recent call (who answered, and
+        whether the result is degraded) is kept in :attr:`last_status`;
+        use :meth:`recommend_with_status` to receive it explicitly.
+        """
+        result, _ = self.recommend_with_status(
+            user, interval, k=k, method=method, exclude=exclude
+        )
+        return result
+
+    def recommend_with_status(
+        self,
+        user: int,
+        interval: int,
+        k: int = 10,
+        method: str | None = None,
+        exclude: np.ndarray | None = None,
+    ) -> tuple[TopKResult, ServingStatus]:
+        """Top-k plus the structured :class:`ServingStatus` for the query.
+
+        The primary model serves when it can; otherwise the fallback
+        chain is walked in order. Only when *nothing* can answer does
+        :class:`~repro.robustness.errors.ServingUnavailableError` raise.
         """
         engine = method if method is not None else self.method
         if engine not in self._METHODS:
             raise ValueError(f"method must be one of {self._METHODS}, got {engine!r}")
+        attempted: list[str] = []
+        reason = self.unavailable_reason
+        if self.model is not None:
+            range_problem = self._range_problem(user, interval)
+            if range_problem is None:
+                try:
+                    result = self._serve_primary(user, interval, k, engine, exclude)
+                    status = ServingStatus(False, _model_name(self.model))
+                    self.last_status = status
+                    return result, status
+                except Exception as exc:
+                    reason = f"primary model failed: {exc}"
+            else:
+                reason = range_problem
+            attempted.append(_model_name(self.model))
+        for fallback in self.fallbacks:
+            try:
+                result = self._serve_fallback(fallback, user, interval, k, exclude)
+            except Exception:
+                attempted.append(_model_name(fallback))
+                continue
+            status = ServingStatus(
+                True, _model_name(fallback), reason, tuple(attempted)
+            )
+            self.last_status = status
+            return result, status
+        raise ServingUnavailableError(
+            f"no model could serve query (user={user}, interval={interval}): {reason}"
+        )
+
+    def _range_problem(self, user: int, interval: int) -> str | None:
+        """Why the query is outside the primary model, or ``None`` if it fits.
+
+        Only models that expose fitted ``params_`` dimensions are
+        checked; anything else is assumed to accept the query.
+        """
+        params = getattr(self.model, "params_", None)
+        num_users = getattr(params, "num_users", None)
+        num_intervals = getattr(params, "num_intervals", None)
+        if num_users is not None and not 0 <= user < num_users:
+            return f"unknown user {user} (model knows [0, {num_users}))"
+        if num_intervals is not None and not 0 <= interval < num_intervals:
+            return f"unknown interval {interval} (model knows [0, {num_intervals}))"
+        return None
+
+    def _serve_primary(
+        self,
+        user: int,
+        interval: int,
+        k: int,
+        engine: str,
+        exclude: np.ndarray | None,
+    ) -> TopKResult:
+        """Answer with the primary model through the selected engine."""
         weights, matrix = self.model.query_space(user, interval)
         query = QuerySpace(weights=weights, item_matrix=matrix)
         if engine == "bf":
@@ -94,6 +257,24 @@ class TemporalRecommender:
         if engine == "batched-ta":
             return batched_ta_topk(query, lists, k, exclude=exclude)
         return classic_ta_topk(query, lists, k, exclude=exclude)
+
+    def _serve_fallback(
+        self,
+        fallback: object,
+        user: int,
+        interval: int,
+        k: int,
+        exclude: np.ndarray | None,
+    ) -> TopKResult:
+        """Answer with one fallback model via its dense score vector."""
+        scores = np.asarray(fallback.score_items(user, interval), dtype=np.float64)
+        top = rank_order(scores, k, exclude=exclude)
+        recommendations = [
+            Recommendation(item=int(item), score=float(scores[item])) for item in top
+        ]
+        return TopKResult(
+            recommendations=recommendations, items_scored=int(scores.shape[0])
+        )
 
     def _lists_for(self, matrix: np.ndarray, interval: int) -> SortedTopicLists:
         """Fetch or build the sorted-list index for a topic–item matrix.
@@ -116,8 +297,11 @@ class TemporalRecommender:
         """Eagerly build sorted-list indexes (the paper's offline step).
 
         For TTCAM one call suffices; for ITCAM pass the intervals you plan
-        to query. Returns the number of cached indexes.
+        to query. Returns the number of cached indexes. A recommender
+        whose primary model is unavailable has nothing to precompute.
         """
+        if self.model is None:
+            return 0
         if intervals is None:
             intervals = np.array([0])
         for interval in np.asarray(intervals, dtype=np.int64):

@@ -1,0 +1,61 @@
+"""Fault tolerance for training and serving: checkpoints, health guards,
+retry, and deterministic fault injection.
+
+The pieces compose into a crash-safe runtime around the EM models:
+
+* :class:`CheckpointManager` — atomic, checksummed, pruned training
+  checkpoints that :func:`repro.core.em.run_em` saves on a cadence and
+  ``fit(..., resume_from=...)`` restores bit-compatibly;
+* :class:`HealthMonitor` — per-iteration numerical invariants (finite
+  values, stochastic rows, monotone log-likelihood, live topics) whose
+  violation triggers rollback to the last good checkpoint;
+* :func:`run_with_retry` — deterministic exponential backoff used by the
+  partitioned E-step's shard re-execution;
+* :class:`FaultInjector` — seeded, context-managed injection of shard
+  crashes, NaN poisoning, slow shards and truncated snapshots, driving
+  the ``tests/robustness`` suite.
+"""
+
+from .checkpoint import Checkpoint, CheckpointManager, digest_arrays
+from .errors import (
+    CheckpointError,
+    HealthViolation,
+    InjectedFault,
+    RetryExhaustedError,
+    RobustnessError,
+    ServingUnavailableError,
+    ShardFailedError,
+    SnapshotCorruptError,
+)
+from .faults import (
+    FaultInjector,
+    active_injector,
+    fault_point,
+    maybe_poison,
+    truncate_file,
+)
+from .health import HealthMonitor, rejitter_arrays
+from .retry import backoff_schedule, run_with_retry
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "digest_arrays",
+    "CheckpointError",
+    "HealthViolation",
+    "InjectedFault",
+    "RetryExhaustedError",
+    "RobustnessError",
+    "ServingUnavailableError",
+    "ShardFailedError",
+    "SnapshotCorruptError",
+    "FaultInjector",
+    "active_injector",
+    "fault_point",
+    "maybe_poison",
+    "truncate_file",
+    "HealthMonitor",
+    "rejitter_arrays",
+    "backoff_schedule",
+    "run_with_retry",
+]

@@ -1,0 +1,66 @@
+"""Exception types for the fault-tolerance subsystem.
+
+Every failure the robustness layer can detect or inject has a dedicated
+type, so calling code (and tests) can distinguish "the snapshot on disk
+is damaged" from "EM produced garbage" from "a deliberately injected
+fault escaped its harness".
+"""
+
+from __future__ import annotations
+
+
+class RobustnessError(Exception):
+    """Base class for all robustness-subsystem errors."""
+
+
+class SnapshotCorruptError(RobustnessError, ValueError):
+    """A parameter snapshot failed its checksum or could not be decoded.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` from :func:`repro.core.serialize.load_params` keep
+    working.
+    """
+
+
+class CheckpointError(RobustnessError):
+    """A training checkpoint is unusable (missing, corrupt or mismatched)."""
+
+
+class HealthViolation(RobustnessError):
+    """An EM iteration violated a numerical-health invariant.
+
+    Attributes
+    ----------
+    violations:
+        Human-readable descriptions of every invariant that failed.
+    """
+
+    def __init__(self, violations: list[str]) -> None:
+        self.violations = list(violations)
+        super().__init__("; ".join(self.violations))
+
+
+class InjectedFault(RobustnessError):
+    """Raised by the fault injector at an armed fault point (tests only)."""
+
+
+class RetryExhaustedError(RobustnessError):
+    """A retried operation kept failing after every allowed attempt.
+
+    Attributes
+    ----------
+    attempts:
+        Total attempts made (initial try plus retries).
+    """
+
+    def __init__(self, message: str, attempts: int) -> None:
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class ShardFailedError(RetryExhaustedError):
+    """One E-step shard failed permanently despite retries."""
+
+
+class ServingUnavailableError(RobustnessError):
+    """Neither the primary model nor any fallback could answer a query."""

@@ -1,0 +1,144 @@
+"""Numerical health guards for EM training.
+
+EM over sparse count data fails in characteristic ways: a NaN/Inf from an
+overflowing kernel, a parameter matrix drifting off the probability
+simplex, a log-likelihood that *decreases* (impossible for correct EM, so
+always a bug or data corruption), or a topic collapsing to zero mass.
+:class:`HealthMonitor` checks those invariants after every iteration and
+raises :class:`~repro.robustness.errors.HealthViolation` so the EM driver
+can roll back to the last good checkpoint instead of silently emitting
+garbage parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import HealthViolation
+
+
+class HealthMonitor:
+    """Per-iteration invariant checker for EM parameter states.
+
+    Parameters
+    ----------
+    stochastic:
+        Names of arrays whose rows must be probability distributions
+        (non-negative, summing to ~1).
+    unit_interval:
+        Names of arrays whose entries must lie in ``[0, 1]``.
+    no_collapse:
+        Names of row-stochastic arrays whose *columns* are topics; a
+        column whose total mass drops to ``collapse_tol`` or below means
+        the topic died and the fit is degenerate.
+    ll_slack:
+        Relative slack allowed on the monotone log-likelihood check
+        (floating-point summation is order-sensitive).
+    collapse_tol:
+        Column-mass threshold at or below which a topic counts as
+        collapsed.
+    """
+
+    def __init__(
+        self,
+        stochastic: tuple[str, ...] = (),
+        unit_interval: tuple[str, ...] = (),
+        no_collapse: tuple[str, ...] = (),
+        ll_slack: float = 1e-6,
+        collapse_tol: float = 0.0,
+    ) -> None:
+        if ll_slack < 0:
+            raise ValueError(f"ll_slack must be >= 0, got {ll_slack}")
+        self.stochastic = tuple(stochastic)
+        self.unit_interval = tuple(unit_interval)
+        self.no_collapse = tuple(no_collapse)
+        self.ll_slack = ll_slack
+        self.collapse_tol = collapse_tol
+
+    def violations(
+        self,
+        arrays: dict[str, np.ndarray],
+        log_likelihood: float | None = None,
+        previous: float | None = None,
+    ) -> list[str]:
+        """All invariant violations in one EM state (empty list = healthy)."""
+        problems: list[str] = []
+        for name, value in arrays.items():
+            if not np.all(np.isfinite(value)):
+                bad = int(np.size(value) - np.count_nonzero(np.isfinite(value)))
+                problems.append(f"{name} has {bad} non-finite entries")
+        for name in self.stochastic:
+            value = arrays.get(name)
+            if value is None or not np.all(np.isfinite(value)):
+                continue  # absence/non-finiteness already reported
+            if np.any(value < -1e-9):
+                problems.append(f"{name} has negative probabilities")
+            sums = value.sum(axis=-1)
+            if not np.allclose(sums, 1.0, atol=1e-4):
+                worst = float(np.abs(sums - 1.0).max())
+                problems.append(f"{name} rows are not stochastic (max err {worst:.2e})")
+        for name in self.unit_interval:
+            value = arrays.get(name)
+            if value is None or not np.all(np.isfinite(value)):
+                continue
+            if np.any(value < -1e-9) or np.any(value > 1 + 1e-9):
+                problems.append(f"{name} left the unit interval")
+        for name in self.no_collapse:
+            value = arrays.get(name)
+            if value is None or value.ndim != 2 or not np.all(np.isfinite(value)):
+                continue
+            mass = value.sum(axis=0)
+            dead = int(np.count_nonzero(mass <= self.collapse_tol))
+            if dead:
+                problems.append(f"{name} has {dead} collapsed topic column(s)")
+        if log_likelihood is not None:
+            if not np.isfinite(log_likelihood):
+                problems.append(f"log likelihood became non-finite: {log_likelihood}")
+            elif previous is not None and np.isfinite(previous):
+                floor = previous - self.ll_slack * max(abs(previous), 1.0)
+                if log_likelihood < floor:
+                    problems.append(
+                        "log likelihood decreased "
+                        f"({previous:.6f} -> {log_likelihood:.6f})"
+                    )
+        return problems
+
+    def check(
+        self,
+        arrays: dict[str, np.ndarray],
+        log_likelihood: float | None = None,
+        previous: float | None = None,
+    ) -> None:
+        """Raise :class:`HealthViolation` if any invariant fails."""
+        problems = self.violations(arrays, log_likelihood, previous)
+        if problems:
+            raise HealthViolation(problems)
+
+
+def rejitter_arrays(
+    arrays: dict[str, np.ndarray],
+    stochastic: tuple[str, ...],
+    unit_interval: tuple[str, ...],
+    seed: int,
+    scale: float = 1e-3,
+) -> dict[str, np.ndarray]:
+    """Multiplicatively perturb a restored EM state to escape a bad path.
+
+    Rolling back to a checkpoint and deterministically replaying the same
+    iterations would reproduce the same failure, so recovery re-jitters
+    the restored parameters: row-stochastic arrays are scaled by
+    ``1 + scale·U(0,1)`` per cell and renormalised; unit-interval arrays
+    are nudged and clipped. The perturbation is seeded, keeping recovery
+    reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    jittered: dict[str, np.ndarray] = {}
+    for name, value in arrays.items():
+        value = np.array(value, dtype=np.float64, copy=True)
+        if name in stochastic:
+            value *= 1.0 + scale * rng.random(value.shape)
+            value /= value.sum(axis=-1, keepdims=True)
+        elif name in unit_interval:
+            value = np.clip(value + scale * (rng.random(value.shape) - 0.5), 0.0, 1.0)
+        jittered[name] = value
+    return jittered

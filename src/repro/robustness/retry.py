@@ -1,0 +1,59 @@
+"""Retry with exponential backoff for transient failures.
+
+Used by the partitioned E-step to re-execute crashed or timed-out shards.
+The backoff schedule is deterministic (no random jitter) so a retried run
+is exactly reproducible, and the ``sleep`` hook is injectable so tests
+never actually wait.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from .errors import RetryExhaustedError
+
+T = TypeVar("T")
+
+
+def backoff_schedule(base: float, retries: int, cap: float = 2.0) -> list[float]:
+    """The deterministic sleep durations used between attempts.
+
+    Attempt ``i`` (0-based) is followed, on failure, by a sleep of
+    ``min(base · 2^i, cap)`` seconds.
+    """
+    return [min(base * (2.0**i), cap) for i in range(retries)]
+
+
+def run_with_retry(
+    fn: Callable[[int], T],
+    retries: int = 2,
+    backoff: float = 0.05,
+    max_backoff: float = 2.0,
+    label: str = "operation",
+    sleep: Callable[[float], None] = time.sleep,
+    error: type[RetryExhaustedError] = RetryExhaustedError,
+) -> T:
+    """Call ``fn(attempt)`` until it succeeds or retries are exhausted.
+
+    ``fn`` receives the 0-based attempt number (fault points use it to
+    distinguish first tries from re-executions). Any exception counts as
+    a failed attempt; after ``retries`` re-tries the final failure is
+    wrapped in ``error`` (a :class:`RetryExhaustedError` subclass) with
+    the original exception chained.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    schedule = backoff_schedule(backoff, retries, max_backoff)
+    attempt = 0
+    while True:
+        try:
+            return fn(attempt)
+        except Exception as exc:
+            if attempt >= retries:
+                raise error(
+                    f"{label} failed after {attempt + 1} attempt(s): {exc}",
+                    attempts=attempt + 1,
+                ) from exc
+            sleep(schedule[attempt])
+            attempt += 1

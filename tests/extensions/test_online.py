@@ -60,11 +60,18 @@ class TestFoldInUser:
             sims.append(cos)
         assert np.mean(sims) > 0.7
 
+    def test_empty_ratings_returns_cold_start_prior(self, base):
+        model, _, _ = base
+        online = OnlineTTCAM(model)
+        with pytest.warns(UserWarning, match="no ratings"):
+            theta, lam = online.fold_in_user(np.array([]), np.array([]))
+        k1 = model.params_.num_user_topics
+        np.testing.assert_allclose(theta, np.full(k1, 1.0 / k1))
+        assert lam == 0.5
+
     def test_validation(self, base):
         model, _, _ = base
         online = OnlineTTCAM(model)
-        with pytest.raises(ValueError, match="no ratings"):
-            online.fold_in_user(np.array([]), np.array([]))
         with pytest.raises(ValueError, match="aligned"):
             online.fold_in_user(np.array([0, 1]), np.array([0]))
         with pytest.raises(ValueError, match="item ids"):
@@ -98,11 +105,17 @@ class TestFoldInInterval:
         )
         assert cos > 0.7
 
+    def test_empty_ratings_returns_prior_context(self, base):
+        model, _, _ = base
+        online = OnlineTTCAM(model)
+        with pytest.warns(UserWarning, match="no ratings"):
+            theta_t = online.fold_in_interval(np.array([]), np.array([]))
+        k2 = model.params_.num_time_topics
+        np.testing.assert_allclose(theta_t, np.full(k2, 1.0 / k2))
+
     def test_validation(self, base):
         model, _, _ = base
         online = OnlineTTCAM(model)
-        with pytest.raises(ValueError, match="no ratings"):
-            online.fold_in_interval(np.array([]), np.array([]))
         with pytest.raises(ValueError, match="user ids"):
             online.fold_in_interval(np.array([10_000]), np.array([0]))
 

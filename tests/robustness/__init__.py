@@ -1,0 +1,1 @@
+"""Fault-tolerance suite: checkpoints, health guards, fault injection."""

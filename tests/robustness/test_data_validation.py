@@ -1,0 +1,97 @@
+"""Row validation and skip-and-count loading for ratings files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DataValidationError, load_cuboid_csv, read_jsonl
+
+
+def _write(tmp_path, rows):
+    path = tmp_path / "ratings.csv"
+    path.write_text("user,interval,item,score\n" + "\n".join(rows) + "\n")
+    return path
+
+
+GOOD = ["alice,0,pizza,1.0", "bob,1,sushi,2.0", "carol,0,tacos,1.5"]
+
+
+class TestStrictValidation:
+    def test_clean_file_loads(self, tmp_path):
+        cuboid = load_cuboid_csv(_write(tmp_path, GOOD))
+        assert cuboid.nnz == 3
+
+    def test_negative_interval_names_the_line(self, tmp_path):
+        path = _write(tmp_path, GOOD + ["dave,-2,pizza,1.0"])
+        with pytest.raises(DataValidationError, match=r":5: negative interval"):
+            load_cuboid_csv(path)
+
+    def test_non_integer_interval(self, tmp_path):
+        path = _write(tmp_path, ["alice,soon,pizza,1.0"])
+        with pytest.raises(DataValidationError, match="not an integer"):
+            load_cuboid_csv(path)
+
+    def test_nan_score(self, tmp_path):
+        path = _write(tmp_path, ["alice,0,pizza,nan"])
+        with pytest.raises(DataValidationError, match="score is nan"):
+            load_cuboid_csv(path)
+
+    def test_non_positive_score(self, tmp_path):
+        path = _write(tmp_path, ["alice,0,pizza,-3"])
+        with pytest.raises(DataValidationError, match="must be positive"):
+            load_cuboid_csv(path)
+
+    def test_non_numeric_score(self, tmp_path):
+        path = _write(tmp_path, ["alice,0,pizza,lots"])
+        with pytest.raises(DataValidationError, match="not a number"):
+            load_cuboid_csv(path)
+
+    def test_empty_label(self, tmp_path):
+        path = _write(tmp_path, [",0,pizza,1.0"])
+        with pytest.raises(DataValidationError, match="empty user"):
+            load_cuboid_csv(path)
+
+    def test_missing_header_is_always_fatal(self, tmp_path):
+        path = tmp_path / "headerless.csv"
+        path.write_text("alice,0,pizza,1.0\n")
+        with pytest.raises(DataValidationError, match="missing required columns"):
+            load_cuboid_csv(path, strict=False)
+
+
+class TestSkipAndCount:
+    def test_bad_rows_are_skipped_with_summary_warning(self, tmp_path):
+        path = _write(
+            tmp_path, GOOD + ["dave,-2,pizza,1.0", "erin,0,sushi,nan"]
+        )
+        with pytest.warns(UserWarning, match=r"skipped 2 malformed row"):
+            cuboid = load_cuboid_csv(path, strict=False)
+        assert cuboid.nnz == 3
+
+    def test_clean_file_warns_nothing(self, tmp_path, recwarn):
+        load_cuboid_csv(_write(tmp_path, GOOD), strict=False)
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_warning_carries_first_failure(self, tmp_path):
+        path = _write(tmp_path, ["alice,-1,pizza,1.0"] + GOOD)
+        with pytest.warns(UserWarning, match=r":2: negative interval"):
+            load_cuboid_csv(path, strict=False)
+
+
+class TestJsonlValidation:
+    def test_invalid_json_line_is_a_validation_error(self, tmp_path):
+        path = tmp_path / "ratings.jsonl"
+        path.write_text('{"user": "a", "interval": 0, "item": "x"}\nnot json\n')
+        with pytest.raises(DataValidationError, match=r":2: invalid JSON"):
+            list(read_jsonl(path))
+
+    def test_non_strict_skips_invalid_json(self, tmp_path):
+        path = tmp_path / "ratings.jsonl"
+        path.write_text(
+            '{"user": "a", "interval": 0, "item": "x"}\n'
+            "not json\n"
+            '{"user": "b", "interval": -1, "item": "y"}\n'
+        )
+        with pytest.warns(UserWarning, match="skipped 2"):
+            ratings = list(read_jsonl(path, strict=False))
+        assert len(ratings) == 1
+        assert ratings[0].score == 1.0  # jsonl defaults a missing score

@@ -1,0 +1,131 @@
+"""The fault-injection harness itself: plans, matching, determinism."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.robustness import (
+    FaultInjector,
+    InjectedFault,
+    active_injector,
+    fault_point,
+    maybe_poison,
+    truncate_file,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestHooksAreNoOpsWhenDisarmed:
+    def test_fault_point_does_nothing(self):
+        assert active_injector() is None
+        fault_point("em.iteration", iteration=0)  # must not raise
+
+    def test_maybe_poison_returns_input_unchanged(self):
+        arrays = {"theta": np.ones((2, 2))}
+        assert maybe_poison("em.state", arrays) is arrays
+
+
+class TestCrash:
+    def test_fires_exactly_times(self):
+        with FaultInjector() as chaos:
+            chaos.crash("em.iteration", times=2)
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    fault_point("em.iteration", iteration=0)
+            fault_point("em.iteration", iteration=2)  # budget exhausted
+            assert chaos.fired == 2
+
+    def test_context_matching(self):
+        with FaultInjector() as chaos:
+            chaos.crash("parallel.shard", shard=1, attempt=0)
+            fault_point("parallel.shard", shard=0, attempt=0)
+            fault_point("parallel.shard", shard=1, attempt=1)
+            with pytest.raises(InjectedFault):
+                fault_point("parallel.shard", shard=1, attempt=0)
+            assert chaos.fired == 1
+
+    def test_site_matching(self):
+        with FaultInjector() as chaos:
+            chaos.crash("em.iteration")
+            fault_point("parallel.shard", shard=0)
+            assert chaos.fired == 0
+
+
+class TestDelay:
+    def test_sleeps_for_configured_seconds(self):
+        with FaultInjector() as chaos:
+            chaos.delay("parallel.shard", seconds=0.05, shard=0)
+            start = time.perf_counter()
+            fault_point("parallel.shard", shard=0, attempt=0)
+            elapsed = time.perf_counter() - start
+        assert elapsed >= 0.05
+        assert chaos.fired == 1
+
+
+class TestPoison:
+    def test_injects_exactly_n_nans(self):
+        arrays = {"theta": np.ones((4, 4)), "phi": np.ones((3, 3))}
+        with FaultInjector(seed=5) as chaos:
+            chaos.poison_nan("em.state", cells=3, array="theta")
+            poisoned = maybe_poison("em.state", arrays)
+        nans = int(np.isnan(poisoned["theta"]).sum())
+        assert 1 <= nans <= 3  # seeded indices may repeat
+        assert not np.isnan(poisoned["phi"]).any()
+        # the input arrays are never mutated in place
+        assert not np.isnan(arrays["theta"]).any()
+
+    def test_seeded_poison_is_deterministic(self):
+        arrays = {"theta": np.ones((6, 6))}
+
+        def poison_once():
+            with FaultInjector(seed=11) as chaos:
+                chaos.poison_nan("em.state", cells=2, array="theta")
+                return maybe_poison("em.state", arrays)["theta"]
+
+        np.testing.assert_array_equal(poison_once(), poison_once())
+
+    def test_context_matched_poison(self):
+        arrays = {"theta": np.ones(4)}
+        with FaultInjector() as chaos:
+            chaos.poison_nan("em.state", iteration=5, array="theta")
+            clean = maybe_poison("em.state", arrays, iteration=4)
+            dirty = maybe_poison("em.state", arrays, iteration=5)
+        assert not np.isnan(clean["theta"]).any()
+        assert np.isnan(dirty["theta"]).any()
+
+
+class TestContextManagement:
+    def test_nesting_is_rejected(self):
+        with FaultInjector():
+            with pytest.raises(RuntimeError, match="already active"):
+                with FaultInjector():
+                    pass
+
+    def test_disarms_on_exit(self):
+        with FaultInjector():
+            assert active_injector() is not None
+        assert active_injector() is None
+
+    def test_disarms_on_exception(self):
+        with pytest.raises(ValueError, match="boom"):
+            with FaultInjector():
+                raise ValueError("boom")
+        assert active_injector() is None
+
+
+class TestTruncateFile:
+    def test_truncates_in_place(self, tmp_path):
+        target = tmp_path / "snapshot.npz"
+        target.write_bytes(b"x" * 1000)
+        truncate_file(target, keep_fraction=0.3)
+        assert target.stat().st_size == 300
+
+    def test_rejects_bad_fraction(self, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"abc")
+        with pytest.raises(ValueError, match="keep_fraction"):
+            truncate_file(target, keep_fraction=1.0)

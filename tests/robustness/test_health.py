@@ -1,0 +1,95 @@
+"""HealthMonitor invariants and seeded re-jitter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.robustness import HealthMonitor, HealthViolation, rejitter_arrays
+
+
+@pytest.fixture
+def healthy_state():
+    rng = np.random.default_rng(1)
+    theta = rng.random((5, 3))
+    theta /= theta.sum(axis=1, keepdims=True)
+    phi = rng.random((3, 7))
+    phi /= phi.sum(axis=1, keepdims=True)
+    lam = rng.random(5)
+    return {"theta": theta, "phi": phi, "lambda_u": lam}
+
+
+@pytest.fixture
+def monitor():
+    return HealthMonitor(
+        stochastic=("theta", "phi"),
+        unit_interval=("lambda_u",),
+        no_collapse=("theta",),
+    )
+
+
+class TestViolations:
+    def test_healthy_state_passes(self, monitor, healthy_state):
+        assert monitor.violations(healthy_state, -10.0, -11.0) == []
+        monitor.check(healthy_state, -10.0, -11.0)  # should not raise
+
+    def test_nan_is_reported(self, monitor, healthy_state):
+        healthy_state["theta"][0, 0] = np.nan
+        problems = monitor.violations(healthy_state)
+        assert any("non-finite" in p for p in problems)
+
+    def test_non_stochastic_rows(self, monitor, healthy_state):
+        healthy_state["phi"][1] *= 2.0
+        problems = monitor.violations(healthy_state)
+        assert any("not stochastic" in p for p in problems)
+
+    def test_unit_interval_breach(self, monitor, healthy_state):
+        healthy_state["lambda_u"][2] = 1.5
+        problems = monitor.violations(healthy_state)
+        assert any("unit interval" in p for p in problems)
+
+    def test_collapsed_topic_column(self, monitor, healthy_state):
+        theta = healthy_state["theta"]
+        theta[:, 0] = 0.0
+        theta /= theta.sum(axis=1, keepdims=True)
+        problems = monitor.violations(healthy_state)
+        assert any("collapsed" in p for p in problems)
+
+    def test_log_likelihood_decrease(self, monitor, healthy_state):
+        problems = monitor.violations(healthy_state, -12.0, previous=-10.0)
+        assert any("decreased" in p for p in problems)
+
+    def test_ll_slack_tolerates_float_noise(self, monitor, healthy_state):
+        assert monitor.violations(healthy_state, -10.0 - 1e-9, previous=-10.0) == []
+
+    def test_non_finite_log_likelihood(self, monitor, healthy_state):
+        problems = monitor.violations(healthy_state, float("nan"))
+        assert any("non-finite" in p for p in problems)
+
+    def test_check_raises_with_all_violations(self, monitor, healthy_state):
+        healthy_state["theta"][0, 0] = np.inf
+        healthy_state["lambda_u"][0] = -1.0
+        with pytest.raises(HealthViolation) as excinfo:
+            monitor.check(healthy_state)
+        assert len(excinfo.value.violations) >= 2
+
+
+class TestRejitter:
+    def test_preserves_invariants(self, monitor, healthy_state):
+        jittered = rejitter_arrays(
+            healthy_state, ("theta", "phi"), ("lambda_u",), seed=3
+        )
+        assert monitor.violations(jittered) == []
+
+    def test_actually_perturbs(self, healthy_state):
+        jittered = rejitter_arrays(
+            healthy_state, ("theta", "phi"), ("lambda_u",), seed=3
+        )
+        assert not np.array_equal(jittered["theta"], healthy_state["theta"])
+
+    def test_seeded_and_deterministic(self, healthy_state):
+        first = rejitter_arrays(healthy_state, ("theta",), (), seed=9)
+        second = rejitter_arrays(healthy_state, ("theta",), (), seed=9)
+        other = rejitter_arrays(healthy_state, ("theta",), (), seed=10)
+        np.testing.assert_array_equal(first["theta"], second["theta"])
+        assert not np.array_equal(first["theta"], other["theta"])

@@ -1,0 +1,65 @@
+"""Deterministic retry with exponential backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robustness import RetryExhaustedError, backoff_schedule, run_with_retry
+
+
+class TestBackoffSchedule:
+    def test_doubles_up_to_cap(self):
+        assert backoff_schedule(0.1, 4, cap=0.5) == [0.1, 0.2, 0.4, 0.5]
+
+    def test_empty_for_zero_retries(self):
+        assert backoff_schedule(0.1, 0) == []
+
+
+class TestRunWithRetry:
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        result = run_with_retry(
+            lambda attempt: "ok", retries=3, sleep=slept.append
+        )
+        assert result == "ok"
+        assert slept == []
+
+    def test_retries_until_success(self):
+        slept = []
+
+        def flaky(attempt):
+            if attempt < 2:
+                raise RuntimeError(f"fail {attempt}")
+            return attempt
+
+        result = run_with_retry(
+            flaky, retries=3, backoff=0.1, max_backoff=10.0, sleep=slept.append
+        )
+        assert result == 2
+        assert slept == [0.1, 0.2]
+
+    def test_exhaustion_raises_with_attempts_and_cause(self):
+        def always_fails(attempt):
+            raise RuntimeError("nope")
+
+        with pytest.raises(RetryExhaustedError, match="doomed") as excinfo:
+            run_with_retry(
+                always_fails,
+                retries=2,
+                label="doomed",
+                sleep=lambda _: None,
+            )
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_custom_error_class(self):
+        class ShardBoom(RetryExhaustedError):
+            """Marker subclass for the test."""
+
+        with pytest.raises(ShardBoom):
+            run_with_retry(
+                lambda attempt: (_ for _ in ()).throw(RuntimeError("x")),
+                retries=0,
+                sleep=lambda _: None,
+                error=ShardBoom,
+            )

@@ -1,0 +1,90 @@
+"""Health-guard rollback under NaN poisoning (acceptance b).
+
+A NaN injected into the EM state mid-training must be caught by the
+:class:`HealthMonitor`, rolled back to the last good checkpoint with a
+seeded re-jitter, and the fit must still converge to healthy parameters
+— never silently emit NaN-laden ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TTCAM
+from repro.robustness import (
+    CheckpointManager,
+    FaultInjector,
+    HealthViolation,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def _model(**overrides):
+    defaults = dict(num_user_topics=3, num_time_topics=3, max_iter=25, seed=7)
+    defaults.update(overrides)
+    return TTCAM(**defaults)
+
+
+def _assert_healthy(model):
+    params = model.params_
+    for name in ("theta", "phi", "theta_time", "phi_time", "lambda_u"):
+        assert np.all(np.isfinite(getattr(params, name))), name
+
+
+class TestNaNRollback:
+    def test_poisoned_run_recovers_and_converges(self, tiny_cuboid, tmp_path):
+        cuboid, _ = tiny_cuboid
+        manager = CheckpointManager(tmp_path, every=3)
+        with FaultInjector(seed=5) as chaos:
+            chaos.poison_nan("em.state", iteration=5, cells=4, array="theta")
+            model = _model().fit(cuboid, checkpoint=manager, monitor=True)
+        assert chaos.fired == 1
+        _assert_healthy(model)
+        # The trace still ends in a (near-)converged state.
+        ll = model.trace_.log_likelihood
+        assert len(ll) >= 5
+        assert ll[-1] >= ll[0]
+
+    def test_rollback_without_checkpoint_restarts_from_init(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        with FaultInjector(seed=5) as chaos:
+            chaos.poison_nan("em.state", iteration=2, array="phi")
+            model = _model().fit(cuboid, monitor=True)
+        assert chaos.fired == 1
+        _assert_healthy(model)
+
+    def test_unmonitored_fit_dies_instead_of_recovering(self, tiny_cuboid):
+        # Without the monitor the poison propagates until the trace's own
+        # non-finite guard kills the run — demonstrating the monitor is
+        # what rescues the fit, not luck.
+        cuboid, _ = tiny_cuboid
+        with FaultInjector(seed=5) as chaos:
+            chaos.poison_nan("em.state", iteration=3, cells=10, array="theta")
+            with pytest.raises(FloatingPointError, match="non-finite"):
+                _model(max_iter=6, tol=0.0).fit(cuboid)
+        assert chaos.fired == 1
+
+    def test_persistent_poison_exhausts_recoveries(self, tiny_cuboid, tmp_path):
+        cuboid, _ = tiny_cuboid
+        manager = CheckpointManager(tmp_path, every=3)
+        with FaultInjector(seed=5) as chaos:
+            chaos.poison_nan("em.state", times=99, cells=2, array="theta")
+            with pytest.raises(HealthViolation):
+                _model().fit(cuboid, checkpoint=manager, monitor=True)
+        assert chaos.fired >= 4  # initial hit + every post-rollback retry
+
+    def test_recovered_fit_is_deterministic(self, tiny_cuboid, tmp_path):
+        cuboid, _ = tiny_cuboid
+
+        def poisoned_fit(directory):
+            manager = CheckpointManager(directory, every=3)
+            with FaultInjector(seed=5) as chaos:
+                chaos.poison_nan("em.state", iteration=5, cells=4, array="theta")
+                return _model().fit(cuboid, checkpoint=manager, monitor=True)
+
+        first = poisoned_fit(tmp_path / "a")
+        second = poisoned_fit(tmp_path / "b")
+        np.testing.assert_array_equal(first.params_.theta, second.params_.theta)
+        np.testing.assert_array_equal(first.params_.phi, second.params_.phi)
