@@ -1,0 +1,120 @@
+"""E-step throughput microbenchmark → ``BENCH_em.json``.
+
+Measures full EM-iteration throughput (ratings processed per second,
+E-step plus the cheap M-step normalisation) for TTCAM at several
+``(R, K1, K2)`` scales, across three execution paths:
+
+* ``legacy``      — the single-pass vectorised step (``engine=None``);
+* ``blocked-t1``  — the blocked engine, one worker;
+* ``blocked-tN``  — the blocked engine on N threads.
+
+Each configuration appends one entry to the ``BENCH_em.json`` trajectory.
+The acceptance bar for the engine (≥1.5× threaded over single-thread at
+the largest scale) is only reachable on a multi-core host — every entry
+records ``cpu_count`` so trajectories from different machines are never
+naively compared.
+
+Run ``python benchmarks/perf/bench_em.py`` (with ``src`` on
+``PYTHONPATH``), or ``make bench-perf``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from perf_common import best_time, make_parser, synthetic_cuboid
+
+from repro.analysis.benchjson import BenchEntry, append_entries, default_context
+from repro.core import TTCAM, EMEngineConfig
+
+#: (requested ratings, K1, K2) per scale; the last is "the largest bench
+#: scale" referenced by the acceptance criteria.
+SCALES = [
+    (20_000, 8, 8),
+    (80_000, 16, 12),
+    (200_000, 32, 16),
+]
+SMOKE_SCALES = [(2_000, 4, 3)]
+EM_ITERS = 4
+SMOKE_ITERS = 2
+
+
+def fit_throughput(cuboid, k1, k2, iters, engine, repeats) -> float:
+    """Ratings/sec of a full ``TTCAM.fit`` at exactly ``iters`` iterations."""
+    model = lambda: TTCAM(  # noqa: E731 - rebuilt per run so no state carries over
+        k1, k2, max_iter=iters, tol=-1.0, seed=7, engine=engine
+    ).fit(cuboid)
+    elapsed = best_time(model, repeats)
+    return cuboid.nnz * iters / elapsed
+
+
+def main(argv=None) -> int:
+    parser = make_parser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="worker threads for the threaded variant",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=32_768, help="engine block size"
+    )
+    args = parser.parse_args(argv)
+
+    scales = SMOKE_SCALES if args.smoke else SCALES
+    iters = SMOKE_ITERS if args.smoke else EM_ITERS
+    threads = max(2, args.threads)
+    context = default_context()
+    context["em_iters"] = iters
+    entries = []
+
+    for requested, k1, k2 in scales:
+        cuboid = synthetic_cuboid(requested, seed=13)
+        variants = {
+            "legacy": None,
+            "blocked-t1": EMEngineConfig(block_size=args.block_size),
+            f"blocked-t{threads}": EMEngineConfig(
+                block_size=args.block_size, threads=threads
+            ),
+        }
+        rates = {}
+        for variant, engine in variants.items():
+            rate = fit_throughput(cuboid, k1, k2, iters, engine, args.repeats)
+            rates[variant] = rate
+            name = f"em/ttcam/r{cuboid.nnz}-k{k1}x{k2}/{variant}"
+            entries.append(
+                BenchEntry(
+                    name=name,
+                    value=round(rate, 1),
+                    unit="ratings/sec",
+                    params={
+                        "ratings": int(cuboid.nnz),
+                        "k1": k1,
+                        "k2": k2,
+                        "block_size": args.block_size,
+                        "threads": 1 if engine is None else engine.threads,
+                        "variant": variant,
+                    },
+                    context=context,
+                )
+            )
+            print(f"{name:55s} {rate/1e6:8.3f} M ratings/sec")
+        blocked_gain = rates["blocked-t1"] / rates["legacy"]
+        threaded_gain = rates[f"blocked-t{threads}"] / rates["blocked-t1"]
+        print(
+            f"  -> blocked/legacy {blocked_gain:.2f}x, "
+            f"threaded({threads})/blocked {threaded_gain:.2f}x "
+            f"[{os.cpu_count()} cpu]"
+        )
+
+    path = Path(args.output_dir) / "BENCH_em.json"
+    append_entries(path, entries)
+    print(f"appended {len(entries)} entries to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

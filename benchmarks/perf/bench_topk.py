@@ -1,0 +1,88 @@
+"""Top-k retrieval throughput microbenchmark → ``BENCH_topk.json``.
+
+Measures queries/sec of the Threshold-Algorithm engines — the paper's
+priority-queue TA (``ta``) and the block-vectorised production engine
+(``batched-ta``) — over random topic–item matrices at several catalogue
+scales, against the brute-force full scan as the floor. Appends one
+entry per (scale, engine) to the ``BENCH_topk.json`` trajectory.
+
+Run ``python benchmarks/perf/bench_topk.py`` (with ``src`` on
+``PYTHONPATH``), or ``make bench-perf``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from perf_common import best_time, make_parser
+
+from repro.analysis.benchjson import BenchEntry, append_entries, default_context
+from repro.recommend.bruteforce import bruteforce_topk
+from repro.recommend.ranking import QuerySpace
+from repro.recommend.threshold import SortedTopicLists, batched_ta_topk, ta_topk
+
+#: (num_topics, num_items, k, num_queries) per scale.
+SCALES = [
+    (16, 5_000, 10, 40),
+    (24, 20_000, 10, 40),
+    (32, 50_000, 20, 25),
+]
+SMOKE_SCALES = [(6, 500, 5, 5)]
+
+
+def make_queries(num_topics, num_items, num_queries, seed=0):
+    """Random skewed query workload over one shared topic–item matrix."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.dirichlet(np.full(num_items, 0.05), size=num_topics)
+    weights = rng.dirichlet(np.full(num_topics, 0.3), size=num_queries)
+    return [QuerySpace(weights=w, item_matrix=matrix) for w in weights]
+
+
+def main(argv=None) -> int:
+    parser = make_parser(__doc__.splitlines()[0])
+    args = parser.parse_args(argv)
+
+    scales = SMOKE_SCALES if args.smoke else SCALES
+    context = default_context()
+    entries = []
+
+    for num_topics, num_items, k, num_queries in scales:
+        queries = make_queries(num_topics, num_items, num_queries, seed=29)
+        lists = SortedTopicLists.build(queries[0].item_matrix)
+        engines = {
+            "ta": lambda: [ta_topk(q, lists, k) for q in queries],
+            "batched-ta": lambda: [batched_ta_topk(q, lists, k) for q in queries],
+            "bruteforce": lambda: [bruteforce_topk(q, k) for q in queries],
+        }
+        for engine_name, run in engines.items():
+            rate = num_queries / best_time(run, args.repeats)
+            name = f"topk/v{num_items}-z{num_topics}-k{k}/{engine_name}"
+            entries.append(
+                BenchEntry(
+                    name=name,
+                    value=round(rate, 2),
+                    unit="queries/sec",
+                    params={
+                        "num_items": num_items,
+                        "num_topics": num_topics,
+                        "k": k,
+                        "num_queries": num_queries,
+                        "engine": engine_name,
+                    },
+                    context=context,
+                )
+            )
+            print(f"{name:45s} {rate:10.1f} queries/sec")
+
+    path = Path(args.output_dir) / "BENCH_topk.json"
+    append_entries(path, entries)
+    print(f"appended {len(entries)} entries to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

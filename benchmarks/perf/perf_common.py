@@ -1,0 +1,85 @@
+"""Shared plumbing of the perf-regression microbenchmarks.
+
+These benchmarks are deliberately *not* pytest-benchmark suites: they are
+plain scripts that measure throughput and append machine-readable entries
+to the repository's ``BENCH_*.json`` trajectories (see
+:mod:`repro.analysis.benchjson`), so every future perf PR is held against
+the recorded baseline. ``make bench-perf`` runs them at full scale;
+``make bench-smoke`` runs the same code paths at a tiny scale (seconds,
+no thresholds) so the harness itself cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.cuboid import RatingCuboid
+
+#: Repository root — the default home of the BENCH_*.json trajectories.
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_parser(description: str) -> argparse.ArgumentParser:
+    """The flags shared by every perf script."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scales, a couple of seconds total; for harness CI",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=str(REPO_ROOT),
+        help="directory receiving the BENCH_*.json trajectory (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing repetitions per configuration (best run is recorded)",
+    )
+    return parser
+
+
+def synthetic_cuboid(num_ratings: int, seed: int = 0) -> RatingCuboid:
+    """A cheap random cuboid of roughly ``num_ratings`` entries.
+
+    Direct random triples (skewed item popularity) rather than the full
+    synthetic generator — the benchmarks measure EM arithmetic, not data
+    synthesis, so cuboid construction must stay negligible even at the
+    largest scale. Coalescing merges duplicate coordinates, so ``nnz``
+    lands slightly under ``num_ratings``; throughput is always reported
+    against the actual ``nnz``.
+    """
+    rng = np.random.default_rng(seed)
+    num_users = max(50, num_ratings // 40)
+    num_items = max(100, num_ratings // 40)
+    num_intervals = 24
+    users = rng.integers(0, num_users, num_ratings)
+    intervals = rng.integers(0, num_intervals, num_ratings)
+    # Zipf-ish item popularity, clipped into the catalogue.
+    items = np.minimum(rng.zipf(1.3, num_ratings) - 1, num_items - 1)
+    scores = rng.random(num_ratings) + 0.5
+    return RatingCuboid.from_arrays(
+        users=users,
+        intervals=intervals,
+        items=items,
+        scores=scores,
+        num_users=num_users,
+        num_intervals=num_intervals,
+        num_items=num_items,
+    )
+
+
+def best_time(fn, repeats: int) -> float:
+    """Wall-clock seconds of the fastest of ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

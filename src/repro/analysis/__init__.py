@@ -1,6 +1,7 @@
 """Analyses of fitted models and raw data: topic inspection, influence
 (λ) distributions, and burst detection."""
 
+from .benchjson import BenchEntry, append_entries, default_context, latest, load_entries
 from .bursts import (
     ItemTemporalProfile,
     burstiness,
@@ -29,6 +30,11 @@ from .topics import (
 )
 
 __all__ = [
+    "BenchEntry",
+    "append_entries",
+    "default_context",
+    "latest",
+    "load_entries",
     "model_report",
     "sparkline",
     "ItemTemporalProfile",

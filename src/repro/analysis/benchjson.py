@@ -1,0 +1,131 @@
+"""Machine-readable performance-trajectory files (``BENCH_*.json``).
+
+The perf-regression harness under ``benchmarks/perf/`` appends one entry
+per measured configuration to a JSON file at the repository root
+(``BENCH_em.json`` for EM throughput, ``BENCH_topk.json`` for top-k
+retrieval). Each file is a *trajectory*: a flat JSON array, ordered by
+append time, that accumulates entries across runs and commits — so any
+future perf PR can be compared against every baseline ever recorded, and
+a regression shows up as a drop against the latest entry with the same
+``name``.
+
+Entry schema (one JSON object per measurement)::
+
+    {
+      "name":  "em/ttcam/r200000-k32x16/blocked-t1",   # stable series key
+      "value": 1234567.0,                              # the measurement
+      "unit":  "ratings/sec",
+      "params": {"ratings": 200000, "k1": 32, ...},    # scale knobs
+      "context": {"timestamp": "...", "cpu_count": 8,  # environment
+                  "numpy": "2.4.6", "git": "cc3e22d"}
+    }
+
+``name`` is the longitudinal key: compare like against like, and read
+``context`` before trusting a delta (a 1-CPU container cannot reproduce a
+multi-core threaded number).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+
+@dataclass
+class BenchEntry:
+    """One measured point of a performance trajectory."""
+
+    name: str
+    value: float
+    unit: str
+    params: dict = field(default_factory=dict)
+    context: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "BenchEntry":
+        """Validate and rebuild an entry loaded from JSON."""
+        missing = [key for key in ("name", "value", "unit") if key not in raw]
+        if missing:
+            raise ValueError(f"bench entry is missing required keys {missing}")
+        return cls(
+            name=str(raw["name"]),
+            value=float(raw["value"]),
+            unit=str(raw["unit"]),
+            params=dict(raw.get("params", {})),
+            context=dict(raw.get("context", {})),
+        )
+
+
+def default_context() -> dict:
+    """Environment fingerprint stamped into every entry.
+
+    Records everything needed to judge whether two entries are
+    comparable: wall-clock timestamp, CPU budget, library versions and
+    the git revision (best-effort; absent outside a checkout).
+    """
+    import numpy
+
+    context = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "python": platform.python_version(),
+    }
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        ).stdout.strip()
+        if revision:
+            context["git"] = revision
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return context
+
+
+def load_entries(path: str | Path) -> list[BenchEntry]:
+    """Read a trajectory file; a missing file is an empty trajectory."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    raw = json.loads(path.read_text())
+    if not isinstance(raw, list):
+        raise ValueError(f"{path} is not a bench trajectory (expected a JSON array)")
+    return [BenchEntry.from_dict(item) for item in raw]
+
+
+def append_entries(
+    path: str | Path, entries: list[BenchEntry] | BenchEntry
+) -> list[BenchEntry]:
+    """Append entries to a trajectory file atomically; return the full file.
+
+    The file is rewritten through a same-directory temporary file and
+    ``os.replace``, so a crash mid-write can never truncate the recorded
+    history.
+    """
+    path = Path(path)
+    if isinstance(entries, BenchEntry):
+        entries = [entries]
+    trajectory = load_entries(path)
+    trajectory.extend(entries)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps([asdict(entry) for entry in trajectory], indent=2) + "\n")
+    os.replace(tmp, path)
+    return trajectory
+
+
+def latest(entries: list[BenchEntry], name: str) -> BenchEntry | None:
+    """The most recently appended entry of one series, or ``None``."""
+    for entry in reversed(entries):
+        if entry.name == name:
+            return entry
+    return None

@@ -26,6 +26,7 @@ from ..core.em import (
     run_em,
     scatter_sum,
 )
+from ..core.engine import BlockedEStep, EMEngineConfig, UserTopicKernel
 from ..data.cuboid import RatingCuboid
 from ..robustness.checkpoint import CheckpointManager
 from ..robustness.health import HealthMonitor, rejitter_arrays
@@ -45,6 +46,10 @@ class UserTopicModel:
         distribution instead of a user topic.
     max_iter, tol, smoothing, seed:
         EM controls matching the core models.
+    engine:
+        Optional :class:`~repro.core.engine.EMEngineConfig` running the
+        E-step through the blocked execution engine, as in the core
+        models.
     """
 
     def __init__(
@@ -55,6 +60,7 @@ class UserTopicModel:
         tol: float = 1e-5,
         smoothing: float = 1e-6,
         seed: int = 0,
+        engine: EMEngineConfig | None = None,
     ) -> None:
         if num_topics <= 0:
             raise ValueError(f"num_topics must be positive, got {num_topics}")
@@ -68,6 +74,7 @@ class UserTopicModel:
         self.tol = tol
         self.smoothing = smoothing
         self.seed = seed
+        self.engine = engine
         self.theta_: np.ndarray | None = None  # (N, K)
         self.phi_: np.ndarray | None = None  # (K, V)
         self.background_: np.ndarray | None = None  # (V,)
@@ -114,6 +121,36 @@ class UserTopicModel:
             }
             start, trace = 0, EMTrace()
 
+        estep = (
+            BlockedEStep(
+                UserTopicKernel(
+                    u,
+                    cuboid.intervals,
+                    v,
+                    c,
+                    cuboid.shape,
+                    k,
+                    background,
+                    lam_b,
+                    dtype=self.engine.dtype,
+                ),
+                self.engine,
+            )
+            if self.engine is not None
+            else None
+        )
+
+        def engine_step(
+            current: dict[str, np.ndarray],
+        ) -> tuple[dict[str, np.ndarray], float]:
+            """One EM iteration through the blocked execution engine."""
+            stats, log_likelihood = estep.compute(current)
+            updated = {
+                "theta": normalize_rows(stats["theta_num"], self.smoothing),
+                "phi": normalize_rows(stats["phi_num"].T, self.smoothing),
+            }
+            return updated, log_likelihood
+
         def step(
             current: dict[str, np.ndarray],
         ) -> tuple[dict[str, np.ndarray], float]:
@@ -133,7 +170,7 @@ class UserTopicModel:
 
         state, trace = run_em(
             state,
-            step,
+            engine_step if estep is not None else step,
             max_iter=self.max_iter,
             tol=self.tol,
             trace=trace,

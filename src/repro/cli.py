@@ -23,7 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from .baselines import TimeTopicModel, UserTopicModel
-from .core import ITCAM, TTCAM, LoadedModel, save_params
+from .core import ITCAM, TTCAM, EMEngineConfig, LoadedModel, save_params
 from .data import generate, holdout_split, load_cuboid_csv, profile, save_cuboid_csv
 from .data.profiles import PROFILES
 from .evaluation import build_queries, evaluate_ranking
@@ -32,21 +32,37 @@ from .recommend import TemporalRecommender
 _MODEL_CHOICES = ("ttcam", "itcam", "w-ttcam", "w-itcam", "ut", "tt")
 
 
-def _build_model(name: str, k1: int, k2: int, iters: int, seed: int):
+def _build_model(
+    name: str,
+    k1: int,
+    k2: int,
+    iters: int,
+    seed: int,
+    engine: EMEngineConfig | None = None,
+):
     """Instantiate a model by CLI name."""
     if name == "ttcam":
-        return TTCAM(k1, k2, max_iter=iters, seed=seed)
+        return TTCAM(k1, k2, max_iter=iters, seed=seed, engine=engine)
     if name == "w-ttcam":
-        return TTCAM(k1, k2, max_iter=iters, weighted=True, seed=seed)
+        return TTCAM(k1, k2, max_iter=iters, weighted=True, seed=seed, engine=engine)
     if name == "itcam":
-        return ITCAM(k1, max_iter=iters, seed=seed)
+        return ITCAM(k1, max_iter=iters, seed=seed, engine=engine)
     if name == "w-itcam":
-        return ITCAM(k1, max_iter=iters, weighted=True, seed=seed)
+        return ITCAM(k1, max_iter=iters, weighted=True, seed=seed, engine=engine)
     if name == "ut":
-        return UserTopicModel(num_topics=k1, max_iter=iters, seed=seed)
+        return UserTopicModel(num_topics=k1, max_iter=iters, seed=seed, engine=engine)
     if name == "tt":
-        return TimeTopicModel(num_topics=k2, max_iter=iters, seed=seed)
+        return TimeTopicModel(num_topics=k2, max_iter=iters, seed=seed, engine=engine)
     raise ValueError(f"unknown model {name!r}")
+
+
+def _engine_config(args: argparse.Namespace) -> EMEngineConfig | None:
+    """Build the blocked-engine config from ``--block-size``/``--threads``."""
+    block_size = getattr(args, "block_size", None)
+    threads = getattr(args, "threads", 1)
+    if block_size is None and threads == 1:
+        return None
+    return EMEngineConfig(block_size=block_size, threads=threads)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -83,7 +99,9 @@ def cmd_fit(args: argparse.Namespace) -> int:
         print("fit snapshots support the TCAM variants only", file=sys.stderr)
         return 2
     cuboid = load_cuboid_csv(args.input)
-    model = _build_model(args.model, args.k1, args.k2, args.iters, args.seed)
+    model = _build_model(
+        args.model, args.k1, args.k2, args.iters, args.seed, _engine_config(args)
+    )
     checkpoint = resume_from = None
     if args.checkpoint_dir is not None:
         checkpoint = CheckpointManager(
@@ -268,6 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--health-guard",
         action="store_true",
         help="validate numerical invariants each iteration and roll back on violation",
+    )
+    p_fit.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="run EM through the blocked engine with this many ratings per block",
+    )
+    p_fit.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="E-step worker threads for the blocked engine (implies it when > 1)",
     )
     p_fit.set_defaults(func=cmd_fit)
 

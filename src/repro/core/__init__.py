@@ -1,7 +1,15 @@
 """Core TCAM models: ITCAM, TTCAM, the item-weighting scheme, shared EM
 machinery and fitted-parameter containers."""
 
-from .em import EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
+from .em import (
+    EMTrace,
+    ScatterPlan,
+    normalize_rows,
+    random_stochastic,
+    scatter_sum,
+    scatter_sum_1d,
+)
+from .engine import DEFAULT_BLOCK_SIZE, BlockedEStep, EMEngineConfig
 from .gibbs import GibbsTTCAM
 from .itcam import ITCAM
 from .parallel import PartitionedTTCAM
@@ -19,6 +27,10 @@ from .weighting import (
 
 __all__ = [
     "EMTrace",
+    "ScatterPlan",
+    "DEFAULT_BLOCK_SIZE",
+    "BlockedEStep",
+    "EMEngineConfig",
     "normalize_rows",
     "random_stochastic",
     "scatter_sum",

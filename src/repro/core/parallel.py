@@ -37,6 +37,7 @@ from ..robustness.errors import ShardFailedError
 from ..robustness.faults import fault_point
 from ..robustness.health import HealthMonitor, rejitter_arrays
 from ..robustness.retry import run_with_retry
+from .engine import BlockedEStep, EMEngineConfig, TTCAMKernel
 from .em import (
     EPS,
     EMTrace,
@@ -96,6 +97,14 @@ class PartitionedTTCAM:
         exceeding it is treated as failed and re-executed. ``None``
         disables the timeout. (Sequential mode cannot preempt a running
         shard, so the timeout applies only with ``workers > 1``.)
+    engine:
+        Optional :class:`~repro.core.engine.EMEngineConfig`. Each shard's
+        mapper then runs its E-step through the blocked engine
+        (``block_size``/``dtype`` apply within the shard), and
+        ``engine.threads`` provides the default shard-map worker count
+        when ``workers`` is left at 1. Mapper engines are constructed
+        per call, keeping the mapper a pure function so shard
+        retry/re-execution stays bit-deterministic.
     """
 
     def __init__(
@@ -112,6 +121,7 @@ class PartitionedTTCAM:
         max_shard_retries: int = 2,
         retry_backoff: float = 0.05,
         shard_timeout: float | None = None,
+        engine: EMEngineConfig | None = None,
     ) -> None:
         if num_partitions <= 0:
             raise ValueError(f"num_partitions must be positive, got {num_partitions}")
@@ -129,7 +139,8 @@ class PartitionedTTCAM:
         self.weighted = weighted
         self.seed = seed
         self.num_partitions = num_partitions
-        self.workers = workers
+        self.workers = workers if workers != 1 or engine is None else engine.threads
+        self.engine = engine
         self.max_shard_retries = max_shard_retries
         self.retry_backoff = retry_backoff
         self.shard_timeout = shard_timeout
@@ -154,6 +165,36 @@ class PartitionedTTCAM:
         """E-step + partial sufficient statistics for one shard (the mapper)."""
         u, t, v, c = shard
         n, t_dim, v_dim = shape
+        if self.engine is not None:
+            # Blocked mapper: a throwaway engine per call keeps the mapper
+            # pure (safe to re-execute concurrently with a straggling
+            # first attempt) while still reusing buffers across the
+            # shard's blocks. Threads apply at the shard-map level.
+            shard_config = EMEngineConfig(
+                block_size=self.engine.block_size, threads=1, dtype=self.engine.dtype
+            )
+            kernel = TTCAMKernel(
+                u, t, v, c, shape,
+                self.num_user_topics, self.num_time_topics,
+                dtype=self.engine.dtype,
+            )
+            stats, log_likelihood = BlockedEStep(kernel, shard_config).compute(
+                {
+                    "theta": theta,
+                    "phi": phi,
+                    "theta_time": theta_time,
+                    "phi_time": phi_time,
+                    "lambda_u": lam,
+                }
+            )
+            return _ShardStats(
+                theta_num=stats["theta_num"],
+                phi_num=stats["phi_num"],
+                theta_time_num=stats["theta_time_num"],
+                phi_time_num=stats["phi_time_num"],
+                lam_num=stats["lam_num"],
+                log_likelihood=log_likelihood,
+            )
         joint_z = theta[u] * phi[:, v].T
         p_interest = joint_z.sum(axis=1)
         joint_x = theta_time[t] * phi_time[:, v].T

@@ -20,6 +20,7 @@ import numpy as np
 from ..data.cuboid import RatingCuboid
 from ..robustness.checkpoint import CheckpointManager
 from ..robustness.health import HealthMonitor, rejitter_arrays
+from .engine import BlockedEStep, EMEngineConfig, TTCAMKernel
 from .em import (
     EPS,
     EMTrace,
@@ -59,6 +60,12 @@ class TTCAM:
         Number of random EM restarts; the fit with the best final
         training log-likelihood wins. EM is fast enough that a few
         restarts are usually worth the variance reduction.
+    engine:
+        Optional :class:`~repro.core.engine.EMEngineConfig` running the
+        E-step through the blocked, buffer-reusing (and optionally
+        threaded) execution engine. ``None`` keeps the legacy
+        single-pass vectorised path; the engine path agrees with it to
+        ``allclose(atol=1e-12)`` (see :mod:`repro.core.engine`).
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -79,6 +86,7 @@ class TTCAM:
         personalized_lambda: bool = True,
         n_init: int = 1,
         seed: int = 0,
+        engine: EMEngineConfig | None = None,
     ) -> None:
         if num_user_topics <= 0:
             raise ValueError(f"num_user_topics must be positive, got {num_user_topics}")
@@ -99,6 +107,7 @@ class TTCAM:
         self.personalized_lambda = personalized_lambda
         self.n_init = n_init
         self.seed = seed
+        self.engine = engine
         self.params_: TTCAMParameters | None = None
         self.trace_: EMTrace | None = None
 
@@ -206,6 +215,35 @@ class TTCAM:
 
         user_mass = scatter_sum_1d(u, c, n)
         safe_user_mass = np.where(user_mass <= 0, 1.0, user_mass)
+        total_mass = float(c.sum())  # global-λ normaliser, fixed across iterations
+        estep = (
+            BlockedEStep(
+                TTCAMKernel(
+                    u, t, v, c, cuboid.shape, k1, k2, dtype=self.engine.dtype
+                ),
+                self.engine,
+            )
+            if self.engine is not None
+            else None
+        )
+
+        def engine_step(
+            current: dict[str, np.ndarray],
+        ) -> tuple[dict[str, np.ndarray], float]:
+            """One EM iteration through the blocked execution engine."""
+            stats, log_likelihood = estep.compute(current)
+            if self.personalized_lambda:
+                new_lam = stats["lam_num"] / safe_user_mass  # Eq. 11
+            else:
+                new_lam = np.full(n, stats["lam_num"].sum() / total_mass)
+            updated = {
+                "theta": normalize_rows(stats["theta_num"], self.smoothing),  # Eq. 8
+                "phi": normalize_rows(stats["phi_num"].T, self.smoothing),  # Eq. 9
+                "theta_time": normalize_rows(stats["theta_time_num"], self.smoothing),  # Eq. 15
+                "phi_time": normalize_rows(stats["phi_time_num"].T, self.smoothing),  # Eq. 16
+                "lambda_u": np.clip(new_lam, 0.0, 1.0),
+            }
+            return updated, log_likelihood
 
         def step(
             current: dict[str, np.ndarray],
@@ -233,7 +271,7 @@ class TTCAM:
             if self.personalized_lambda:
                 new_lam = scatter_sum_1d(u, c * ps1, n) / safe_user_mass  # Eq. 11
             else:
-                new_lam = np.full(n, np.dot(c, ps1) / c.sum())  # single global λ
+                new_lam = np.full(n, np.dot(c, ps1) / total_mass)  # single global λ
             updated = {
                 "theta": normalize_rows(scatter_sum(u, c_resp_z, n), self.smoothing),  # Eq. 8
                 "phi": normalize_rows(scatter_sum(v, c_resp_z, v_dim).T, self.smoothing),  # Eq. 9
@@ -245,7 +283,7 @@ class TTCAM:
 
         state, trace = run_em(
             state,
-            step,
+            engine_step if estep is not None else step,
             max_iter=self.max_iter,
             tol=self.tol,
             trace=trace,

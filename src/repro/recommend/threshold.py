@@ -52,12 +52,16 @@ class SortedTopicLists:
 
     @classmethod
     def build(cls, item_matrix: np.ndarray) -> "SortedTopicLists":
-        """Sort every topic's items by weight (ties to smaller item id)."""
-        k, v = item_matrix.shape
-        ids = np.arange(v)
-        order = np.empty((k, v), dtype=np.int64)
-        for z in range(k):
-            order[z] = np.lexsort((ids, -item_matrix[z]))
+        """Sort every topic's items by weight (ties to smaller item id).
+
+        One stable argsort of the negated matrix over axis 1: stability
+        makes equal weights keep their original (ascending item-id)
+        order, exactly like the per-topic ``lexsort((ids, -row))`` it
+        replaces — but as a single vectorised kernel over all topics.
+        """
+        order = np.argsort(-item_matrix, axis=1, kind="stable").astype(
+            np.int64, copy=False
+        )
         values = np.take_along_axis(item_matrix, order, axis=1)
         item_topic = np.ascontiguousarray(item_matrix.T)
         return cls(order=order, values=values, item_topic=item_topic)

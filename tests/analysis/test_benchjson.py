@@ -1,0 +1,87 @@
+"""Tests for the BENCH_*.json trajectory writer."""
+
+import json
+
+import pytest
+
+from repro.analysis.benchjson import (
+    BenchEntry,
+    append_entries,
+    default_context,
+    latest,
+    load_entries,
+)
+
+
+def _entry(name="em/test", value=1.0, **params):
+    return BenchEntry(name=name, value=value, unit="ratings/sec", params=params)
+
+
+class TestRoundTrip:
+    def test_missing_file_is_empty_trajectory(self, tmp_path):
+        assert load_entries(tmp_path / "BENCH_x.json") == []
+
+    def test_append_then_load(self, tmp_path):
+        path = tmp_path / "BENCH_em.json"
+        append_entries(path, _entry(value=10.0, threads=1))
+        trajectory = append_entries(path, [_entry(value=20.0, threads=2)])
+        assert [e.value for e in trajectory] == [10.0, 20.0]
+        loaded = load_entries(path)
+        assert [e.value for e in loaded] == [10.0, 20.0]
+        assert loaded[1].params == {"threads": 2}
+
+    def test_file_is_a_json_array(self, tmp_path):
+        path = tmp_path / "BENCH_em.json"
+        append_entries(path, _entry())
+        raw = json.loads(path.read_text())
+        assert isinstance(raw, list)
+        assert raw[0]["name"] == "em/test"
+        assert raw[0]["unit"] == "ratings/sec"
+
+    def test_append_preserves_existing_entries(self, tmp_path):
+        path = tmp_path / "BENCH_em.json"
+        for i in range(3):
+            append_entries(path, _entry(value=float(i)))
+        assert [e.value for e in load_entries(path)] == [0.0, 1.0, 2.0]
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "BENCH_em.json"
+        append_entries(path, _entry())
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestValidation:
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing required keys"):
+            BenchEntry.from_dict({"name": "x", "value": 1.0})
+
+    def test_non_array_file_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_em.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(ValueError, match="JSON array"):
+            load_entries(path)
+
+    def test_from_dict_coerces_types(self):
+        entry = BenchEntry.from_dict({"name": "x", "value": "3.5", "unit": "qps"})
+        assert entry.value == 3.5
+        assert entry.params == {}
+
+
+class TestLatest:
+    def test_returns_most_recent_of_series(self, tmp_path):
+        path = tmp_path / "BENCH_em.json"
+        append_entries(path, [_entry(name="a", value=1.0), _entry(name="b", value=2.0)])
+        append_entries(path, _entry(name="a", value=3.0))
+        trajectory = load_entries(path)
+        assert latest(trajectory, "a").value == 3.0
+        assert latest(trajectory, "b").value == 2.0
+        assert latest(trajectory, "missing") is None
+
+
+class TestDefaultContext:
+    def test_records_comparability_fields(self):
+        context = default_context()
+        assert context["cpu_count"] >= 1
+        assert "numpy" in context
+        assert "python" in context
+        assert context["timestamp"].endswith("+00:00")

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.em import (
     EMTrace,
+    ScatterPlan,
     normalize_rows,
     random_stochastic,
     scatter_sum,
@@ -36,6 +37,71 @@ class TestScatterSum:
         values = rng.random(50)
         expected = np.bincount(rows, weights=values, minlength=4)
         np.testing.assert_allclose(scatter_sum_1d(rows, values, 4), expected)
+
+
+class TestScatterSumOut:
+    """The buffer-accumulating mode added for the blocked EM engine."""
+
+    def test_out_accumulates_across_calls(self, rng):
+        rows = rng.integers(0, 6, size=80)
+        values = rng.random((80, 3))
+        out = np.zeros((6, 3))
+        returned = scatter_sum(rows[:40], values[:40], 6, out=out)
+        assert returned is out
+        scatter_sum(rows[40:], values[40:], 6, out=out)
+        np.testing.assert_allclose(out, scatter_sum(rows, values, 6))
+
+    def test_out_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="out shape"):
+            scatter_sum(np.array([0, 1]), np.ones((2, 3)), 4, out=np.zeros((4, 2)))
+
+    def test_1d_out_accumulates(self, rng):
+        rows = rng.integers(0, 5, size=60)
+        values = rng.random(60)
+        out = np.zeros(5)
+        scatter_sum_1d(rows[:30], values[:30], 5, out=out)
+        scatter_sum_1d(rows[30:], values[30:], 5, out=out)
+        np.testing.assert_allclose(out, scatter_sum_1d(rows, values, 5))
+
+    def test_1d_out_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="out shape"):
+            scatter_sum_1d(np.array([0, 1]), np.ones(2), 4, out=np.zeros(3))
+
+
+class TestScatterPlan:
+    def test_matches_planless_result(self, rng):
+        plan = ScatterPlan(k=5, capacity=100)
+        for batch in (100, 37, 1):  # full capacity and leading slices
+            rows = rng.integers(0, 8, size=batch)
+            values = rng.random((batch, 5))
+            np.testing.assert_array_equal(
+                scatter_sum(rows, values, 8, plan=plan),
+                scatter_sum(rows, values, 8),
+            )
+
+    def test_flat_index_allocates_nothing_after_init(self, rng):
+        plan = ScatterPlan(k=3, capacity=10)
+        rows = rng.integers(0, 4, size=10)
+        first = plan.flat_index(rows)
+        second = plan.flat_index(rows)
+        assert first.base is plan._flat or first is plan._flat
+        np.testing.assert_array_equal(first, second)
+
+    def test_over_capacity_rejected(self):
+        plan = ScatterPlan(k=2, capacity=4)
+        with pytest.raises(ValueError, match="capacity"):
+            plan.flat_index(np.zeros(5, dtype=np.int64))
+
+    def test_wrong_width_rejected(self, rng):
+        plan = ScatterPlan(k=3, capacity=10)
+        with pytest.raises(ValueError, match="k=3"):
+            scatter_sum(np.array([0, 1]), np.ones((2, 4)), 2, plan=plan)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ScatterPlan(k=0, capacity=4)
+        with pytest.raises(ValueError):
+            ScatterPlan(k=2, capacity=0)
 
 
 class TestNormalizeRows:

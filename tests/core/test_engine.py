@@ -1,0 +1,311 @@
+"""Tests of the blocked, thread-parallel EM execution engine.
+
+Two contracts are pinned (see the :mod:`repro.core.engine` docstring):
+
+* versus the legacy single-pass path (``engine=None``) the engine agrees
+  to ``allclose(atol=1e-12)`` — blocking re-associates floating-point
+  sums, so bit-identity across the two paths is not promised;
+* for a **fixed** configuration the engine is bit-deterministic, across
+  repeated calls, fresh engine instances, and thread counts ≥ 1 with the
+  same block→worker grid — and therefore under checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ITCAM, TTCAM, PartitionedTTCAM
+from repro.core.engine import (
+    DEFAULT_BLOCK_SIZE,
+    BlockedEStep,
+    EMEngineConfig,
+    TTCAMKernel,
+)
+from repro.core.em import EPS, scatter_sum, scatter_sum_1d
+from repro.baselines import TimeTopicModel, UserTopicModel
+from repro.robustness import CheckpointManager, FaultInjector, InjectedFault
+
+ATOL = 1e-12
+
+
+class TestEMEngineConfig:
+    def test_defaults(self):
+        config = EMEngineConfig()
+        assert config.block_size is None
+        assert config.threads == 1
+        assert config.dtype == "float64"
+
+    @pytest.mark.parametrize("block_size", [0, -1])
+    def test_nonpositive_block_size_rejected(self, block_size):
+        with pytest.raises(ValueError, match="block_size"):
+            EMEngineConfig(block_size=block_size)
+
+    @pytest.mark.parametrize("threads", [0, -2])
+    def test_nonpositive_threads_rejected(self, threads):
+        with pytest.raises(ValueError, match="threads"):
+            EMEngineConfig(threads=threads)
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            EMEngineConfig(dtype="float16")
+
+    def test_resolved_block_size_default_caps_at_dataset(self):
+        config = EMEngineConfig()
+        assert config.resolved_block_size(100) == 100
+        assert config.resolved_block_size(10**9) == DEFAULT_BLOCK_SIZE
+
+    def test_resolved_block_size_explicit(self):
+        assert EMEngineConfig(block_size=64).resolved_block_size(1000) == 64
+        assert EMEngineConfig(block_size=64).resolved_block_size(10) == 10
+
+
+def _random_problem(seed, num_ratings):
+    """Random triples + a random valid TTCAM state."""
+    rng = np.random.default_rng(seed)
+    n, t_dim, v_dim, k1, k2 = 11, 5, 17, 3, 4
+    u = rng.integers(0, n, num_ratings)
+    t = rng.integers(0, t_dim, num_ratings)
+    v = rng.integers(0, v_dim, num_ratings)
+    c = rng.random(num_ratings) + 0.25
+    state = {
+        "theta": rng.dirichlet(np.ones(k1), size=n),
+        "phi": rng.dirichlet(np.ones(v_dim), size=k1),
+        "theta_time": rng.dirichlet(np.ones(k2), size=t_dim),
+        "phi_time": rng.dirichlet(np.ones(v_dim), size=k2),
+        "lambda_u": rng.random(n),
+    }
+    return (u, t, v, c), (n, t_dim, v_dim), (k1, k2), state
+
+
+def _reference_estep(triples, shape, topics, state):
+    """Single-pass TTCAM E-step, written independently of the engine."""
+    u, t, v, c = triples
+    n, t_dim, v_dim = shape
+    joint_z = state["theta"][u] * state["phi"][:, v].T
+    p_int = joint_z.sum(axis=1)
+    joint_x = state["theta_time"][t] * state["phi_time"][:, v].T
+    p_ctx = joint_x.sum(axis=1)
+    lam = state["lambda_u"][u]
+    denom = lam * p_int + (1 - lam) * p_ctx + EPS
+    ps1 = lam * p_int / denom
+    c_resp_z = c[:, None] * joint_z * (ps1 / (p_int + EPS))[:, None]
+    c_resp_x = c[:, None] * joint_x * ((1 - ps1) / (p_ctx + EPS))[:, None]
+    stats = {
+        "theta_num": scatter_sum(u, c_resp_z, n),
+        "phi_num": scatter_sum(v, c_resp_z, v_dim),
+        "theta_time_num": scatter_sum(t, c_resp_x, t_dim),
+        "phi_time_num": scatter_sum(v, c_resp_x, v_dim),
+        "lam_num": scatter_sum_1d(u, c * ps1, n),
+    }
+    return stats, float(np.dot(c, np.log(denom)))
+
+
+def _engine_estep(triples, shape, topics, state, config):
+    kernel = TTCAMKernel(*triples, shape, *topics, dtype=config.dtype)
+    return BlockedEStep(kernel, config).compute(state)
+
+
+class TestBlockedEquivalence:
+    """Property: blocked/threaded statistics match the single-pass
+    reference for any block grid — blocks smaller than, equal to and
+    larger than R, R not divisible by the block size, any thread count."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        num_ratings=st.integers(1, 400),
+        block_size=st.one_of(st.none(), st.integers(1, 500)),
+        threads=st.integers(1, 5),
+    )
+    def test_matches_reference(self, seed, num_ratings, block_size, threads):
+        triples, shape, topics, state = _random_problem(seed, num_ratings)
+        expected, expected_ll = _reference_estep(triples, shape, topics, state)
+        config = EMEngineConfig(block_size=block_size, threads=threads)
+        stats, ll = _engine_estep(triples, shape, topics, state, config)
+        assert ll == pytest.approx(expected_ll, abs=1e-9)
+        for name, array in expected.items():
+            np.testing.assert_allclose(
+                stats[name], array, rtol=0, atol=ATOL, err_msg=name
+            )
+
+    @pytest.mark.parametrize(
+        "block_size",
+        [1, 7, 100, 250, 251, 1000],  # < R, R-not-divisible, = R, > R
+    )
+    def test_block_grid_edge_cases(self, block_size):
+        triples, shape, topics, state = _random_problem(3, 250)
+        expected, _ = _reference_estep(triples, shape, topics, state)
+        config = EMEngineConfig(block_size=block_size, threads=3)
+        stats, _ = _engine_estep(triples, shape, topics, state, config)
+        for name, array in expected.items():
+            np.testing.assert_allclose(
+                stats[name], array, rtol=0, atol=ATOL, err_msg=name
+            )
+
+    def test_zero_ratings_rejected(self):
+        triples, shape, topics, _ = _random_problem(0, 1)
+        empty = tuple(arr[:0] for arr in triples)
+        kernel = TTCAMKernel(*empty, shape, *topics)
+        with pytest.raises(ValueError, match="zero ratings"):
+            BlockedEStep(kernel, EMEngineConfig())
+
+
+class TestDeterminism:
+    def test_repeated_compute_is_bit_identical(self):
+        triples, shape, topics, state = _random_problem(9, 300)
+        config = EMEngineConfig(block_size=64, threads=3)
+        kernel = TTCAMKernel(*triples, shape, *topics)
+        estep = BlockedEStep(kernel, config)
+        first, ll1 = estep.compute(state)
+        first = {name: array.copy() for name, array in first.items()}
+        second, ll2 = estep.compute(state)
+        assert ll1 == ll2
+        for name, array in first.items():
+            np.testing.assert_array_equal(array, second[name], err_msg=name)
+
+    def test_fresh_engine_is_bit_identical(self):
+        triples, shape, topics, state = _random_problem(9, 300)
+        config = EMEngineConfig(block_size=64, threads=4)
+        a, ll_a = _engine_estep(triples, shape, topics, state, config)
+        b, ll_b = _engine_estep(triples, shape, topics, state, config)
+        assert ll_a == ll_b
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+
+
+def _assert_params_close(a, b, atol=ATOL):
+    for name in ("theta", "phi", "theta_time", "phi_time", "lambda_u"):
+        left, right = getattr(a, name, None), getattr(b, name, None)
+        if left is not None and right is not None:
+            np.testing.assert_allclose(left, right, rtol=0, atol=atol, err_msg=name)
+
+
+ENGINE = EMEngineConfig(block_size=500, threads=2)
+
+
+class TestFittedModelEquivalence:
+    """Full fits through the engine agree with the legacy path."""
+
+    def test_ttcam(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        make = lambda engine: TTCAM(
+            num_user_topics=3, num_time_topics=3, max_iter=12, seed=7, engine=engine
+        )
+        legacy = make(None).fit(cuboid)
+        blocked = make(ENGINE).fit(cuboid)
+        _assert_params_close(legacy.params_, blocked.params_)
+        np.testing.assert_allclose(
+            legacy.trace_.log_likelihood, blocked.trace_.log_likelihood, rtol=1e-12
+        )
+
+    def test_ttcam_global_lambda(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        make = lambda engine: TTCAM(
+            num_user_topics=3,
+            num_time_topics=3,
+            max_iter=10,
+            seed=7,
+            personalized_lambda=False,
+            engine=engine,
+        )
+        _assert_params_close(
+            make(None).fit(cuboid).params_, make(ENGINE).fit(cuboid).params_
+        )
+
+    def test_itcam(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        make = lambda engine: ITCAM(
+            num_user_topics=3, max_iter=12, seed=3, engine=engine
+        )
+        legacy = make(None).fit(cuboid)
+        blocked = make(ENGINE).fit(cuboid)
+        np.testing.assert_allclose(
+            legacy.params_.theta, blocked.params_.theta, rtol=0, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            legacy.params_.phi, blocked.params_.phi, rtol=0, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            legacy.params_.theta_time, blocked.params_.theta_time, rtol=0, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            legacy.params_.lambda_u, blocked.params_.lambda_u, rtol=0, atol=ATOL
+        )
+
+    @pytest.mark.parametrize(
+        "model_cls, attrs",
+        [
+            (UserTopicModel, ("theta_", "phi_")),
+            (TimeTopicModel, ("theta_time_", "phi_time_")),
+        ],
+    )
+    def test_baselines(self, tiny_cuboid, model_cls, attrs):
+        cuboid, _ = tiny_cuboid
+        make = lambda engine: model_cls(num_topics=4, max_iter=12, seed=5, engine=engine)
+        legacy = make(None).fit(cuboid)
+        blocked = make(ENGINE).fit(cuboid)
+        for name in attrs:
+            np.testing.assert_allclose(
+                getattr(legacy, name), getattr(blocked, name), rtol=0, atol=ATOL,
+                err_msg=name,
+            )
+
+    def test_partitioned_ttcam(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        make = lambda engine: PartitionedTTCAM(
+            num_user_topics=3,
+            num_time_topics=3,
+            max_iter=8,
+            seed=7,
+            num_partitions=3,
+            engine=engine,
+        )
+        legacy = make(None).fit(cuboid)
+        blocked = make(EMEngineConfig(block_size=200, threads=2)).fit(cuboid)
+        # Shards already re-associate sums, so the partitioned contract is
+        # a notch looser than the single-model 1e-12.
+        _assert_params_close(legacy.params_, blocked.params_, atol=1e-11)
+
+    def test_float32_mode_is_approximate(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        make = lambda engine: TTCAM(
+            num_user_topics=3, num_time_topics=3, max_iter=6, seed=7, engine=engine
+        )
+        legacy = make(None).fit(cuboid)
+        fast = make(EMEngineConfig(dtype="float32")).fit(cuboid)
+        _assert_params_close(legacy.params_, fast.params_, atol=5e-3)
+
+
+@pytest.mark.faults
+class TestResumeWithEngine:
+    """Checkpoint/resume under the engine keeps PR 1's bit-identity."""
+
+    def test_resumed_engine_run_is_bit_identical(self, tiny_cuboid, tmp_path):
+        cuboid, _ = tiny_cuboid
+        make = lambda: TTCAM(
+            num_user_topics=3,
+            num_time_topics=3,
+            max_iter=20,
+            seed=7,
+            engine=EMEngineConfig(block_size=400, threads=2),
+        )
+        baseline = make().fit(cuboid)
+
+        manager = CheckpointManager(tmp_path, every=3)
+        with FaultInjector() as chaos:
+            chaos.crash("em.iteration", iteration=7)
+            with pytest.raises(InjectedFault):
+                make().fit(cuboid, checkpoint=manager)
+        assert chaos.fired == 1
+
+        resumed = make().fit(cuboid, resume_from=manager)
+        for name in ("theta", "phi", "theta_time", "phi_time", "lambda_u"):
+            np.testing.assert_array_equal(
+                getattr(baseline.params_, name),
+                getattr(resumed.params_, name),
+                err_msg=name,
+            )
+        assert resumed.trace_.log_likelihood == baseline.trace_.log_likelihood

@@ -157,3 +157,81 @@ class TestValidation:
         lists = SortedTopicLists.build(query.item_matrix)
         with pytest.raises(ValueError):
             ta_topk(query, lists, 0)
+
+
+class TestBuildRegression:
+    """The vectorised build must reproduce the per-topic lexsort exactly."""
+
+    @staticmethod
+    def _reference_build(item_matrix):
+        """The original per-topic ``lexsort`` construction."""
+        k, v = item_matrix.shape
+        ids = np.arange(v)
+        order = np.empty((k, v), dtype=np.int64)
+        for z in range(k):
+            order[z] = np.lexsort((ids, -item_matrix[z]))
+        values = np.take_along_axis(item_matrix, order, axis=1)
+        return order, values
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_lexsort_loop(self, seed):
+        matrix = random_query(7, 90, seed).item_matrix
+        expected_order, expected_values = self._reference_build(matrix)
+        lists = SortedTopicLists.build(matrix)
+        np.testing.assert_array_equal(lists.order, expected_order)
+        np.testing.assert_array_equal(lists.values, expected_values)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_lexsort_loop_with_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        # Quantised weights force many exact ties within every topic row.
+        matrix = rng.integers(0, 4, size=(5, 60)).astype(float)
+        matrix /= matrix.sum(axis=1, keepdims=True) + 1e-9
+        expected_order, expected_values = self._reference_build(matrix)
+        lists = SortedTopicLists.build(matrix)
+        np.testing.assert_array_equal(lists.order, expected_order)
+        np.testing.assert_array_equal(lists.values, expected_values)
+
+    def test_order_dtype_is_int64(self):
+        lists = SortedTopicLists.build(random_query(2, 5, seed=0).item_matrix)
+        assert lists.order.dtype == np.int64
+
+
+class TestEdgeCases:
+    """TA engines at the catalogue boundary and under heavy score ties."""
+
+    @pytest.mark.parametrize("k", [8, 9, 50])
+    def test_k_at_least_catalogue_all_engines(self, k):
+        query = random_query(3, 8, seed=11)
+        lists = SortedTopicLists.build(query.item_matrix)
+        bf = bruteforce_topk(query, min(k, 8))
+        for engine in (ta_topk, classic_ta_topk, batched_ta_topk):
+            result = engine(query, lists, k)
+            assert len(result) == 8
+            assert result.items == bf.items
+            np.testing.assert_allclose(
+                sorted(result.scores), sorted(bf.scores), atol=1e-12
+            )
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_fully_tied_scores_rank_by_item_id(self, k):
+        # Uniform matrix + uniform weights: every item scores identically,
+        # so the deterministic contract says smallest item ids win.
+        matrix = np.full((4, 7), 1.0 / 7)
+        query = QuerySpace(weights=np.full(4, 0.25), item_matrix=matrix)
+        lists = SortedTopicLists.build(matrix)
+        for engine in (ta_topk, classic_ta_topk, batched_ta_topk):
+            result = engine(query, lists, k)
+            assert result.items == list(range(k))
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [2, 5])
+    def test_quantised_ties_match_bruteforce_items(self, seed, k):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 3, size=(3, 20)).astype(float) / 10.0
+        query = QuerySpace(weights=np.array([0.5, 0.3, 0.2]), item_matrix=matrix)
+        lists = SortedTopicLists.build(matrix)
+        bf = bruteforce_topk(query, k)
+        for engine in (ta_topk, classic_ta_topk, batched_ta_topk):
+            result = engine(query, lists, k)
+            assert result.items == bf.items
