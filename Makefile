@@ -1,6 +1,6 @@
 # Convenience targets for the TCAM reproduction.
 
-.PHONY: install test test-robustness bench bench-perf bench-smoke examples all
+.PHONY: install test test-robustness bench bench-perf bench-serve bench-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,16 +15,22 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Full-scale perf regression run; appends to BENCH_em.json / BENCH_topk.json
-# at the repo root (see docs/performance.md).
+# / BENCH_serve.json at the repo root (see docs/performance.md).
 bench-perf:
 	PYTHONPATH=src python benchmarks/perf/bench_em.py
 	PYTHONPATH=src python benchmarks/perf/bench_topk.py
+	PYTHONPATH=src python benchmarks/perf/bench_serve.py
+
+# Batch-serving benchmark alone; appends to BENCH_serve.json.
+bench-serve:
+	PYTHONPATH=src python benchmarks/perf/bench_serve.py
 
 # Tiny-scale run of the same harness (seconds); writes to a scratch dir so
 # the committed trajectories are never polluted by smoke numbers.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/perf/bench_em.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 	PYTHONPATH=src python benchmarks/perf/bench_topk.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
+	PYTHONPATH=src python benchmarks/perf/bench_serve.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,167 @@
+"""Batch serving throughput microbenchmark → ``BENCH_serve.json``.
+
+Measures end-to-end queries/sec of :meth:`TemporalRecommender.recommend_batch`
+— the GEMM-based batch engine, in float64 (exact) and float32 (selection
+only) modes — against the per-query Threshold-Algorithm path, over a
+skewed multi-interval query workload on synthetic TTCAM parameters at
+the same catalogue scales as ``bench_topk.py``. Each entry also records
+the serving-cache hit rate reached during the measured run, so the
+trajectory tracks cache behaviour alongside raw throughput.
+
+The script additionally *verifies* the serving contracts while it
+measures: float64 batch results must match the per-query engine exactly,
+and float32 must return the same top-k item sets.
+
+Run ``python benchmarks/perf/bench_serve.py`` (with ``src`` on
+``PYTHONPATH``), or ``make bench-serve``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from perf_common import best_time, make_parser
+
+from repro.analysis.benchjson import BenchEntry, append_entries, default_context
+from repro.core.params import TTCAMParameters
+from repro.core.serialize import LoadedModel
+from repro.recommend import TemporalRecommender
+
+#: (num_user_topics, num_items, k, num_queries) per scale.
+SCALES = [
+    (16, 5_000, 10, 256),
+    (24, 20_000, 10, 256),
+    (32, 50_000, 20, 256),
+]
+SMOKE_SCALES = [(6, 500, 5, 32)]
+
+NUM_USERS = 2_000
+NUM_INTERVALS = 48
+#: Per-query TA is orders of magnitude slower; time it on a subset.
+SINGLE_QUERY_SAMPLE = 25
+#: Queries cross-checked for exactness per scale.
+VERIFY_SAMPLE = 16
+
+
+def make_model(num_user_topics: int, num_items: int, seed: int = 0) -> LoadedModel:
+    """Synthetic fitted TTCAM parameters at serving scale.
+
+    Direct Dirichlet draws rather than an EM fit — the benchmark measures
+    retrieval, and a 50k-item fit would dwarf it. Shapes and simplex
+    structure match a genuinely fitted model.
+    """
+    rng = np.random.default_rng(seed)
+    num_time_topics = max(2, num_user_topics // 2)
+    params = TTCAMParameters(
+        theta=rng.dirichlet(np.full(num_user_topics, 0.3), size=NUM_USERS),
+        phi=rng.dirichlet(np.full(num_items, 0.05), size=num_user_topics),
+        theta_time=rng.dirichlet(np.full(num_time_topics, 0.3), size=NUM_INTERVALS),
+        phi_time=rng.dirichlet(np.full(num_items, 0.05), size=num_time_topics),
+        lambda_u=rng.beta(3.0, 3.0, size=NUM_USERS),
+    )
+    return LoadedModel(params)
+
+
+def make_queries(num_queries: int, seed: int = 0) -> list[tuple[int, int]]:
+    """Skewed workload: uniform users, zipf-hot intervals."""
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, NUM_USERS, num_queries)
+    intervals = np.minimum(rng.zipf(1.5, num_queries) - 1, NUM_INTERVALS - 1)
+    return [(int(u), int(t)) for u, t in zip(users, intervals)]
+
+
+def verify_contracts(model: LoadedModel, queries, k: int) -> None:
+    """Assert the batch engine's exactness and float32 set stability."""
+    rec = TemporalRecommender(model, method="ta")
+    sample = queries[:VERIFY_SAMPLE]
+    batch64 = rec.recommend_batch(sample, k=k)
+    batch32 = rec.recommend_batch(sample, k=k, dtype="float32")
+    for (user, interval), r64, r32 in zip(sample, batch64, batch32):
+        single = rec.recommend(user, interval, k=k)
+        assert r64.items == single.items and r64.scores == single.scores, (
+            f"float64 batch diverged from ta_topk at query ({user}, {interval})"
+        )
+        assert set(r32.items) == set(r64.items), (
+            f"float32 top-k set diverged at query ({user}, {interval})"
+        )
+
+
+def main(argv=None) -> int:
+    parser = make_parser(__doc__.splitlines()[0])
+    args = parser.parse_args(argv)
+
+    scales = SMOKE_SCALES if args.smoke else SCALES
+    context = default_context()
+    entries = []
+    rates: dict[tuple[int, str], float] = {}
+
+    for num_topics, num_items, k, num_queries in scales:
+        model = make_model(num_topics, num_items, seed=17)
+        queries = make_queries(num_queries, seed=29)
+        verify_contracts(model, queries, k)
+
+        single_queries = queries[:SINGLE_QUERY_SAMPLE]
+        variants = {
+            "single-ta": (
+                TemporalRecommender(model, method="ta"),
+                lambda r: [r.recommend(u, t, k=k) for u, t in single_queries],
+                len(single_queries),
+                "float64",
+            ),
+            "batch-f64": (
+                TemporalRecommender(model),
+                lambda r: r.recommend_batch(queries, k=k),
+                num_queries,
+                "float64",
+            ),
+            "batch-f32": (
+                TemporalRecommender(model, serve_dtype="float32"),
+                lambda r: r.recommend_batch(queries, k=k),
+                num_queries,
+                "float32",
+            ),
+        }
+        for variant, (rec, run, served, dtype) in variants.items():
+            rate = served / best_time(lambda: run(rec), args.repeats)
+            rates[(num_items, variant)] = rate
+            hit_rate = rec.serving_cache.stats().hit_rate
+            name = f"serve/v{num_items}-z{num_topics}-k{k}/{variant}"
+            entries.append(
+                BenchEntry(
+                    name=name,
+                    value=round(rate, 2),
+                    unit="queries/sec",
+                    params={
+                        "num_items": num_items,
+                        "num_topics": num_topics,
+                        "k": k,
+                        "num_queries": served,
+                        "variant": variant,
+                        "dtype": dtype,
+                        "cache_hit_rate": round(hit_rate, 4),
+                    },
+                    context=context,
+                )
+            )
+            print(f"{name:45s} {rate:10.1f} queries/sec  (cache hit-rate {hit_rate:.2f})")
+
+    if not args.smoke:
+        largest = max(s[1] for s in scales)
+        speedup = rates[(largest, "batch-f64")] / rates[(largest, "single-ta")]
+        print(f"batch-f64 vs single-ta at V={largest}: {speedup:.1f}x")
+        assert speedup >= 3.0, (
+            f"batched serving is only {speedup:.1f}x single-query TA (need >= 3x)"
+        )
+
+    path = Path(args.output_dir) / "BENCH_serve.json"
+    append_entries(path, entries)
+    print(f"appended {len(entries)} entries to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -146,6 +146,14 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     except SnapshotCorruptError as exc:
         print(f"snapshot unusable and no fallback given: {exc}", file=sys.stderr)
         return 2
+    if args.batch_file is not None:
+        return _recommend_batch_file(recommender, args)
+    if args.user is None or args.interval is None:
+        print(
+            "either --batch-file or both --user and --interval are required",
+            file=sys.stderr,
+        )
+        return 2
     if not fallbacks and recommender.model is not None:
         params = recommender.model.params_
         if not 0 <= args.user < params.num_users:
@@ -177,6 +185,43 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             f"[{args.engine}: fully scored {result.items_scored} of "
             f"{recommender.model.params_.num_items} items]"
         )
+    return 0
+
+
+def _recommend_batch_file(recommender: TemporalRecommender, args: argparse.Namespace) -> int:
+    """Serve a file of ``user,interval`` queries as one batch."""
+    from .robustness import ServingUnavailableError
+
+    queries: list[tuple[int, int]] = []
+    for line in Path(args.batch_file).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        user, interval = line.split(",")[:2]
+        queries.append((int(user), int(interval)))
+    if not queries:
+        print(f"no queries in {args.batch_file}", file=sys.stderr)
+        return 2
+    try:
+        results, statuses = recommender.recommend_batch_with_status(
+            queries, k=args.k, dtype=args.serve_dtype, row_block=args.batch_size
+        )
+    except ServingUnavailableError as exc:
+        print(f"serving unavailable: {exc}", file=sys.stderr)
+        return 2
+    degraded = 0
+    for (user, interval), result, status in zip(queries, results, statuses):
+        items = " ".join(
+            f"{rec.item}:{rec.score:.6f}" for rec in result.recommendations
+        )
+        tag = f"  [degraded: {status.served_by} — {status.reason}]" if status.degraded else ""
+        print(f"({user},{interval}) {items}{tag}")
+        degraded += int(status.degraded)
+    cache = statuses[-1].cache
+    print(
+        f"[batch: {len(queries)} queries ({degraded} degraded), "
+        f"dtype {args.serve_dtype}, cache hit-rate {cache.hit_rate:.2f}]"
+    )
     return 0
 
 
@@ -303,8 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rec = sub.add_parser("recommend", help="serve top-k from a snapshot")
     p_rec.add_argument("--model", required=True)
-    p_rec.add_argument("--user", type=int, required=True)
-    p_rec.add_argument("--interval", type=int, required=True)
+    p_rec.add_argument(
+        "--user", type=int, default=None, help="querying user (single-query mode)"
+    )
+    p_rec.add_argument(
+        "--interval", type=int, default=None, help="queried interval (single-query mode)"
+    )
     p_rec.add_argument("-k", type=int, default=10)
     p_rec.add_argument(
         "--engine", choices=("ta", "batched-ta", "bf", "classic-ta"), default="ta"
@@ -313,6 +362,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--fallback-input",
         default=None,
         help="ratings CSV used to fit a popularity fallback for degraded serving",
+    )
+    p_rec.add_argument(
+        "--batch-file",
+        default=None,
+        help="CSV of user,interval pairs served as one batch via the GEMM engine",
+    )
+    p_rec.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="queries scored per GEMM block in batch mode",
+    )
+    p_rec.add_argument(
+        "--serve-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="batch selection dtype (float32 trades exactness for speed)",
     )
     p_rec.set_defaults(func=cmd_recommend)
 

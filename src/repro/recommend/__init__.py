@@ -1,9 +1,11 @@
-"""Temporal top-k recommendation: query expansion, brute-force scan and
-Threshold-Algorithm retrieval (Section 4 of the paper)."""
+"""Temporal top-k recommendation: query expansion, brute-force scan,
+Threshold-Algorithm retrieval (Section 4 of the paper) and the batch
+serving engine with bounded LRU caches."""
 
 from .bruteforce import bruteforce_topk
 from .ranking import QuerySpace, Recommendation, TopKResult, rank_order
 from .recommender import ServingStatus, TemporalRecommender
+from .serving import BatchScorer, CacheStats, LRUCache, ServingCache
 from .threshold import SortedTopicLists, batched_ta_topk, classic_ta_topk, ta_topk
 
 __all__ = [
@@ -14,6 +16,10 @@ __all__ = [
     "rank_order",
     "ServingStatus",
     "TemporalRecommender",
+    "BatchScorer",
+    "CacheStats",
+    "LRUCache",
+    "ServingCache",
     "SortedTopicLists",
     "batched_ta_topk",
     "classic_ta_topk",

@@ -24,19 +24,38 @@ is out of the primary's range (unknown user or interval), or the primary
 raises at serve time. Every answer carries a structured
 :class:`ServingStatus` saying who served it and why, so degradation is
 observable instead of silent.
+
+Batch traffic goes through :meth:`TemporalRecommender.recommend_batch`,
+which hands interval groups to the GEMM-based
+:class:`~repro.recommend.serving.BatchScorer` and degrades *per row*:
+one malformed or out-of-range query falls back (or raises) on its own
+while the rest of the batch is still served by the primary model. All
+cached serving state — sorted-list indexes, context vectors, exclusion
+masks — lives in a bounded :class:`~repro.recommend.serving.ServingCache`
+whose hit/miss/eviction counters ride along on every
+:class:`ServingStatus`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Protocol, Sequence
+from typing import Mapping, Protocol, Sequence
 
 import numpy as np
 
 from ..robustness.errors import ServingUnavailableError
 from .bruteforce import bruteforce_topk
 from .ranking import QuerySpace, Recommendation, TopKResult, rank_order
+from .serving import (
+    DEFAULT_ROW_BLOCK,
+    BatchScorer,
+    CacheStats,
+    LRUCache,
+    ServingCache,
+    check_serve_dtype,
+)
 from .threshold import SortedTopicLists, batched_ta_topk, classic_ta_topk, ta_topk
 
 
@@ -62,12 +81,17 @@ class ServingStatus:
         Why the primary model could not serve (``None`` when healthy).
     attempted:
         Names of models tried and skipped before the serving one.
+    cache:
+        Aggregate hit/miss/eviction counters of the recommender's
+        :class:`~repro.recommend.serving.ServingCache` at serve time
+        (``None`` only on statuses predating the cache).
     """
 
     degraded: bool
     served_by: str
     reason: str | None = None
     attempted: tuple[str, ...] = field(default_factory=tuple)
+    cache: CacheStats | None = None
 
 
 def _model_name(model: object) -> str:
@@ -94,6 +118,14 @@ class TemporalRecommender:
         cannot serve. Each entry needs ``query_space`` or ``score_items``
         (any fitted baseline, e.g.
         :class:`~repro.baselines.popularity.GlobalPopularity`).
+    serve_dtype:
+        Default selection dtype for :meth:`recommend_batch` —
+        ``"float64"`` (exact, the default) or ``"float32"`` (converted
+        once at index build; see ``docs/performance.md`` for the
+        accuracy contract).
+    cache:
+        A :class:`~repro.recommend.serving.ServingCache` to use (e.g.
+        with custom capacities); one with defaults is created otherwise.
     """
 
     _METHODS = ("ta", "batched-ta", "bf", "classic-ta")
@@ -104,6 +136,8 @@ class TemporalRecommender:
         method: str = "ta",
         fallbacks: Sequence[object] = (),
         unavailable_reason: str | None = None,
+        serve_dtype: str = "float64",
+        cache: ServingCache | None = None,
     ) -> None:
         if method not in self._METHODS:
             raise ValueError(f"method must be one of {self._METHODS}, got {method!r}")
@@ -113,11 +147,31 @@ class TemporalRecommender:
         self.method = method
         self.fallbacks = tuple(fallbacks)
         self.unavailable_reason = unavailable_reason
+        self.serve_dtype = check_serve_dtype(serve_dtype)
         self.last_status: ServingStatus | None = None
-        # Sorted-list indexes keyed by the model's matrix cache key: TTCAM's
-        # topic–item matrix is query-independent (one entry), ITCAM's
-        # depends on the queried interval (one entry per interval).
-        self._index_cache: dict[object, SortedTopicLists] = {}
+        # Bounded serving state: sorted-list indexes keyed by the model's
+        # matrix cache key (TTCAM's topic–item matrix is query-independent
+        # — one entry; ITCAM's depends on the queried interval — one entry
+        # per recently queried interval), plus context vectors, dtype
+        # conversions and exclusion masks for the batch engine.
+        self.serving_cache = cache if cache is not None else ServingCache()
+        self._batch_scorer: BatchScorer | None = None
+
+    @property
+    def _index_cache(self) -> LRUCache:
+        """Deprecated alias for ``serving_cache.indexes``.
+
+        The unbounded per-recommender index dict was replaced by the
+        bounded LRU ``indexes`` region of :attr:`serving_cache`; this
+        alias keeps dict-style access working for one release.
+        """
+        warnings.warn(
+            "TemporalRecommender._index_cache is deprecated; use "
+            "recommender.serving_cache.indexes instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.serving_cache.indexes
 
     @classmethod
     def from_snapshot(
@@ -200,7 +254,11 @@ class TemporalRecommender:
             if range_problem is None:
                 try:
                     result = self._serve_primary(user, interval, k, engine, exclude)
-                    status = ServingStatus(False, _model_name(self.model))
+                    status = ServingStatus(
+                        False,
+                        _model_name(self.model),
+                        cache=self.serving_cache.stats(),
+                    )
                     self.last_status = status
                     return result, status
                 except Exception as exc:
@@ -208,6 +266,23 @@ class TemporalRecommender:
             else:
                 reason = range_problem
             attempted.append(_model_name(self.model))
+        result, status = self._serve_via_fallbacks(
+            user, interval, k, exclude, reason, attempted
+        )
+        self.last_status = status
+        return result, status
+
+    def _serve_via_fallbacks(
+        self,
+        user: int,
+        interval: int,
+        k: int,
+        exclude: np.ndarray | None,
+        reason: str | None,
+        attempted: Sequence[str],
+    ) -> tuple[TopKResult, ServingStatus]:
+        """Walk the fallback chain for one query; raise when it runs dry."""
+        attempted = list(attempted)
         for fallback in self.fallbacks:
             try:
                 result = self._serve_fallback(fallback, user, interval, k, exclude)
@@ -215,13 +290,145 @@ class TemporalRecommender:
                 attempted.append(_model_name(fallback))
                 continue
             status = ServingStatus(
-                True, _model_name(fallback), reason, tuple(attempted)
+                True,
+                _model_name(fallback),
+                reason,
+                tuple(attempted),
+                cache=self.serving_cache.stats(),
             )
-            self.last_status = status
             return result, status
         raise ServingUnavailableError(
             f"no model could serve query (user={user}, interval={interval}): {reason}"
         )
+
+    def recommend_batch(
+        self,
+        queries: Sequence[tuple[int, int]] | np.ndarray,
+        k: int = 10,
+        exclude: np.ndarray | Mapping[int, np.ndarray] | None = None,
+        dtype: str | None = None,
+        row_block: int = DEFAULT_ROW_BLOCK,
+    ) -> list[TopKResult]:
+        """Top-k items for a batch of ``(user, interval)`` queries.
+
+        Queries sharing an interval are scored together as blocked GEMMs
+        by the :class:`~repro.recommend.serving.BatchScorer`; in float64
+        mode (the default) each row's items, scores and tie order are
+        exactly what :meth:`recommend` returns for the same query.
+        Results are returned in query order. See
+        :meth:`recommend_batch_with_status` for parameters and the
+        per-row degradation contract.
+        """
+        results, _ = self.recommend_batch_with_status(
+            queries, k=k, exclude=exclude, dtype=dtype, row_block=row_block
+        )
+        return results
+
+    def recommend_batch_with_status(
+        self,
+        queries: Sequence[tuple[int, int]] | np.ndarray,
+        k: int = 10,
+        exclude: np.ndarray | Mapping[int, np.ndarray] | None = None,
+        dtype: str | None = None,
+        row_block: int = DEFAULT_ROW_BLOCK,
+    ) -> tuple[list[TopKResult], list[ServingStatus]]:
+        """Batch top-k plus one :class:`ServingStatus` per query.
+
+        Parameters
+        ----------
+        queries:
+            ``(user, interval)`` pairs (any sequence of pairs, or a
+            ``(Q, 2)`` integer array).
+        k:
+            Number of recommendations per query.
+        exclude:
+            Either one array of item ids excluded from every row, or a
+            mapping ``user -> item ids`` (per-user masks are cached in
+            the serving cache).
+        dtype:
+            Selection dtype override, ``"float64"`` or ``"float32"``;
+            defaults to the recommender's ``serve_dtype``.
+        row_block:
+            Queries scored per GEMM block.
+
+        Degradation is **per row**: a query that is out of the primary's
+        range — or whose interval group fails at serve time — walks the
+        fallback chain on its own while the other rows are still served
+        by the primary. :class:`~repro.robustness.errors.ServingUnavailableError`
+        raises only when some row cannot be answered by anything. Every
+        status carries the same end-of-batch cache counter snapshot.
+        """
+        serve_dtype = check_serve_dtype(dtype if dtype is not None else self.serve_dtype)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        pairs = [(int(user), int(interval)) for user, interval in queries]
+        count = len(pairs)
+        results: list[TopKResult | None] = [None] * count
+        statuses: list[ServingStatus | None] = [None] * count
+
+        fallback_reason: dict[int, str] = {}
+        groups: dict[int, list[int]] = {}
+        if self.model is None:
+            reason = self.unavailable_reason or "no primary model"
+            for i in range(count):
+                fallback_reason[i] = reason
+        else:
+            for i, (user, interval) in enumerate(pairs):
+                problem = self._range_problem(user, interval)
+                if problem is None:
+                    groups.setdefault(interval, []).append(i)
+                else:
+                    fallback_reason[i] = problem
+
+        for interval, indices in groups.items():
+            users = [pairs[i][0] for i in indices]
+            try:
+                group_results = self._scorer().serve_group(
+                    interval, users, k, exclude, serve_dtype, row_block
+                )
+            except Exception as exc:
+                for i in indices:
+                    fallback_reason[i] = f"primary model failed: {exc}"
+            else:
+                for i, result in zip(indices, group_results):
+                    results[i] = result
+                    statuses[i] = ServingStatus(False, _model_name(self.model))
+
+        attempted = [_model_name(self.model)] if self.model is not None else []
+        for i in sorted(fallback_reason):
+            user, interval = pairs[i]
+            results[i], statuses[i] = self._serve_via_fallbacks(
+                user,
+                interval,
+                k,
+                self._exclude_items(user, exclude),
+                fallback_reason[i],
+                attempted,
+            )
+
+        snapshot = self.serving_cache.stats()
+        statuses = [replace(status, cache=snapshot) for status in statuses]
+        if statuses:
+            self.last_status = statuses[-1]
+        return results, statuses
+
+    def _scorer(self) -> BatchScorer:
+        """The lazily created batch scorer bound to the primary model."""
+        if self._batch_scorer is None:
+            self._batch_scorer = BatchScorer(self.model, self.serving_cache)
+        return self._batch_scorer
+
+    @staticmethod
+    def _exclude_items(
+        user: int, exclude: np.ndarray | Mapping[int, np.ndarray] | None
+    ) -> np.ndarray | None:
+        """Resolve a batch ``exclude`` argument to one row's item array."""
+        if exclude is None:
+            return None
+        if isinstance(exclude, Mapping):
+            items = exclude.get(user)
+            return None if items is None else np.asarray(items, dtype=np.int64)
+        return np.asarray(exclude, dtype=np.int64)
 
     def _range_problem(self, user: int, interval: int) -> str | None:
         """Why the query is outside the primary model, or ``None`` if it fits.
@@ -287,10 +494,10 @@ class TemporalRecommender:
         if key_fn is None:
             return SortedTopicLists.build(matrix)
         key = key_fn(interval)
-        lists = self._index_cache.get(key)
+        lists = self.serving_cache.indexes.get(key)
         if lists is None:
             lists = SortedTopicLists.build(matrix)
-            self._index_cache[key] = lists
+            self.serving_cache.indexes.put(key, lists)
         return lists
 
     def precompute(self, intervals: np.ndarray | None = None, user: int = 0) -> int:
@@ -307,4 +514,4 @@ class TemporalRecommender:
         for interval in np.asarray(intervals, dtype=np.int64):
             _, matrix = self.model.query_space(user, int(interval))
             self._lists_for(matrix, int(interval))
-        return len(self._index_cache)
+        return len(self.serving_cache.indexes)

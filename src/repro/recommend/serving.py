@@ -1,0 +1,574 @@
+"""High-throughput batch serving engine (the online half of Section 4).
+
+The paper's online workload is temporal top-k retrieval for queries
+``q = (u, t)`` with score ``S(u,t,v) = Σ_z ϑ_q[z]·ϕ[z,v]``. The
+Threshold-Algorithm engines in :mod:`repro.recommend.threshold` answer
+one query at a time through Python-level sorted-access loops — the right
+shape for the paper's efficiency study, the wrong shape for production
+traffic. This module amortises per-query cost across batches:
+
+* **Grouping.** All queries sharing an interval also share the
+  topic–item matrix (and, for TCAM, the temporal-context score vector
+  ``θ′_t·Φ``), so a batch is grouped by interval and each group is
+  scored together.
+* **Blocked GEMM scoring.** Each group's query weight vectors are
+  stacked into ``Θ_batch`` and scored as one ``Θ_batch @ Φ`` matrix
+  product per row block, into preallocated, reused workspaces (the same
+  buffer discipline as :mod:`repro.core.engine`).
+* **Exact rescoring.** BLAS GEMM, GEMV and per-item dot products differ
+  in the last ULP, so GEMM scores alone cannot reproduce the per-query
+  engines bit-for-bit. The GEMM pass therefore only *selects* a
+  candidate superset (top ``k + margin`` per row, ties included); the
+  candidates are then rescored with the identical primitive the TA
+  engines use (``item_topic[v] @ ϑ_q`` — one contiguous-row dot per
+  item) and ranked with the same ``(score desc, item asc)`` tie-break.
+  In float64 mode the returned items, scores and tie order are exactly
+  those of :func:`~repro.recommend.threshold.ta_topk`.
+* **Bounded caching.** A :class:`ServingCache` of small LRU regions
+  replaces the recommender's previously unbounded index dict: sorted
+  TA indexes, contiguous item–topic transposes, per-interval context
+  score vectors and per-user exclusion masks are all capped, with
+  hit/miss/eviction counters surfaced on
+  :class:`~repro.recommend.recommender.ServingStatus`.
+* **float32 mode.** Opt-in ``dtype="float32"`` converts the selection
+  matrices once (at index build, cached) and runs the GEMM pass in
+  float32 with a wider candidate margin; rescoring stays float64, so
+  results still match the float64 path whenever the true top-k survives
+  float32 candidate selection (asserted on the bench corpora — see
+  ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+
+from .ranking import Recommendation, TopKResult
+
+#: Candidate-selection margin beyond ``k`` per serving dtype. float64
+#: selection scores differ from the exact rescore by a few ULPs, so a
+#: handful of extra candidates is ample; float32 selection carries
+#: ~1e-7 relative noise and gets a wider net.
+SELECTION_MARGIN = {"float64": 16, "float32": 64}
+
+#: Default number of queries scored per GEMM block.
+DEFAULT_ROW_BLOCK = 64
+
+_SERVE_DTYPES = ("float64", "float32")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one serving-cache region (or an aggregate of regions).
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup outcomes since the cache was created.
+    evictions:
+        Entries displaced by the LRU capacity bound.
+    size, capacity:
+        Current and maximum entry counts.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Combine two regions' counters (capacities add)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            size=self.size + other.size,
+            capacity=self.capacity + other.capacity,
+        )
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction and counters.
+
+    A deliberately small, dependency-free LRU built on
+    :class:`~collections.OrderedDict`. :meth:`get` / :meth:`put` maintain
+    hit/miss/eviction counters; the mapping dunders (``cache[key]``)
+    bypass the counters so diagnostic introspection does not skew the
+    serving statistics.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key: Hashable) -> object:
+        """Counter-free lookup (raises ``KeyError`` when absent)."""
+        return self._data[key]
+
+    def __setitem__(self, key: Hashable, value: object) -> None:
+        """Counter-free insert honouring the capacity bound."""
+        self.put(key, value)
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Counted lookup: a hit promotes the entry to most-recent."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default: object = None) -> object:
+        """Uncounted lookup that leaves the recency order untouched."""
+        return self._data.get(key, default)
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def keys(self):
+        """Current keys, least- to most-recently used."""
+        return self._data.keys()
+
+    def clear(self) -> None:
+        """Drop every entry (counters are retained)."""
+        self._data.clear()
+
+    def stats(self) -> CacheStats:
+        """Snapshot of this region's counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            capacity=self.capacity,
+        )
+
+
+class ServingCache:
+    """Bounded LRU caches backing a :class:`TemporalRecommender`.
+
+    Four regions, each independently capped:
+
+    ``indexes``
+        :class:`~repro.recommend.threshold.SortedTopicLists` per
+        topic–item matrix key — TTCAM needs one entry ever, ITCAM one
+        per *distinct recently queried* interval (previously this grew
+        without bound).
+    ``matrices``
+        Contiguous ``(V, K)`` item–topic transposes used by the exact
+        rescoring pass, plus dtype-converted selection matrices for the
+        float32 serving mode.
+    ``contexts``
+        Per-interval context score vectors ``θ′_t·Φ`` shared by every
+        user queried in that interval, per serving dtype — the piece of
+        every score that batching makes reusable.
+    ``masks``
+        Per-user boolean exclusion masks built from registered
+        per-user exclusion lists.
+
+    Parameters
+    ----------
+    index_capacity, matrix_capacity, context_capacity, mask_capacity:
+        Maximum entries per region. See ``docs/performance.md`` for
+        sizing guidance (roughly: indexes/matrices ≈ working set of hot
+        intervals; contexts ≈ intervals per serving window; masks ≈
+        concurrently active users).
+    """
+
+    def __init__(
+        self,
+        index_capacity: int = 8,
+        matrix_capacity: int = 8,
+        context_capacity: int = 256,
+        mask_capacity: int = 4096,
+    ) -> None:
+        self.indexes = LRUCache(index_capacity)
+        self.matrices = LRUCache(matrix_capacity)
+        self.contexts = LRUCache(context_capacity)
+        self.masks = LRUCache(mask_capacity)
+
+    def regions(self) -> dict[str, LRUCache]:
+        """The four named regions."""
+        return {
+            "indexes": self.indexes,
+            "matrices": self.matrices,
+            "contexts": self.contexts,
+            "masks": self.masks,
+        }
+
+    def region_stats(self) -> dict[str, CacheStats]:
+        """Per-region counter snapshots."""
+        return {name: region.stats() for name, region in self.regions().items()}
+
+    def stats(self) -> CacheStats:
+        """Aggregate counters across all regions."""
+        total = CacheStats()
+        for region in self.regions().values():
+            total = total + region.stats()
+        return total
+
+    def clear(self) -> None:
+        """Drop every cached entry in every region."""
+        for region in self.regions().values():
+            region.clear()
+
+    def invalidate_user(self, user: int) -> None:
+        """Forget a user's cached exclusion mask (call when it changes)."""
+        if user in self.masks:
+            del self.masks._data[user]
+
+
+class _Workspace:
+    """Grow-once scratch buffers (the engine's workspace discipline).
+
+    Buffers are keyed by ``(name, dtype)`` and grown to the elementwise
+    maximum shape ever requested, so the steady state of a serving loop
+    performs no per-batch allocations.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, str], np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...], dtype: str) -> np.ndarray:
+        """A writable view of the named buffer with the requested shape."""
+        key = (name, dtype)
+        buffer = self._buffers.get(key)
+        if buffer is None or any(b < s for b, s in zip(buffer.shape, shape)):
+            grown = shape if buffer is None else tuple(
+                max(b, s) for b, s in zip(buffer.shape, shape)
+            )
+            buffer = np.empty(grown, dtype=np.dtype(dtype))
+            self._buffers[key] = buffer
+        return buffer[tuple(slice(0, s) for s in shape)]
+
+
+def check_serve_dtype(dtype: str) -> str:
+    """Validate a serving dtype string and return it."""
+    if dtype not in _SERVE_DTYPES:
+        raise ValueError(f"serve dtype must be one of {_SERVE_DTYPES}, got {dtype!r}")
+    return dtype
+
+
+def exact_rescore(
+    item_topic: np.ndarray, weights: np.ndarray, candidates: np.ndarray, k: int
+) -> TopKResult:
+    """Exact top-k of a candidate set, bit-identical to the TA engines.
+
+    Each candidate is scored with the same primitive
+    :func:`~repro.recommend.threshold.ta_topk` uses — one dot product of
+    the item's contiguous ``item_topic`` row with the query vector — and
+    the result is ranked by ``(score desc, item asc)``, the tie order
+    every engine in this package shares.
+    """
+    count = candidates.size
+    scores = np.empty(count)
+    for i in range(count):
+        scores[i] = item_topic[candidates[i]] @ weights
+    order = np.lexsort((candidates, -scores))[:k]
+    recommendations = [
+        Recommendation(item=int(candidates[i]), score=float(scores[i])) for i in order
+    ]
+    return TopKResult(
+        recommendations=recommendations, items_scored=count, sorted_accesses=0
+    )
+
+
+def select_candidates(scores: np.ndarray, count: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row candidate supersets from a block of selection scores.
+
+    Returns ``(boundary, mask)`` where ``mask[r, v]`` marks item ``v`` a
+    candidate of row ``r``: every item whose selection score reaches the
+    row's ``count``-th largest value. Ties at the boundary are *all*
+    included, so the true top-k can never be lost to an arbitrary
+    ``argpartition`` tie split.
+    """
+    rows, num_items = scores.shape
+    if count >= num_items:
+        return (
+            np.full(rows, -np.inf),
+            np.ones((rows, num_items), dtype=bool),
+        )
+    part = np.argpartition(scores, num_items - count, axis=1)[:, num_items - count :]
+    boundary = np.take_along_axis(scores, part, axis=1).min(axis=1)
+    return boundary, scores >= boundary[:, None]
+
+
+class BatchScorer:
+    """Scores interval-grouped query batches against one primary model.
+
+    One scorer is owned by each :class:`TemporalRecommender`; it holds
+    the reused GEMM workspaces and consults the shared
+    :class:`ServingCache` for selection matrices, rescore transposes and
+    context vectors. Not safe for concurrent use from multiple threads
+    (clone the recommender per thread instead).
+    """
+
+    def __init__(self, model: object, cache: ServingCache) -> None:
+        self.model = model
+        self.cache = cache
+        self.workspace = _Workspace()
+
+    # -- model structure -------------------------------------------------
+
+    def _params_kind(self) -> tuple[str, object]:
+        """Classify the primary model for the split fast path.
+
+        Returns ``("ttcam" | "itcam", params)`` when the model exposes
+        fitted TCAM parameter containers (interest and context parts can
+        then be scored separately, with the context vector cached per
+        interval), or ``("generic", None)`` for any other
+        ``query_space`` provider.
+        """
+        from ..core.params import ITCAMParameters, TTCAMParameters
+
+        params = getattr(self.model, "params_", None)
+        if isinstance(params, TTCAMParameters):
+            return "ttcam", params
+        if isinstance(params, ITCAMParameters):
+            return "itcam", params
+        return "generic", None
+
+    def _matrix_key(self, interval: int) -> Hashable:
+        """The model's matrix cache key for an interval (``None`` = uncachable)."""
+        key_fn = getattr(self.model, "matrix_cache_key", None)
+        if key_fn is None:
+            return None
+        return key_fn(interval)
+
+    # -- cached building blocks ------------------------------------------
+
+    def _stacked_matrix(self, interval: int, users: Sequence[int]) -> np.ndarray:
+        """The full ``(K, V)`` topic–item matrix for one interval."""
+        kind, params = self._params_kind()
+        if kind == "ttcam":
+            return params.topic_item_matrix()
+        if kind == "itcam":
+            return np.vstack([params.phi, params.theta_time[interval][None, :]])
+        return self.model.query_space(int(users[0]), interval)[1]
+
+    def _item_topic(self, interval: int, users: Sequence[int]) -> np.ndarray:
+        """Contiguous ``(V, K)`` transpose used by the exact rescore pass.
+
+        Reuses the transpose already held by a cached
+        :class:`~repro.recommend.threshold.SortedTopicLists` when the TA
+        engines built one for the same matrix; otherwise builds and
+        caches it in the ``matrices`` region.
+        """
+        key = self._matrix_key(interval)
+        if key is None:
+            return np.ascontiguousarray(self._stacked_matrix(interval, users).T)
+        lists = self.cache.indexes.peek(key)
+        if lists is not None:
+            return lists.item_topic
+        cache_key = ("item_topic", key)
+        item_topic = self.cache.matrices.get(cache_key)
+        if item_topic is None:
+            item_topic = np.ascontiguousarray(self._stacked_matrix(interval, users).T)
+            self.cache.matrices.put(cache_key, item_topic)
+        return item_topic
+
+    def _selection_matrix(
+        self, matrix: np.ndarray, key: Hashable, tag: str, dtype: str
+    ) -> np.ndarray:
+        """``matrix`` in the serving dtype (float32 conversions cached)."""
+        if dtype == "float64" or matrix.dtype == np.dtype(dtype):
+            return matrix
+        if key is None:
+            return matrix.astype(np.float32)
+        cache_key = (tag, key, dtype)
+        converted = self.cache.matrices.get(cache_key)
+        if converted is None:
+            converted = matrix.astype(np.float32)
+            self.cache.matrices.put(cache_key, converted)
+        return converted
+
+    def _context_vector(
+        self, interval: int, kind: str, params: object, dtype: str
+    ) -> np.ndarray:
+        """Cached per-interval context score vector ``θ′_t·Φ``.
+
+        This is the part of every query's selection score shared by all
+        users of the interval: for TTCAM the ``(V,)`` product
+        ``θ′_t @ φ′``, for ITCAM the raw item distribution ``θ′_t``. A
+        repeat-interval query therefore only pays for the small
+        user-interest GEMM.
+        """
+        cache_key = ("ctx", interval, dtype)
+        context = self.cache.contexts.get(cache_key)
+        if context is None:
+            if kind == "ttcam":
+                context = params.theta_time[interval] @ params.phi_time
+            else:
+                context = params.theta_time[interval]
+            if dtype != "float64":
+                context = context.astype(np.float32)
+            self.cache.contexts.put(cache_key, context)
+        return context
+
+    def exclusion_mask(
+        self, user: int, exclude: object, num_items: int
+    ) -> np.ndarray | None:
+        """Per-row boolean exclusion mask, cached per user for mappings.
+
+        ``exclude`` may be ``None``, an array of item ids applied to
+        every row, or a mapping ``user -> item ids`` (per-user masks are
+        cached in the ``masks`` region; call
+        :meth:`ServingCache.invalidate_user` when a user's exclusion
+        list changes).
+        """
+        if exclude is None:
+            return None
+        if isinstance(exclude, Mapping):
+            items = exclude.get(user)
+            if items is None or len(items) == 0:
+                return None
+            mask = self.cache.masks.get(user)
+            if mask is None or mask.shape[0] != num_items:
+                mask = np.zeros(num_items, dtype=bool)
+                mask[np.asarray(items, dtype=np.int64)] = True
+                self.cache.masks.put(user, mask)
+            return mask
+        items = np.asarray(exclude, dtype=np.int64)
+        if items.size == 0:
+            return None
+        mask = np.zeros(num_items, dtype=bool)
+        mask[items] = True
+        return mask
+
+    # -- per-query weight vectors ----------------------------------------
+
+    def _stacked_weights(
+        self, kind: str, params: object, user: int, interval: int
+    ) -> np.ndarray:
+        """The exact query vector ``ϑ_q``, bit-identical to ``query_space``.
+
+        Replicates the parameter containers' expression directly so the
+        split path never materialises the per-query stacked matrix (for
+        ITCAM, ``query_space`` vstacks a ``(K1+1, V)`` matrix per call).
+        """
+        lam = params.lambda_u[user]
+        if kind == "ttcam":
+            return np.concatenate(
+                [lam * params.theta[user], (1 - lam) * params.theta_time[interval]]
+            )
+        return np.concatenate([lam * params.theta[user], [1 - lam]])
+
+    # -- group serving ---------------------------------------------------
+
+    def serve_group(
+        self,
+        interval: int,
+        users: Sequence[int],
+        k: int,
+        exclude: object,
+        dtype: str,
+        row_block: int = DEFAULT_ROW_BLOCK,
+    ) -> list[TopKResult]:
+        """Top-k results for every user of one interval group.
+
+        Scores ``row_block`` queries at a time as one GEMM into the
+        reused workspace, selects ``k + margin`` candidates per row
+        (boundary ties included) and rescores them exactly — see the
+        module docstring for why the two phases are needed.
+        """
+        check_serve_dtype(dtype)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if row_block <= 0:
+            raise ValueError(f"row_block must be positive, got {row_block}")
+        kind, params = self._params_kind()
+        key = self._matrix_key(interval)
+        item_topic = self._item_topic(interval, users)
+        num_items = item_topic.shape[0]
+        count = min(num_items, k + SELECTION_MARGIN[dtype])
+
+        if kind == "generic":
+            sel_matrix = self._selection_matrix(
+                self._stacked_matrix(interval, users), key, "stack", dtype
+            )
+        else:
+            sel_matrix = self._selection_matrix(params.phi, (key, "phi"), "sel", dtype)
+            context = self._context_vector(interval, kind, params, dtype)
+
+        results: list[TopKResult] = []
+        for start in range(0, len(users), row_block):
+            block_users = [int(u) for u in users[start : start + row_block]]
+            rows = len(block_users)
+            scores = self.workspace.get("scores", (rows, num_items), dtype)
+            weights_f64: list[np.ndarray] = []
+
+            if kind == "generic":
+                k_dim = sel_matrix.shape[0]
+                qweights = self.workspace.get("qweights", (rows, k_dim), dtype)
+                for r, user in enumerate(block_users):
+                    w, _ = self.model.query_space(user, interval)
+                    weights_f64.append(w)
+                    np.copyto(qweights[r], w, casting="same_kind")
+                np.matmul(qweights, sel_matrix, out=scores)
+            else:
+                k_dim = sel_matrix.shape[0]
+                theta = params.theta
+                if dtype != "float64":
+                    theta_key = ("theta", key, dtype)
+                    theta_conv = self.cache.matrices.get(theta_key)
+                    if theta_conv is None:
+                        theta_conv = theta.astype(np.float32)
+                        self.cache.matrices.put(theta_key, theta_conv)
+                    theta = theta_conv
+                interest = self.workspace.get("interest", (rows, k_dim), dtype)
+                np.take(theta, block_users, axis=0, out=interest)
+                lam = params.lambda_u[block_users]
+                np.multiply(interest, lam[:, None], out=interest, casting="same_kind")
+                np.matmul(interest, sel_matrix, out=scores)
+                ctx_row = self.workspace.get("ctx_row", (num_items,), dtype)
+                for r, user in enumerate(block_users):
+                    np.multiply(context, 1 - lam[r], out=ctx_row, casting="same_kind")
+                    scores[r] += ctx_row
+                for user in block_users:
+                    weights_f64.append(
+                        self._stacked_weights(kind, params, user, interval)
+                    )
+
+            masks = [
+                self.exclusion_mask(user, exclude, num_items) for user in block_users
+            ]
+            for r, mask in enumerate(masks):
+                if mask is not None:
+                    scores[r][mask] = -np.inf
+
+            _, cand_mask = select_candidates(scores, count)
+            for r in range(rows):
+                candidates = np.flatnonzero(cand_mask[r])
+                if masks[r] is not None:
+                    candidates = candidates[~masks[r][candidates]]
+                results.append(exact_rescore(item_topic, weights_f64[r], candidates, k))
+        return results

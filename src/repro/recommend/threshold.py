@@ -26,11 +26,32 @@ catalogue was actually scored.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .ranking import QuerySpace, Recommendation, TopKResult
+
+
+class _QueryScratch:
+    """Reusable per-query working buffers for one ``SortedTopicLists``.
+
+    The TA engines used to allocate list cursors, membership sets and
+    seen-arrays on every call; for repeated single-query serving those
+    allocations dominate small-``k`` latency. Each engine now borrows
+    these buffers and resets only what it uses at entry (an ``O(V+K)``
+    fill, far cheaper than fresh allocation). Consequently queries
+    against one ``SortedTopicLists`` are **not re-entrant** and not
+    thread-safe — use one index (or an explicit copy) per thread.
+    """
+
+    def __init__(self, num_topics: int, num_items: int) -> None:
+        self.positions = np.zeros(num_topics, dtype=np.int64)
+        self.front_values = np.empty(num_topics, dtype=np.float64)
+        self.exhausted = np.zeros(num_topics, dtype=bool)
+        self.in_result = np.zeros(num_items, dtype=bool)
+        self.excluded = np.zeros(num_items, dtype=bool)
+        self.seen = np.zeros(num_items, dtype=bool)
 
 
 @dataclass
@@ -49,6 +70,7 @@ class SortedTopicLists:
     order: np.ndarray  # (K, V) item ids, descending weight
     values: np.ndarray  # (K, V) weights, descending
     item_topic: np.ndarray  # (V, K) contiguous transpose for random access
+    _scratch: "_QueryScratch | None" = field(default=None, repr=False, compare=False)
 
     @classmethod
     def build(cls, item_matrix: np.ndarray) -> "SortedTopicLists":
@@ -76,21 +98,30 @@ class SortedTopicLists:
         """Number of items ``V``."""
         return self.order.shape[1]
 
+    def scratch(self) -> _QueryScratch:
+        """The lazily created, reused per-query scratch buffers."""
+        if self._scratch is None:
+            self._scratch = _QueryScratch(self.num_topics, self.num_items)
+        return self._scratch
+
 
 class _ResultHeap:
     """Bounded min-heap of the best k (score, item) pairs seen so far.
 
     Orders by ``(score, -item)`` so ties resolve toward smaller item ids,
-    matching the deterministic brute-force ranking.
+    matching the deterministic brute-force ranking. Membership is tracked
+    in a caller-provided ``(V,)`` boolean array (pre-cleared by the
+    caller) so repeated queries reuse one buffer instead of building a
+    fresh set per call.
     """
 
-    def __init__(self, k: int) -> None:
+    def __init__(self, k: int, members: np.ndarray) -> None:
         self.k = k
         self._heap: list[tuple[float, int]] = []  # (score, -item)
-        self._members: set[int] = set()
+        self._members = members
 
     def __contains__(self, item: int) -> bool:
-        return item in self._members
+        return bool(self._members[item])
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -104,16 +135,16 @@ class _ResultHeap:
 
     def offer(self, item: int, score: float) -> None:
         """Insert ``item`` if it beats the current worst member."""
-        if item in self._members:
+        if self._members[item]:
             return
         entry = (score, -item)
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, entry)
-            self._members.add(item)
+            self._members[item] = True
         elif entry > self._heap[0]:
             evicted = heapq.heappushpop(self._heap, entry)
-            self._members.discard(-evicted[1])
-            self._members.add(item)
+            self._members[-evicted[1]] = False
+            self._members[item] = True
 
     def ranked(self) -> list[Recommendation]:
         """Members best-first."""
@@ -146,13 +177,19 @@ def ta_topk(
     (Equation 23) — the best score any unexamined item could achieve.
     """
     _prepare(query, lists, k)
-    excluded = set(map(int, exclude)) if exclude is not None else set()
+    scratch = lists.scratch()
+    excluded = scratch.excluded
+    excluded.fill(False)
+    if exclude is not None and len(exclude):
+        excluded[np.asarray(exclude, dtype=np.int64)] = True
     weights = query.weights
     item_topic = lists.item_topic  # (V, K): contiguous random access
     num_topics, num_items = lists.num_topics, lists.num_items
 
-    positions = np.zeros(num_topics, dtype=np.int64)  # cursor per list
-    front_values = lists.values[:, 0].copy()
+    positions = scratch.positions  # cursor per list
+    positions.fill(0)
+    front_values = scratch.front_values
+    np.copyto(front_values, lists.values[:, 0])
     score_cache: dict[int, float] = {}
     sorted_accesses = 0
 
@@ -170,14 +207,15 @@ def ta_topk(
         heapq.heappush(pq, (-full_score(item), z))
     threshold = float(weights @ front_values)  # Equation 23, line 7
 
-    result = _ResultHeap(k)
+    scratch.in_result.fill(False)
+    result = _ResultHeap(k, scratch.in_result)
     while pq:
         _neg_score, z = heapq.heappop(pq)  # lines 9–10
         item = int(lists.order[z, positions[z]])  # lines 11–12
         positions[z] += 1
         sorted_accesses += 1
 
-        if item not in result and item not in excluded:  # line 13
+        if item not in result and not excluded[item]:  # line 13
             if len(result) < k:  # lines 14–16
                 result.offer(item, full_score(item))
             else:
@@ -217,17 +255,22 @@ def batched_ta_topk(
     engine; the returned top-k is exactly the brute-force top-k.
     """
     _prepare(query, lists, k)
+    scratch = lists.scratch()
     weights = query.weights
     item_topic = lists.item_topic
     num_topics, num_items = lists.num_topics, lists.num_items
 
-    seen = np.zeros(num_items, dtype=bool)
+    seen = scratch.seen
+    seen.fill(False)
     if exclude is not None and len(exclude):
         seen[np.asarray(exclude, dtype=np.int64)] = True
 
-    positions = np.zeros(num_topics, dtype=np.int64)
-    front_values = lists.values[:, 0].copy()
-    exhausted = np.zeros(num_topics, dtype=bool)
+    positions = scratch.positions
+    positions.fill(0)
+    front_values = scratch.front_values
+    np.copyto(front_values, lists.values[:, 0])
+    exhausted = scratch.exhausted
+    exhausted.fill(False)
 
     # Running top-k candidate pool: item ids and their exact scores.
     pool_items = np.empty(0, dtype=np.int64)
@@ -301,26 +344,32 @@ def classic_ta_topk(
     ablation to quantify what the paper's best-list-first strategy buys.
     """
     _prepare(query, lists, k)
-    excluded = set(map(int, exclude)) if exclude is not None else set()
+    scratch = lists.scratch()
+    excluded = scratch.excluded
+    excluded.fill(False)
+    if exclude is not None and len(exclude):
+        excluded[np.asarray(exclude, dtype=np.int64)] = True
+    num_excluded = int(excluded.sum())
     weights = query.weights
     item_topic = lists.item_topic
     num_items = lists.num_items
 
     score_cache: dict[int, float] = {}
-    result = _ResultHeap(k)
+    scratch.in_result.fill(False)
+    result = _ResultHeap(k, scratch.in_result)
     sorted_accesses = 0
 
     for depth in range(num_items):
         for z in range(lists.num_topics):
             item = int(lists.order[z, depth])
             sorted_accesses += 1
-            if item in score_cache or item in excluded:
+            if item in score_cache or excluded[item]:
                 continue
             score = float(item_topic[item] @ weights)
             score_cache[item] = score
             result.offer(item, score)
         threshold = float(weights @ lists.values[:, depth])
-        if len(result) >= min(k, num_items - len(excluded)) and result.kth_score >= threshold:
+        if len(result) >= min(k, num_items - num_excluded) and result.kth_score >= threshold:
             break
 
     return TopKResult(

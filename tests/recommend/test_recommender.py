@@ -72,7 +72,7 @@ class TestCaching:
         rec = TemporalRecommender(ttcam)
         rec.recommend(0, 0, k=3, method="ta")
         rec.recommend(1, 5, k=3, method="ta")
-        assert len(rec._index_cache) == 1
+        assert len(rec.serving_cache.indexes) == 1
 
     def test_itcam_caches_per_interval(self, models):
         _, _, itcam = models
@@ -80,7 +80,27 @@ class TestCaching:
         rec.recommend(0, 0, k=3, method="ta")
         rec.recommend(0, 1, k=3, method="ta")
         rec.recommend(1, 1, k=3, method="ta")
-        assert len(rec._index_cache) == 2
+        assert len(rec.serving_cache.indexes) == 2
+
+    def test_index_cache_alias_deprecated_but_working(self, models):
+        _, ttcam, _ = models
+        rec = TemporalRecommender(ttcam)
+        rec.recommend(0, 0, k=3, method="ta")
+        with pytest.warns(DeprecationWarning):
+            alias = rec._index_cache
+        assert len(alias) == 1
+        assert alias is rec.serving_cache.indexes
+        key = next(iter(alias.keys()))
+        assert alias[key] is rec.serving_cache.indexes[key]
+
+    def test_status_carries_cache_counters(self, models):
+        _, ttcam, _ = models
+        rec = TemporalRecommender(ttcam)
+        _, status = rec.recommend_with_status(0, 0, k=3)
+        assert status.cache is not None
+        assert status.cache.misses >= 1
+        _, status = rec.recommend_with_status(1, 0, k=3)
+        assert status.cache.hits >= 1
 
     def test_precompute_ttcam(self, models):
         _, ttcam, _ = models

@@ -170,6 +170,46 @@ class TestRecommend:
             )
             assert code == 0
 
+    def test_missing_query_and_batch_file_rejected(self, snapshot, capsys):
+        code = main(["recommend", "--model", str(snapshot)])
+        assert code == 2
+        assert "--batch-file" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_batch_file_served(self, snapshot, tmp_path, capsys, dtype):
+        batch = tmp_path / "queries.csv"
+        batch.write_text("# user,interval\n0,3\n1,3\n2,0\n0,3\n")
+        code = main(
+            [
+                "recommend",
+                "--model",
+                str(snapshot),
+                "--batch-file",
+                str(batch),
+                "-k",
+                "5",
+                "--batch-size",
+                "2",
+                "--serve-dtype",
+                dtype,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("(")]
+        assert len(lines) == 4
+        assert lines[0] == lines[3]  # duplicate queries → identical rows
+        assert "4 queries (0 degraded)" in out
+        assert "cache hit-rate" in out
+
+    def test_batch_file_empty_rejected(self, snapshot, tmp_path, capsys):
+        batch = tmp_path / "queries.csv"
+        batch.write_text("# only a comment\n")
+        code = main(
+            ["recommend", "--model", str(snapshot), "--batch-file", str(batch)]
+        )
+        assert code == 2
+
 
 class TestEvaluate:
     def test_metrics_table(self, dataset_csv, capsys):
