@@ -6,6 +6,8 @@ from .em import (
     ScatterPlan,
     normalize_rows,
     random_stochastic,
+    safe_divide,
+    safe_log,
     scatter_sum,
     scatter_sum_1d,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "EMEngineConfig",
     "normalize_rows",
     "random_stochastic",
+    "safe_divide",
+    "safe_log",
     "scatter_sum",
     "scatter_sum_1d",
     "GibbsTTCAM",

@@ -20,8 +20,30 @@ from ..robustness.checkpoint import Checkpoint, CheckpointManager
 from ..robustness.errors import HealthViolation
 from ..robustness.faults import fault_point, maybe_poison
 from ..robustness.health import HealthMonitor
+from ..typing import AnyArray, ArrayState, FloatArray, IntArray
 
 EPS = 1e-12
+
+
+def safe_log(values: AnyArray, eps: float = EPS) -> AnyArray:
+    """``log(values + eps)`` — the blessed guarded logarithm.
+
+    Lint rule TCAM002 bans raw ``np.log`` on probability arrays; use this
+    helper (or an explicit ``EPS`` term) so zero-probability cells degrade
+    to a large negative log instead of ``-inf``.
+    """
+    return np.log(values + eps)
+
+
+def safe_divide(
+    numerator: AnyArray, denominator: AnyArray | float, eps: float = EPS
+) -> AnyArray:
+    """``numerator / (denominator + eps)`` — the blessed guarded division.
+
+    The TCAM002 counterpart of :func:`safe_log` for responsibility
+    normalisation: a zero denominator yields zero mass, not NaN.
+    """
+    return np.divide(numerator, denominator + eps)
 
 
 class ScatterPlan:
@@ -45,7 +67,7 @@ class ScatterPlan:
         self._cols = np.arange(self.k, dtype=np.int64)
         self._flat = np.empty((self.capacity, self.k), dtype=np.int64)
 
-    def flat_index(self, rows: np.ndarray) -> np.ndarray:
+    def flat_index(self, rows: IntArray) -> IntArray:
         """``rows[:, None] * k + arange(k)`` raveled, without allocating."""
         r = rows.shape[0]
         if r > self.capacity:
@@ -59,12 +81,12 @@ class ScatterPlan:
 
 
 def scatter_sum(
-    rows: np.ndarray,
-    values: np.ndarray,
+    rows: IntArray,
+    values: FloatArray,
     num_rows: int,
-    out: np.ndarray | None = None,
+    out: FloatArray | None = None,
     plan: ScatterPlan | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Row-indexed scatter-add: sum ``values`` rows into ``num_rows`` bins.
 
     ``rows`` is ``(R,)`` int; ``values`` is ``(R, K)``. Returns the
@@ -102,11 +124,11 @@ def scatter_sum(
 
 
 def scatter_sum_1d(
-    rows: np.ndarray,
-    values: np.ndarray,
+    rows: IntArray,
+    values: FloatArray,
     num_rows: int,
-    out: np.ndarray | None = None,
-) -> np.ndarray:
+    out: FloatArray | None = None,
+) -> FloatArray:
     """Scalar scatter-add: ``(R,)`` values summed into ``num_rows`` bins.
 
     As in :func:`scatter_sum`, ``out`` accumulates into a caller-provided
@@ -121,7 +143,7 @@ def scatter_sum_1d(
     return out
 
 
-def normalize_rows(matrix: np.ndarray, smoothing: float = 0.0) -> np.ndarray:
+def normalize_rows(matrix: FloatArray, smoothing: float = 0.0) -> FloatArray:
     """Return a row-stochastic copy of ``matrix``.
 
     ``smoothing`` is added to every cell first (pseudo-count smoothing), so
@@ -136,9 +158,7 @@ def normalize_rows(matrix: np.ndarray, smoothing: float = 0.0) -> np.ndarray:
     return smoothed / totals
 
 
-def random_stochastic(
-    rng: np.random.Generator, rows: int, cols: int
-) -> np.ndarray:
+def random_stochastic(rng: np.random.Generator, rows: int, cols: int) -> FloatArray:
     """Random row-stochastic matrix for EM initialisation.
 
     Uses ``0.5 + U(0,1)`` before normalising so no cell starts near zero
@@ -195,16 +215,16 @@ class EMTrace:
         )
 
 
-EMStep = Callable[[dict[str, np.ndarray]], tuple[dict[str, np.ndarray], float]]
+EMStep = Callable[[ArrayState], tuple[ArrayState, float]]
 
 
-def _copy_state(state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+def _copy_state(state: ArrayState) -> ArrayState:
     """Deep-copy one EM state (rollback must not alias live arrays)."""
     return {name: np.array(value, copy=True) for name, value in state.items()}
 
 
 def run_em(
-    state: dict[str, np.ndarray],
+    state: ArrayState,
     step: EMStep,
     max_iter: int,
     tol: float,
@@ -212,9 +232,9 @@ def run_em(
     start_iteration: int = 0,
     checkpoints: CheckpointManager | None = None,
     monitor: HealthMonitor | None = None,
-    rejitter: Callable[[dict[str, np.ndarray], int], dict[str, np.ndarray]] | None = None,
+    rejitter: Callable[[ArrayState, int], ArrayState] | None = None,
     max_recoveries: int = 3,
-) -> tuple[dict[str, np.ndarray], EMTrace]:
+) -> tuple[ArrayState, EMTrace]:
     """Drive one EM run to convergence, fault-tolerantly.
 
     Parameters
@@ -299,11 +319,11 @@ def run_em(
 
 
 def prepare_fit_controls(
-    checkpoint: "CheckpointManager | str | None",
-    resume_from: "CheckpointManager | str | None",
-    monitor: "HealthMonitor | bool | None",
+    checkpoint: CheckpointManager | str | None,
+    resume_from: CheckpointManager | str | None,
+    monitor: HealthMonitor | bool | None,
     default_monitor: Callable[[], HealthMonitor],
-    meta: dict,
+    meta: dict[str, object],
 ) -> tuple[CheckpointManager | None, Checkpoint | None, HealthMonitor | None]:
     """Normalise a model's ``fit(...)`` fault-tolerance arguments.
 
@@ -324,7 +344,9 @@ def prepare_fit_controls(
     """
     from ..robustness.errors import CheckpointError
 
-    def as_manager(source):
+    def as_manager(
+        source: CheckpointManager | str | None,
+    ) -> CheckpointManager | None:
         if source is None or isinstance(source, CheckpointManager):
             return source
         return CheckpointManager(source)
@@ -346,13 +368,18 @@ def prepare_fit_controls(
             )
     if manager is not None:
         manager.meta = dict(meta)
-    health = default_monitor() if monitor is True else (monitor or None)
+    if monitor is True:
+        health = default_monitor()
+    elif isinstance(monitor, HealthMonitor):
+        health = monitor
+    else:
+        health = None
     return manager, restored, health
 
 
 def restore_state(
     restored: Checkpoint, keys: tuple[str, ...]
-) -> tuple[dict[str, np.ndarray], int, EMTrace]:
+) -> tuple[ArrayState, int, EMTrace]:
     """Turn a loaded checkpoint back into ``(state, iteration, trace)``.
 
     Validates that the checkpoint carries exactly the arrays the model
