@@ -8,7 +8,9 @@ Covers the full offline/online loop from a shell:
 * ``tcam recommend``— serve temporal top-k from a snapshot;
 * ``tcam evaluate`` — run the paper's evaluation protocol on a file;
 * ``tcam report``   — render a topic/influence report card for a
-  snapshot against its training data.
+  snapshot against its training data;
+* ``tcam lint``     — run the domain-aware linter (rules
+  TCAM001–TCAM005, see ``docs/static-analysis.md``).
 
 Every command works on plain CSV (``user,interval,item,score``), so the
 CLI interoperates with any timestamped-rating export.
@@ -39,7 +41,7 @@ def _build_model(
     iters: int,
     seed: int,
     engine: EMEngineConfig | None = None,
-):
+) -> TTCAM | ITCAM | UserTopicModel | TimeTopicModel:
     """Instantiate a model by CLI name."""
     if name == "ttcam":
         return TTCAM(k1, k2, max_iter=iters, seed=seed, engine=engine)
@@ -119,8 +121,10 @@ def cmd_fit(args: argparse.Namespace) -> int:
         monitor=True if args.health_guard else None,
     )
     trace = model.trace_
-    path = save_params(model.params_, args.output)
-    lam = model.params_.lambda_u
+    params = model.params_
+    assert trace is not None and params is not None  # fit() always sets both
+    path = save_params(params, args.output)
+    lam = params.lambda_u
     print(
         f"fitted {model.name} in {trace.iterations} EM iterations "
         f"(log-likelihood {trace.final_log_likelihood:.1f})"
@@ -284,6 +288,16 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the domain-aware linter (rules TCAM001–TCAM005)."""
+    from .tooling.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``tcam`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -398,6 +412,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--input", required=True, help="training ratings CSV")
     p_report.add_argument("--max-topics", type=int, default=None)
     p_report.set_defaults(func=cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint", help="domain-aware lint (determinism/numerical-safety rules)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=[], help="files or directories (default: src/repro)"
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -1,0 +1,30 @@
+"""Developer tooling for the TCAM reproduction.
+
+Currently home to the domain-aware linter (:mod:`repro.tooling.lint`),
+which encodes the determinism and numerical-safety invariants the test
+suite otherwise only catches after the fact.
+
+The submodule is loaded lazily so that ``python -m repro.tooling.lint``
+does not import it twice (once as a package attribute, once as
+``__main__``), which would trigger a runpy ``RuntimeWarning``.
+"""
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lint import Finding, lint_paths, lint_source, main
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

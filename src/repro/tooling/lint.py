@@ -1,0 +1,660 @@
+"""Domain-aware AST linter for the TCAM stack (``tcam lint``).
+
+The reproduced guarantees — EM convergence, bit-deterministic
+checkpoint/resume, TA/batch-serving score identity — rest on a handful of
+coding invariants that generic linters cannot see.  This module encodes
+them as five AST rules:
+
+========  ==================================================================
+TCAM001   No legacy/unseeded RNG.  ``np.random.<fn>()`` module-level calls
+          and ``RandomState`` are banned; randomness must flow through a
+          seeded ``np.random.Generator`` (``np.random.default_rng``).
+TCAM002   No unguarded ``np.log`` / ``np.divide`` on probability arrays.
+          The risky operand must carry an ``EPS``/``_EPS`` guard, a
+          ``safe_``-prefixed value, or a clamping call (``np.maximum``,
+          ``np.clip``, ``np.where``), unless it lives inside a blessed
+          ``safe_*`` helper.
+TCAM003   No array allocation inside hot paths.  Functions decorated with
+          :func:`repro.typing.hot_path` (or listed as built-in hot kernels
+          in ``core/engine.py`` / ``recommend/serving.py``) must write into
+          preallocated workspaces; ``np.zeros``/``np.empty``/
+          ``np.concatenate``/``.copy()``/... are flagged.
+TCAM004   ``__all__`` consistency.  Every ``__all__`` entry must resolve to
+          a module-level binding, every public top-level ``def``/``class``
+          must be exported, and duplicates are flagged.
+TCAM005   No nondeterministic iteration.  Bare ``set``/``frozenset``
+          expressions must not feed loops, comprehensions, or order-
+          sensitive reductions; wrap them in ``sorted(...)`` first.
+========  ==================================================================
+
+Suppression: append ``# tcam-lint: disable=TCAM001`` (comma-separate for
+several rules) to the offending line.
+
+Run as ``tcam lint [paths...]`` or ``python -m repro.tooling.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
+
+#: Rule code -> one-line summary, used by ``--list-rules`` and the docs.
+RULES: dict[str, str] = {
+    "TCAM001": "legacy/unseeded RNG (np.random.* module calls, RandomState)",
+    "TCAM002": "unguarded np.log / np.divide on probability arrays",
+    "TCAM003": "array allocation inside @hot_path functions or hot kernels",
+    "TCAM004": "__all__ out of sync with public module definitions",
+    "TCAM005": "nondeterministic iteration over a bare set",
+}
+
+# -- rule configuration ------------------------------------------------------
+
+#: np.random attributes that construct seeded generator machinery.
+_SEEDED_RNG_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Names whose presence inside an expression marks it as EPS-guarded.
+_GUARD_NAMES = frozenset({"EPS", "_EPS"})
+
+#: Calls whose result is considered clamped/safe for log/divide operands.
+_GUARD_CALLS = frozenset({"maximum", "fmax", "clip", "where", "exp", "abs", "absolute"})
+
+#: numpy constructors that allocate a fresh array (banned in hot paths).
+_ALLOCATORS = frozenset(
+    {
+        "zeros",
+        "empty",
+        "ones",
+        "full",
+        "zeros_like",
+        "empty_like",
+        "ones_like",
+        "full_like",
+        "array",
+        "copy",
+        "concatenate",
+        "vstack",
+        "hstack",
+        "stack",
+        "tile",
+        "repeat",
+    }
+)
+
+#: Built-in hot kernels, keyed by path suffix.  Entries match a function's
+#: qualified name exactly, or any qualname's final segment when the entry
+#: has no dot (``"accumulate"`` matches every ``*.accumulate`` method).
+_HOT_KERNELS: dict[str, frozenset[str]] = {
+    "core/engine.py": frozenset({"accumulate", "BlockedEStep._run_worker"}),
+    "recommend/serving.py": frozenset({"BatchScorer.serve_group"}),
+}
+
+#: Aggregator callables whose argument order affects the result enough to
+#: care about set nondeterminism (TCAM005).
+_ORDER_SENSITIVE = frozenset({"sum", "list", "tuple"})
+
+_SUPPRESS_RE = re.compile(r"#\s*tcam-lint:\s*disable=([A-Z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A single lint violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Format the finding the way compilers do (clickable in editors)."""
+
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+# -- small AST helpers -------------------------------------------------------
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """Flatten ``np.random.default_rng`` into ``["np", "random", "default_rng"]``.
+
+    Returns an empty list for anything that is not a plain name/attribute
+    chain (calls, subscripts, ...).
+    """
+
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _is_numpy_random_chain(chain: Sequence[str]) -> bool:
+    """True for ``np.random.X`` / ``numpy.random.X`` style chains."""
+
+    return len(chain) >= 2 and chain[0] in {"np", "numpy"} and chain[1] == "random"
+
+
+def _call_leaf(node: ast.AST) -> str:
+    """Final attribute/name of a call target (``np.log`` -> ``log``)."""
+
+    chain = _attr_chain(node)
+    return chain[-1] if chain else ""
+
+
+def _is_safe_name(name: str) -> bool:
+    return name in _GUARD_NAMES or name.startswith("safe_")
+
+
+def _expr_is_guarded(node: ast.AST) -> bool:
+    """True when an expression visibly carries a numerical guard.
+
+    Guards recognised: an ``EPS``/``_EPS`` term, any ``safe_``-prefixed
+    name or attribute, or a clamping call (``np.maximum``, ``np.clip``,
+    ``np.where``, ``np.exp``, ...).
+    """
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _is_safe_name(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _is_safe_name(sub.attr):
+            return True
+        if isinstance(sub, ast.Call) and _call_leaf(sub.func) in _GUARD_CALLS:
+            return True
+    return False
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    """Yield plain names bound by an assignment target."""
+
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True for set/frozenset literals, comprehensions, and constructors."""
+
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        leaf = _call_leaf(target)
+        if leaf:
+            names.add(leaf)
+    return names
+
+
+# -- per-scope analysis ------------------------------------------------------
+
+
+def _guarded_locals(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names that were EPS-guarded somewhere inside ``func``.
+
+    Recognised shapes::
+
+        den = interest + context + EPS      # assignment containing a guard
+        den += EPS                          # additive in-place guard
+        np.add(p, EPS, out=den)             # ufunc writing a guarded value
+        np.maximum(den, EPS, out=den)       # clamping in place
+
+    The scan is flow-insensitive on purpose: the repo's kernels guard a
+    denominator once, immediately before use, and a flow-lite heuristic
+    keeps the rule free of false negatives without a dataflow engine.
+    """
+
+    guarded: set[str] = set()
+    for sub in _walk_own(func):
+        if isinstance(sub, ast.Assign):
+            if _expr_is_guarded(sub.value):
+                for target in sub.targets:
+                    guarded.update(_target_names(target))
+        elif isinstance(sub, ast.AugAssign):
+            if isinstance(sub.target, ast.Name) and _expr_is_guarded(sub.value):
+                guarded.add(sub.target.id)
+        elif isinstance(sub, ast.Call):
+            leaf = _call_leaf(sub.func)
+            out = _keyword(sub, "out")
+            if out is not None and isinstance(out, ast.Name):
+                clamps = leaf in {"maximum", "fmax", "clip"}
+                adds_eps = leaf in {"add", "divide", "multiply"} and any(
+                    _expr_is_guarded(arg) for arg in sub.args
+                )
+                if clamps or adds_eps:
+                    guarded.add(out.id)
+    return guarded
+
+
+def _risky_operand(call: ast.Call, leaf: str) -> ast.expr | None:
+    """The operand of ``np.log``/``np.divide`` that must not be zero."""
+
+    if leaf == "log":
+        return call.args[0] if call.args else None
+    if leaf == "divide":
+        return call.args[1] if len(call.args) > 1 else None
+    return None
+
+
+def _operand_is_guarded(operand: ast.expr, guarded: set[str]) -> bool:
+    if isinstance(operand, ast.Constant):
+        return True
+    if _expr_is_guarded(operand):
+        return True
+    if isinstance(operand, ast.Name) and operand.id in guarded:
+        return True
+    if isinstance(operand, ast.Attribute) and operand.attr in guarded:
+        return True
+    return False
+
+
+class _ScopeInfo:
+    """A function scope plus everything the rules need to know about it."""
+
+    def __init__(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        hot: bool,
+        parent: "_ScopeInfo | None" = None,
+    ) -> None:
+        self.node = node
+        self.qualname = qualname
+        self.hot = hot
+        self.parent = parent
+
+
+def _collect_scopes(tree: ast.Module, hot_kernels: frozenset[str]) -> list[_ScopeInfo]:
+    """Walk the module and qualify every function definition."""
+
+    scopes: list[_ScopeInfo] = []
+    bare_kernels = {entry for entry in hot_kernels if "." not in entry}
+
+    def visit(node: ast.AST, prefix: str, parent: _ScopeInfo | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}" if prefix else child.name
+                decorated = "hot_path" in _decorator_names(child)
+                listed = qualname in hot_kernels or child.name in bare_kernels
+                hot = decorated or listed or (parent is not None and parent.hot)
+                scope = _ScopeInfo(child, qualname, hot, parent)
+                scopes.append(scope)
+                visit(child, f"{qualname}.<locals>.", scope)
+            elif isinstance(child, ast.ClassDef):
+                class_prefix = f"{prefix}{child.name}." if prefix else f"{child.name}."
+                visit(child, class_prefix, parent)
+            else:
+                visit(child, prefix, parent)
+
+    visit(tree, "", None)
+    return scopes
+
+
+# -- the rules ---------------------------------------------------------------
+
+
+def _check_rng(tree: ast.Module, emit: "_Emitter") -> None:
+    """TCAM001: ban module-level np.random calls and RandomState."""
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "RandomState":
+            emit(node, "TCAM001", "RandomState is banned; use np.random.default_rng")
+        elif isinstance(node, ast.Name) and node.id == "RandomState":
+            emit(node, "TCAM001", "RandomState is banned; use np.random.default_rng")
+        elif isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if (
+                _is_numpy_random_chain(chain)
+                and len(chain) == 3
+                and chain[2] not in _SEEDED_RNG_OK
+            ):
+                emit(
+                    node,
+                    "TCAM001",
+                    f"np.random.{chain[2]}() uses the legacy global RNG; "
+                    "thread a seeded np.random.Generator instead",
+                )
+
+
+def _walk_own(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function definitions."""
+
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_calls_guarded(
+    nodes: Iterable[ast.AST], guarded: set[str], where: str, emit: "_Emitter"
+) -> None:
+    for node in nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if len(chain) != 2 or chain[0] not in {"np", "numpy"}:
+            continue
+        leaf = chain[1]
+        operand = _risky_operand(node, leaf)
+        if operand is None:
+            continue
+        if not _operand_is_guarded(operand, guarded):
+            emit(
+                node,
+                "TCAM002",
+                f"unguarded np.{leaf} in {where}; add an EPS term, clamp "
+                "with np.maximum/np.clip, or use a safe_* helper",
+            )
+
+
+def _check_safe_math(scopes: Iterable[_ScopeInfo], tree: ast.Module, emit: "_Emitter") -> None:
+    """TCAM002: np.log/np.divide operands must be visibly guarded."""
+
+    for scope in scopes:
+        if _is_safe_name(scope.node.name):
+            continue  # blessed safe-math helper: the guard lives inside it
+        guarded = _guarded_locals(scope.node)
+        ancestor = scope.parent
+        while ancestor is not None:  # closures see enclosing guards
+            guarded |= _guarded_locals(ancestor.node)
+            ancestor = ancestor.parent
+        _check_calls_guarded(
+            _walk_own(scope.node), guarded, f"'{scope.qualname}'", emit
+        )
+
+    # Module-level statements (outside any def/class) get the same treatment.
+    module_guarded: set[str] = set()
+    top: list[ast.AST] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        top.append(node)
+        if isinstance(node, ast.Assign) and _expr_is_guarded(node.value):
+            for target in node.targets:
+                module_guarded.update(_target_names(target))
+    for node in top:
+        _check_calls_guarded(
+            [node, *_walk_own(node)], module_guarded, "module scope", emit
+        )
+
+
+def _check_hot_alloc(scopes: Iterable[_ScopeInfo], emit: "_Emitter") -> None:
+    """TCAM003: no array allocation inside hot paths."""
+
+    for scope in scopes:
+        if not scope.hot:
+            continue
+        for node in ast.walk(scope.node):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) == 2 and chain[0] in {"np", "numpy"} and chain[1] in _ALLOCATORS:
+                emit(
+                    node,
+                    "TCAM003",
+                    f"np.{chain[1]}() allocates inside hot path "
+                    f"'{scope.qualname}'; use the preallocated workspace",
+                )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "copy":
+                if not chain or chain[0] not in {"np", "numpy"}:
+                    emit(
+                        node,
+                        "TCAM003",
+                        f".copy() allocates inside hot path '{scope.qualname}'; "
+                        "use the preallocated workspace",
+                    )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+                copy_kw = _keyword(node, "copy")
+                if not (
+                    isinstance(copy_kw, ast.Constant) and copy_kw.value is False
+                ):
+                    emit(
+                        node,
+                        "TCAM003",
+                        f".astype() without copy=False allocates inside hot "
+                        f"path '{scope.qualname}'",
+                    )
+
+
+def _check_all_exports(tree: ast.Module, emit: "_Emitter") -> None:
+    """TCAM004: __all__ and the public surface must agree."""
+
+    all_node: ast.Assign | None = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    all_node = node
+    if all_node is None:
+        return
+    if not isinstance(all_node.value, (ast.List, ast.Tuple)):
+        return
+    exported: list[tuple[str, ast.expr]] = []
+    for element in all_node.value.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            exported.append((element.value, element))
+
+    bound: set[str] = set()
+    public_defs: list[tuple[str, ast.stmt]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+            if not node.name.startswith("_"):
+                public_defs.append((node.name, node))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bound.add(sub.name)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        bound.update(_target_names(target))
+                elif isinstance(sub, ast.Import):
+                    for alias in sub.names:
+                        bound.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        bound.add(alias.asname or alias.name)
+
+    seen: set[str] = set()
+    for name, element in exported:
+        if name in seen:
+            emit(element, "TCAM004", f"'{name}' listed twice in __all__")
+        seen.add(name)
+        if name not in bound:
+            emit(
+                element,
+                "TCAM004",
+                f"'{name}' is exported in __all__ but never defined or imported",
+            )
+    for name, node in public_defs:
+        if name not in seen:
+            emit(node, "TCAM004", f"public definition '{name}' missing from __all__")
+
+
+def _check_set_iteration(tree: ast.Module, emit: "_Emitter") -> None:
+    """TCAM005: bare sets must not drive loops or order-sensitive reductions."""
+
+    message = (
+        "iterating a bare set is nondeterministic; wrap it in sorted(...) "
+        "to fix the reduction order"
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            emit(node.iter, "TCAM005", message)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    emit(gen.iter, "TCAM005", message)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE:
+                if node.args and _is_set_expr(node.args[0]):
+                    emit(node.args[0], "TCAM005", message)
+            elif isinstance(func, ast.Attribute) and func.attr == "join":
+                if node.args and _is_set_expr(node.args[0]):
+                    emit(node.args[0], "TCAM005", message)
+
+
+# -- driver ------------------------------------------------------------------
+
+
+class _Emitter:
+    """Collects findings, honouring per-line suppression comments."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self._suppressed: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                codes = {code.strip() for code in match.group(1).split(",")}
+                self._suppressed[lineno] = {code for code in codes if code}
+
+    def __call__(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        if rule in self._suppressed.get(line, set()):
+            return
+        self.findings.append(Finding(self.path, line, col, rule, message))
+
+
+def _hot_kernels_for(path: str) -> frozenset[str]:
+    normalized = path.replace("\\", "/")
+    for suffix, kernels in _HOT_KERNELS.items():
+        if normalized.endswith(suffix):
+            return kernels
+    return frozenset()
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint a single module's source text and return its findings."""
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 0, exc.offset or 0, "TCAM000", f"syntax error: {exc.msg}")
+        ]
+    emit = _Emitter(path, source)
+    scopes = _collect_scopes(tree, _hot_kernels_for(path))
+    _check_rng(tree, emit)
+    _check_safe_math(scopes, tree, emit)
+    _check_hot_alloc(scopes, emit)
+    _check_all_exports(tree, emit)
+    _check_set_iteration(tree, emit)
+    emit.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return emit.findings
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[str]) -> list[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+
+    findings: list[Finding] = []
+    for file_path in _iter_python_files(paths):
+        findings.extend(lint_source(file_path.read_text(encoding="utf-8"), str(file_path)))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a shell exit status (0 clean, 1 findings)."""
+
+    parser = argparse.ArgumentParser(
+        prog="tcam lint",
+        description="Domain-aware linter enforcing TCAM determinism and "
+        "numerical-safety invariants (rules TCAM001-TCAM005).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, summary in sorted(RULES.items()):
+            print(f"{code}  {summary}")
+        return 0
+
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"tcam lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

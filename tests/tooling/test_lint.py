@@ -1,0 +1,473 @@
+"""Fixture corpus for the domain linter (``repro.tooling.lint``).
+
+Each rule gets three kinds of fixtures: snippets it must *flag*,
+snippets where a ``# tcam-lint: disable=...`` comment *suppresses* the
+finding, and *clean* snippets encoding the blessed idioms the real tree
+uses. The meta-test at the bottom then runs the linter over the actual
+``src/repro`` tree and requires zero findings — the same gate `make
+lint` and CI enforce.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tooling.lint import RULES, Finding, lint_paths, lint_source, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def rules_of(source: str, path: str = "fixture.py") -> list[str]:
+    """Lint a dedented snippet and return the rule codes found."""
+    return [f.rule for f in lint_source(textwrap.dedent(source), path)]
+
+
+# ---------------------------------------------------------------------------
+# TCAM001 — legacy / unseeded RNG
+# ---------------------------------------------------------------------------
+
+TCAM001_FLAGGED = [
+    "import numpy as np\nx = np.random.rand(3)\n",
+    "import numpy as np\nx = np.random.randint(0, 10)\n",
+    "import numpy as np\nnp.random.seed(0)\n",
+    "import numpy as np\nrng = np.random.RandomState(0)\n",
+    "import numpy\nx = numpy.random.normal(size=4)\n",
+]
+
+TCAM001_CLEAN = [
+    "import numpy as np\nrng = np.random.default_rng(0)\nx = rng.random(3)\n",
+    "import numpy as np\nss = np.random.SeedSequence(42)\n",
+    "import numpy as np\ngen = np.random.Generator(np.random.PCG64(7))\n",
+]
+
+
+@pytest.mark.parametrize("source", TCAM001_FLAGGED)
+def test_tcam001_flags_legacy_rng(source):
+    assert "TCAM001" in rules_of(source)
+
+
+@pytest.mark.parametrize("source", TCAM001_CLEAN)
+def test_tcam001_allows_seeded_generators(source):
+    assert "TCAM001" not in rules_of(source)
+
+
+def test_tcam001_suppressible():
+    source = (
+        "import numpy as np\n"
+        "x = np.random.rand(3)  # tcam-lint: disable=TCAM001\n"
+    )
+    assert rules_of(source) == []
+
+
+# ---------------------------------------------------------------------------
+# TCAM002 — unguarded np.log / np.divide
+# ---------------------------------------------------------------------------
+
+TCAM002_FLAGGED = [
+    """
+    import numpy as np
+
+    def loglik(prob, c):
+        return float(np.dot(c, np.log(prob)))
+    """,
+    """
+    import numpy as np
+
+    def ratio(num, den):
+        return np.divide(num, den)
+    """,
+]
+
+TCAM002_CLEAN = [
+    # inline EPS term
+    """
+    import numpy as np
+
+    EPS = 1e-12
+
+    def loglik(prob, c):
+        return float(np.dot(c, np.log(prob + EPS)))
+    """,
+    # guarded local assigned earlier in the function
+    """
+    import numpy as np
+
+    EPS = 1e-12
+
+    def loglik(interest, context, c):
+        denom = interest + context + EPS
+        return float(np.dot(c, np.log(denom)))
+    """,
+    # clamping call around the operand
+    """
+    import numpy as np
+
+    def loglik(prob, c):
+        return float(np.dot(c, np.log(np.maximum(prob, 1e-300))))
+    """,
+    # blessed safe_* helper: guard lives inside, name is the contract
+    """
+    import numpy as np
+
+    def safe_log(values, eps=1e-12):
+        return np.log(values + eps)
+    """,
+    # safe_-prefixed operand name counts as guarded
+    """
+    import numpy as np
+
+    def update(num, safe_mass):
+        return np.divide(num, safe_mass)
+    """,
+    # closures inherit guards from the enclosing scope
+    """
+    import numpy as np
+
+    EPS = 1e-12
+
+    def outer(interest, context, c):
+        denom = interest + context + EPS
+
+        def step():
+            return float(np.dot(c, np.log(denom)))
+
+        return step
+    """,
+]
+
+
+@pytest.mark.parametrize("source", TCAM002_FLAGGED)
+def test_tcam002_flags_unguarded_math(source):
+    assert "TCAM002" in rules_of(source)
+
+
+@pytest.mark.parametrize("source", TCAM002_CLEAN)
+def test_tcam002_accepts_guarded_idioms(source):
+    assert "TCAM002" not in rules_of(source)
+
+
+def test_tcam002_suppressible():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+        def loglik(prob, c):
+            return float(np.dot(c, np.log(prob)))  # tcam-lint: disable=TCAM002
+        """
+    )
+    assert lint_source(source, "fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# TCAM003 — allocation inside hot paths
+# ---------------------------------------------------------------------------
+
+TCAM003_FLAGGED = [
+    # decorated hot path allocating with np.zeros
+    """
+    import numpy as np
+    from repro.typing import hot_path
+
+    @hot_path
+    def accumulate(ws):
+        buf = np.zeros(10)
+        return buf
+    """,
+    # .copy() method call in a hot path
+    """
+    from repro.typing import hot_path
+
+    @hot_path
+    def accumulate(state):
+        return state.copy()
+    """,
+    # .astype without copy=False reallocates
+    """
+    from repro.typing import hot_path
+
+    @hot_path
+    def accumulate(theta):
+        return theta.astype("float32")
+    """,
+]
+
+TCAM003_CLEAN = [
+    # allocation is fine outside hot paths
+    """
+    import numpy as np
+
+    def make_workspace(capacity):
+        return {"joint": np.empty((capacity, 4))}
+    """,
+    # hot path writing into a preallocated workspace
+    """
+    import numpy as np
+    from repro.typing import hot_path
+
+    @hot_path
+    def accumulate(state, ws):
+        np.multiply(state, 2.0, out=ws)
+        return float(ws.sum())
+    """,
+    # astype with copy=False is a view when dtypes already match
+    """
+    from repro.typing import hot_path
+
+    @hot_path
+    def accumulate(theta):
+        return theta.astype("float64", copy=False)
+    """,
+]
+
+
+@pytest.mark.parametrize("source", TCAM003_FLAGGED)
+def test_tcam003_flags_hot_path_allocation(source):
+    assert "TCAM003" in rules_of(source)
+
+
+@pytest.mark.parametrize("source", TCAM003_CLEAN)
+def test_tcam003_accepts_workspace_writes(source):
+    assert "TCAM003" not in rules_of(source)
+
+
+def test_tcam003_builtin_kernel_config_applies_by_path():
+    # The built-in hot-kernel list covers core/engine.py `accumulate`
+    # methods even without the decorator — the path suffix selects it.
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+        class Kernel:
+            def accumulate(self, state):
+                return np.zeros(4)
+        """
+    )
+    flagged = lint_source(source, "src/repro/core/engine.py")
+    assert [f.rule for f in flagged] == ["TCAM003"]
+    # The same source under a different path is not a hot kernel.
+    assert lint_source(source, "src/repro/data/io.py") == []
+
+
+def test_tcam003_suppressible():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.typing import hot_path
+
+        @hot_path
+        def accumulate(ws):
+            return np.zeros(10)  # tcam-lint: disable=TCAM003
+        """
+    )
+    assert lint_source(source, "fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# TCAM004 — __all__ consistency
+# ---------------------------------------------------------------------------
+
+
+def test_tcam004_flags_unbound_export():
+    source = """
+    __all__ = ["missing_function"]
+    """
+    assert rules_of(source) == ["TCAM004"]
+
+
+def test_tcam004_flags_unexported_public_def():
+    source = """
+    __all__ = ["listed"]
+
+    def listed():
+        pass
+
+    def forgotten():
+        pass
+    """
+    assert rules_of(source) == ["TCAM004"]
+
+
+def test_tcam004_flags_duplicate_export():
+    source = """
+    __all__ = ["thing", "thing"]
+
+    def thing():
+        pass
+    """
+    assert rules_of(source) == ["TCAM004"]
+
+
+def test_tcam004_clean_module_passes():
+    source = """
+    from collections import OrderedDict
+
+    __all__ = ["PUBLIC_CONSTANT", "OrderedDict", "exported"]
+
+    PUBLIC_CONSTANT = 1
+
+    def exported():
+        pass
+
+    def _private_helper():
+        pass
+    """
+    assert rules_of(source) == []
+
+
+def test_tcam004_silent_without_all():
+    # Modules that do not declare __all__ opt out of the rule.
+    source = """
+    def anything():
+        pass
+    """
+    assert rules_of(source) == []
+
+
+# ---------------------------------------------------------------------------
+# TCAM005 — nondeterministic bare-set iteration
+# ---------------------------------------------------------------------------
+
+TCAM005_FLAGGED = [
+    """
+    def f(items):
+        for x in set(items):
+            print(x)
+    """,
+    """
+    def f(items):
+        return [x * 2 for x in {1, 2, 3}]
+    """,
+    """
+    def f(values):
+        return sum(set(values))
+    """,
+    """
+    def f(names):
+        return ", ".join({n.strip() for n in names})
+    """,
+]
+
+TCAM005_CLEAN = [
+    """
+    def f(items):
+        for x in sorted(set(items)):
+            print(x)
+    """,
+    # membership tests and len() on sets are order-free and fine
+    """
+    def f(items, probe):
+        seen = set(items)
+        return probe in seen and len(seen) > 2
+    """,
+]
+
+
+@pytest.mark.parametrize("source", TCAM005_FLAGGED)
+def test_tcam005_flags_bare_set_iteration(source):
+    assert "TCAM005" in rules_of(source)
+
+
+@pytest.mark.parametrize("source", TCAM005_CLEAN)
+def test_tcam005_accepts_sorted_sets(source):
+    assert "TCAM005" not in rules_of(source)
+
+
+def test_tcam005_suppressible():
+    source = textwrap.dedent(
+        """
+        def f(values):
+            return sum(set(values))  # tcam-lint: disable=TCAM005
+        """
+    )
+    assert lint_source(source, "fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Driver behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_syntax_error_reported_as_tcam000():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert [f.rule for f in findings] == ["TCAM000"]
+
+
+def test_finding_render_is_compiler_style():
+    finding = Finding("pkg/mod.py", 12, 4, "TCAM001", "boom")
+    assert finding.render() == "pkg/mod.py:12:4: TCAM001 boom"
+
+
+def test_multi_rule_suppression_on_one_line():
+    source = (
+        "import numpy as np\n"
+        "x = np.random.rand(3)  # tcam-lint: disable=TCAM001, TCAM002\n"
+    )
+    assert lint_source(source, "fixture.py") == []
+
+
+def test_findings_sorted_by_position():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+        def late(prob):
+            return np.log(prob)
+
+        x = np.random.rand(3)
+        """
+    )
+    findings = lint_source(source, "fixture.py")
+    assert [f.rule for f in findings] == ["TCAM002", "TCAM001"]
+    assert findings[0].line < findings[1].line
+
+
+def test_rule_catalogue_is_complete():
+    assert sorted(RULES) == ["TCAM001", "TCAM002", "TCAM003", "TCAM004", "TCAM005"]
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "dirty.py").write_text(
+        "import numpy as np\nx = np.random.rand()\n", encoding="utf-8"
+    )
+    sub = tmp_path / "nested"
+    sub.mkdir()
+    (sub / "clean.py").write_text("VALUE = 1\n", encoding="utf-8")
+    findings = lint_paths([str(tmp_path)])
+    assert [f.rule for f in findings] == ["TCAM001"]
+    assert findings[0].path.endswith("dirty.py")
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import numpy as np\nx = np.random.rand()\n", encoding="utf-8")
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr()
+    assert "TCAM001" in out.out
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n", encoding="utf-8")
+    assert main([str(clean)]) == 0
+
+
+def test_main_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+# ---------------------------------------------------------------------------
+# Meta-test: the real tree must be lint-clean
+# ---------------------------------------------------------------------------
+
+
+def test_real_tree_is_lint_clean():
+    """The gate CI enforces: zero findings across src/repro."""
+    src = REPO_ROOT / "src" / "repro"
+    assert src.is_dir(), f"expected source tree at {src}"
+    findings = lint_paths([str(src)])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"tcam lint found violations:\n{rendered}"
