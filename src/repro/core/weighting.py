@@ -24,35 +24,36 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.cuboid import RatingCuboid
+from ..typing import FloatArray
 
 
 @dataclass(frozen=True)
 class ItemWeights:
     """Precomputed weighting statistics for one rating cuboid."""
 
-    iuf: np.ndarray  # (V,) inverse user frequency
-    burst: np.ndarray  # (T, V) bursty degree B(v, t)
+    iuf: FloatArray  # (V,) inverse user frequency
+    burst: FloatArray  # (T, V) bursty degree B(v, t)
 
     @property
     def num_items(self) -> int:
         """Number of items ``V``."""
-        return self.iuf.shape[0]
+        return int(self.iuf.shape[0])
 
     @property
     def num_intervals(self) -> int:
         """Number of time intervals ``T``."""
-        return self.burst.shape[0]
+        return int(self.burst.shape[0])
 
     def weight(self, item: int, interval: int) -> float:
         """``w(v, t)`` for a single (item, interval) pair (Equation 19)."""
         return float(self.iuf[item] * self.burst[interval, item])
 
-    def weight_matrix(self) -> np.ndarray:
+    def weight_matrix(self) -> FloatArray:
         """Dense ``(T, V)`` matrix of ``w(v, t)`` values."""
         return self.burst * self.iuf[None, :]
 
 
-def inverse_user_frequency(cuboid: RatingCuboid) -> np.ndarray:
+def inverse_user_frequency(cuboid: RatingCuboid) -> FloatArray:
     """``iuf(v) = log(N / N(v))`` (Equation 17).
 
     Items never rated get the maximum weight ``log N`` (they are maximally
@@ -62,11 +63,11 @@ def inverse_user_frequency(cuboid: RatingCuboid) -> np.ndarray:
     n_users = max(cuboid.num_users, 1)
     rated_by = np.maximum(cuboid.item_user_counts(), 0)
     # Unseen items: N(v)=0 → treat as N(v)=1 (one hypothetical rater).
-    effective = np.where(rated_by == 0, 1, rated_by)
-    return np.log(n_users / effective)
+    safe_counts = np.where(rated_by == 0, 1, rated_by)
+    return np.log(n_users / safe_counts)
 
 
-def bursty_degree(cuboid: RatingCuboid) -> np.ndarray:
+def bursty_degree(cuboid: RatingCuboid) -> FloatArray:
     """``B(v, t) = (N_t(v) / N_t) · (N / N(v))`` (Equation 18).
 
     Returns a dense ``(T, V)`` matrix. Intervals with no active users and
