@@ -42,11 +42,26 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable, Mapping, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Generic,
+    Hashable,
+    KeysView,
+    Mapping,
+    Sequence,
+    TypeVar,
+)
 
 import numpy as np
 
+from ..typing import AnyArray, BoolArray, FloatArray, IntArray, hot_path
 from .ranking import Recommendation, TopKResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .threshold import SortedTopicLists
+
+_V = TypeVar("_V")
 
 #: Candidate-selection margin beyond ``k`` per serving dtype. float64
 #: selection scores differ from the exact rescore by a few ULPs, so a
@@ -97,7 +112,7 @@ class CacheStats:
         )
 
 
-class LRUCache:
+class LRUCache(Generic[_V]):
     """Bounded mapping with least-recently-used eviction and counters.
 
     A deliberately small, dependency-free LRU built on
@@ -114,7 +129,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._data: OrderedDict[Hashable, _V] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -122,15 +137,15 @@ class LRUCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
-    def __getitem__(self, key: Hashable) -> object:
+    def __getitem__(self, key: Hashable) -> _V:
         """Counter-free lookup (raises ``KeyError`` when absent)."""
         return self._data[key]
 
-    def __setitem__(self, key: Hashable, value: object) -> None:
+    def __setitem__(self, key: Hashable, value: _V) -> None:
         """Counter-free insert honouring the capacity bound."""
         self.put(key, value)
 
-    def get(self, key: Hashable, default: object = None) -> object:
+    def get(self, key: Hashable, default: _V | None = None) -> _V | None:
         """Counted lookup: a hit promotes the entry to most-recent."""
         try:
             value = self._data[key]
@@ -141,11 +156,11 @@ class LRUCache:
         self.hits += 1
         return value
 
-    def peek(self, key: Hashable, default: object = None) -> object:
+    def peek(self, key: Hashable, default: _V | None = None) -> _V | None:
         """Uncounted lookup that leaves the recency order untouched."""
         return self._data.get(key, default)
 
-    def put(self, key: Hashable, value: object) -> None:
+    def put(self, key: Hashable, value: _V) -> None:
         """Insert (or refresh) an entry, evicting the LRU entry if full."""
         if key in self._data:
             self._data.move_to_end(key)
@@ -154,7 +169,11 @@ class LRUCache:
             self._data.popitem(last=False)
             self.evictions += 1
 
-    def keys(self):
+    def discard(self, key: Hashable) -> None:
+        """Drop one entry if present (no counters touched)."""
+        self._data.pop(key, None)
+
+    def keys(self) -> KeysView[Hashable]:
         """Current keys, least- to most-recently used."""
         return self._data.keys()
 
@@ -211,12 +230,12 @@ class ServingCache:
         context_capacity: int = 256,
         mask_capacity: int = 4096,
     ) -> None:
-        self.indexes = LRUCache(index_capacity)
-        self.matrices = LRUCache(matrix_capacity)
-        self.contexts = LRUCache(context_capacity)
-        self.masks = LRUCache(mask_capacity)
+        self.indexes: LRUCache[SortedTopicLists] = LRUCache(index_capacity)
+        self.matrices: LRUCache[AnyArray] = LRUCache(matrix_capacity)
+        self.contexts: LRUCache[AnyArray] = LRUCache(context_capacity)
+        self.masks: LRUCache[BoolArray] = LRUCache(mask_capacity)
 
-    def regions(self) -> dict[str, LRUCache]:
+    def regions(self) -> dict[str, LRUCache[Any]]:
         """The four named regions."""
         return {
             "indexes": self.indexes,
@@ -243,8 +262,7 @@ class ServingCache:
 
     def invalidate_user(self, user: int) -> None:
         """Forget a user's cached exclusion mask (call when it changes)."""
-        if user in self.masks:
-            del self.masks._data[user]
+        self.masks.discard(user)
 
 
 class _Workspace:
@@ -256,9 +274,9 @@ class _Workspace:
     """
 
     def __init__(self) -> None:
-        self._buffers: dict[tuple[str, str], np.ndarray] = {}
+        self._buffers: dict[tuple[str, str], AnyArray] = {}
 
-    def get(self, name: str, shape: tuple[int, ...], dtype: str) -> np.ndarray:
+    def get(self, name: str, shape: tuple[int, ...], dtype: str) -> AnyArray:
         """A writable view of the named buffer with the requested shape."""
         key = (name, dtype)
         buffer = self._buffers.get(key)
@@ -279,7 +297,7 @@ def check_serve_dtype(dtype: str) -> str:
 
 
 def exact_rescore(
-    item_topic: np.ndarray, weights: np.ndarray, candidates: np.ndarray, k: int
+    item_topic: FloatArray, weights: FloatArray, candidates: IntArray, k: int
 ) -> TopKResult:
     """Exact top-k of a candidate set, bit-identical to the TA engines.
 
@@ -302,7 +320,7 @@ def exact_rescore(
     )
 
 
-def select_candidates(scores: np.ndarray, count: int) -> tuple[np.ndarray, np.ndarray]:
+def select_candidates(scores: AnyArray, count: int) -> tuple[AnyArray, BoolArray]:
     """Per-row candidate supersets from a block of selection scores.
 
     Returns ``(boundary, mask)`` where ``mask[r, v]`` marks item ``v`` a
@@ -332,14 +350,14 @@ class BatchScorer:
     (clone the recommender per thread instead).
     """
 
-    def __init__(self, model: object, cache: ServingCache) -> None:
+    def __init__(self, model: Any, cache: ServingCache) -> None:
         self.model = model
         self.cache = cache
         self.workspace = _Workspace()
 
     # -- model structure -------------------------------------------------
 
-    def _params_kind(self) -> tuple[str, object]:
+    def _params_kind(self) -> tuple[str, Any]:
         """Classify the primary model for the split fast path.
 
         Returns ``("ttcam" | "itcam", params)`` when the model exposes
@@ -366,16 +384,21 @@ class BatchScorer:
 
     # -- cached building blocks ------------------------------------------
 
-    def _stacked_matrix(self, interval: int, users: Sequence[int]) -> np.ndarray:
+    def _stacked_matrix(self, interval: int, users: Sequence[int]) -> FloatArray:
         """The full ``(K, V)`` topic–item matrix for one interval."""
         kind, params = self._params_kind()
         if kind == "ttcam":
-            return params.topic_item_matrix()
+            matrix: FloatArray = params.topic_item_matrix()
+            return matrix
         if kind == "itcam":
-            return np.vstack([params.phi, params.theta_time[interval][None, :]])
-        return self.model.query_space(int(users[0]), interval)[1]
+            stacked: FloatArray = np.vstack(
+                [params.phi, params.theta_time[interval][None, :]]
+            )
+            return stacked
+        generic: FloatArray = self.model.query_space(int(users[0]), interval)[1]
+        return generic
 
-    def _item_topic(self, interval: int, users: Sequence[int]) -> np.ndarray:
+    def _item_topic(self, interval: int, users: Sequence[int]) -> FloatArray:
         """Contiguous ``(V, K)`` transpose used by the exact rescore pass.
 
         Reuses the transpose already held by a cached
@@ -397,8 +420,8 @@ class BatchScorer:
         return item_topic
 
     def _selection_matrix(
-        self, matrix: np.ndarray, key: Hashable, tag: str, dtype: str
-    ) -> np.ndarray:
+        self, matrix: AnyArray, key: Hashable, tag: str, dtype: str
+    ) -> AnyArray:
         """``matrix`` in the serving dtype (float32 conversions cached)."""
         if dtype == "float64" or matrix.dtype == np.dtype(dtype):
             return matrix
@@ -411,9 +434,25 @@ class BatchScorer:
             self.cache.matrices.put(cache_key, converted)
         return converted
 
+    def _interest_matrix(self, theta: FloatArray, key: Hashable, dtype: str) -> AnyArray:
+        """``theta`` in the serving dtype (float32 conversions cached).
+
+        Cold path of :meth:`serve_group`: the conversion allocates, so it
+        lives outside the hot kernel and its result is cached per
+        ``(matrix key, dtype)`` in the ``matrices`` region.
+        """
+        if dtype == "float64":
+            return theta
+        theta_key = ("theta", key, dtype)
+        converted = self.cache.matrices.get(theta_key)
+        if converted is None:
+            converted = theta.astype(np.float32)
+            self.cache.matrices.put(theta_key, converted)
+        return converted
+
     def _context_vector(
-        self, interval: int, kind: str, params: object, dtype: str
-    ) -> np.ndarray:
+        self, interval: int, kind: str, params: Any, dtype: str
+    ) -> AnyArray:
         """Cached per-interval context score vector ``θ′_t·Φ``.
 
         This is the part of every query's selection score shared by all
@@ -436,7 +475,7 @@ class BatchScorer:
 
     def exclusion_mask(
         self, user: int, exclude: object, num_items: int
-    ) -> np.ndarray | None:
+    ) -> BoolArray | None:
         """Per-row boolean exclusion mask, cached per user for mappings.
 
         ``exclude`` may be ``None``, an array of item ids applied to
@@ -467,8 +506,8 @@ class BatchScorer:
     # -- per-query weight vectors ----------------------------------------
 
     def _stacked_weights(
-        self, kind: str, params: object, user: int, interval: int
-    ) -> np.ndarray:
+        self, kind: str, params: Any, user: int, interval: int
+    ) -> FloatArray:
         """The exact query vector ``ϑ_q``, bit-identical to ``query_space``.
 
         Replicates the parameter containers' expression directly so the
@@ -484,6 +523,7 @@ class BatchScorer:
 
     # -- group serving ---------------------------------------------------
 
+    @hot_path
     def serve_group(
         self,
         interval: int,
@@ -524,7 +564,7 @@ class BatchScorer:
             block_users = [int(u) for u in users[start : start + row_block]]
             rows = len(block_users)
             scores = self.workspace.get("scores", (rows, num_items), dtype)
-            weights_f64: list[np.ndarray] = []
+            weights_f64: list[FloatArray] = []
 
             if kind == "generic":
                 k_dim = sel_matrix.shape[0]
@@ -536,14 +576,7 @@ class BatchScorer:
                 np.matmul(qweights, sel_matrix, out=scores)
             else:
                 k_dim = sel_matrix.shape[0]
-                theta = params.theta
-                if dtype != "float64":
-                    theta_key = ("theta", key, dtype)
-                    theta_conv = self.cache.matrices.get(theta_key)
-                    if theta_conv is None:
-                        theta_conv = theta.astype(np.float32)
-                        self.cache.matrices.put(theta_key, theta_conv)
-                    theta = theta_conv
+                theta = self._interest_matrix(params.theta, key, dtype)
                 interest = self.workspace.get("interest", (rows, k_dim), dtype)
                 np.take(theta, block_users, axis=0, out=interest)
                 lam = params.lambda_u[block_users]
