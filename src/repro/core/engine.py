@@ -53,6 +53,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..typing import AnyArray, ArrayState, FloatArray, IntArray, Workspace, hot_path
 from .em import EPS, ScatterPlan, scatter_sum, scatter_sum_1d
 
 #: Default block length when the config leaves ``block_size`` unset.
@@ -123,10 +124,10 @@ class _Kernel:
 
     def __init__(
         self,
-        users: np.ndarray,
-        intervals: np.ndarray,
-        items: np.ndarray,
-        scores: np.ndarray,
+        users: IntArray,
+        intervals: IntArray,
+        items: IntArray,
+        scores: FloatArray,
         dtype: str = "float64",
     ) -> None:
         self.u = users
@@ -138,25 +139,25 @@ class _Kernel:
     @property
     def num_ratings(self) -> int:
         """Number of rating triples the kernel iterates."""
-        return self.c.shape[0]
+        return int(self.c.shape[0])
 
-    def _scalars(self, capacity: int, names: tuple[str, ...]) -> dict[str, np.ndarray]:
+    def _scalars(self, capacity: int, names: tuple[str, ...]) -> dict[str, AnyArray]:
         """One ``(capacity,)`` scratch vector per name."""
         return {name: np.empty(capacity, dtype=self.dtype) for name in names}
 
-    def stat_arrays(self) -> dict[str, np.ndarray]:
+    def stat_arrays(self) -> ArrayState:
         raise NotImplementedError
 
-    def make_workspace(self, capacity: int) -> dict[str, object]:
+    def make_workspace(self, capacity: int) -> Workspace:
         raise NotImplementedError
 
     def accumulate(
         self,
-        state: dict[str, np.ndarray],
+        state: ArrayState,
         lo: int,
         hi: int,
-        ws: dict[str, object],
-        stats: dict[str, np.ndarray],
+        ws: Workspace,
+        stats: ArrayState,
     ) -> float:
         raise NotImplementedError
 
@@ -165,12 +166,22 @@ class TTCAMKernel(_Kernel):
     """Blocked E-step of TTCAM (Equations 4–6 and 13–14, plus the λ and
     sufficient-statistics numerators of Equations 8, 9, 11, 15, 16)."""
 
-    def __init__(self, users, intervals, items, scores, shape, k1, k2, dtype="float64"):
+    def __init__(
+        self,
+        users: IntArray,
+        intervals: IntArray,
+        items: IntArray,
+        scores: FloatArray,
+        shape: tuple[int, int, int],
+        k1: int,
+        k2: int,
+        dtype: str = "float64",
+    ) -> None:
         super().__init__(users, intervals, items, scores, dtype)
         self.n, self.t_dim, self.v_dim = shape
         self.k1, self.k2 = k1, k2
 
-    def stat_arrays(self) -> dict[str, np.ndarray]:
+    def stat_arrays(self) -> ArrayState:
         """Zeroed TTCAM sufficient-statistic accumulators."""
         return {
             "theta_num": np.zeros((self.n, self.k1)),
@@ -180,9 +191,9 @@ class TTCAMKernel(_Kernel):
             "lam_num": np.zeros(self.n),
         }
 
-    def make_workspace(self, capacity: int) -> dict[str, object]:
+    def make_workspace(self, capacity: int) -> Workspace:
         """One worker's preallocated scratch buffers for ``capacity`` rows."""
-        ws: dict[str, object] = {
+        ws: Workspace = {
             "z": np.empty((capacity, self.k1), dtype=self.dtype),
             "phi_v": np.empty((self.k1, capacity), dtype=self.dtype),
             "x": np.empty((capacity, self.k2), dtype=self.dtype),
@@ -193,7 +204,10 @@ class TTCAMKernel(_Kernel):
         ws.update(self._scalars(capacity, ("p_int", "p_ctx", "lam", "den", "ps1", "a", "b")))
         return ws
 
-    def accumulate(self, state, lo, hi, ws, stats) -> float:
+    @hot_path
+    def accumulate(
+        self, state: ArrayState, lo: int, hi: int, ws: Workspace, stats: ArrayState
+    ) -> float:
         """Fold rows ``[lo, hi)`` into ``stats``; return the block's LL."""
         u, t, v, c = self.u[lo:hi], self.t[lo:hi], self.v[lo:hi], self.c[lo:hi]
         b = hi - lo
@@ -249,12 +263,21 @@ class ITCAMKernel(_Kernel):
     Equations 8–11; the temporal context is a direct per-interval item
     distribution, so its statistic is a ``(T·V,)`` flat count)."""
 
-    def __init__(self, users, intervals, items, scores, shape, k1, dtype="float64"):
+    def __init__(
+        self,
+        users: IntArray,
+        intervals: IntArray,
+        items: IntArray,
+        scores: FloatArray,
+        shape: tuple[int, int, int],
+        k1: int,
+        dtype: str = "float64",
+    ) -> None:
         super().__init__(users, intervals, items, scores, dtype)
         self.n, self.t_dim, self.v_dim = shape
         self.k1 = k1
 
-    def stat_arrays(self) -> dict[str, np.ndarray]:
+    def stat_arrays(self) -> ArrayState:
         """Zeroed ITCAM sufficient-statistic accumulators."""
         return {
             "theta_num": np.zeros((self.n, self.k1)),
@@ -263,9 +286,9 @@ class ITCAMKernel(_Kernel):
             "lam_num": np.zeros(self.n),
         }
 
-    def make_workspace(self, capacity: int) -> dict[str, object]:
+    def make_workspace(self, capacity: int) -> Workspace:
         """One worker's preallocated scratch buffers for ``capacity`` rows."""
-        ws: dict[str, object] = {
+        ws: Workspace = {
             "z": np.empty((capacity, self.k1), dtype=self.dtype),
             "phi_v": np.empty((self.k1, capacity), dtype=self.dtype),
             "tv": np.empty(capacity, dtype=np.int64),
@@ -274,7 +297,10 @@ class ITCAMKernel(_Kernel):
         ws.update(self._scalars(capacity, ("p_int", "p_ctx", "lam", "den", "ps1", "a", "b")))
         return ws
 
-    def accumulate(self, state, lo, hi, ws, stats) -> float:
+    @hot_path
+    def accumulate(
+        self, state: ArrayState, lo: int, hi: int, ws: Workspace, stats: ArrayState
+    ) -> float:
         """Fold rows ``[lo, hi)`` into ``stats``; return the block's LL."""
         u, t, v, c = self.u[lo:hi], self.t[lo:hi], self.v[lo:hi], self.c[lo:hi]
         b = hi - lo
@@ -325,24 +351,34 @@ class UserTopicKernel(_Kernel):
     doc_topics_key = "theta"
     topic_items_key = "phi"
 
-    def __init__(self, users, intervals, items, scores, shape, k,
-                 background, background_weight, dtype="float64"):
+    def __init__(
+        self,
+        users: IntArray,
+        intervals: IntArray,
+        items: IntArray,
+        scores: FloatArray,
+        shape: tuple[int, int, int],
+        k: int,
+        background: FloatArray,
+        background_weight: float,
+        dtype: str = "float64",
+    ) -> None:
         super().__init__(users, intervals, items, scores, dtype)
         self.n, self.t_dim, self.v_dim = shape
         self.k = k
         self.background = background.astype(self.dtype, copy=False)
         self.background_weight = background_weight
 
-    def stat_arrays(self) -> dict[str, np.ndarray]:
+    def stat_arrays(self) -> ArrayState:
         """Zeroed PLSA sufficient-statistic accumulators."""
         return {
             "theta_num": np.zeros((self.stat_arrays_rows(), self.k)),
             "phi_num": np.zeros((self.v_dim, self.k)),
         }
 
-    def make_workspace(self, capacity: int) -> dict[str, object]:
+    def make_workspace(self, capacity: int) -> Workspace:
         """One worker's preallocated scratch buffers for ``capacity`` rows."""
-        ws: dict[str, object] = {
+        ws: Workspace = {
             "z": np.empty((capacity, self.k), dtype=self.dtype),
             "phi_v": np.empty((self.k, capacity), dtype=self.dtype),
             "plan": ScatterPlan(self.k, capacity),
@@ -350,10 +386,13 @@ class UserTopicKernel(_Kernel):
         ws.update(self._scalars(capacity, ("p", "den", "a")))
         return ws
 
-    def _doc_ids(self, lo: int, hi: int) -> np.ndarray:
+    def _doc_ids(self, lo: int, hi: int) -> IntArray:
         return self.u[lo:hi]
 
-    def accumulate(self, state, lo, hi, ws, stats) -> float:
+    @hot_path
+    def accumulate(
+        self, state: ArrayState, lo: int, hi: int, ws: Workspace, stats: ArrayState
+    ) -> float:
         """Fold rows ``[lo, hi)`` into ``stats``; return the block's LL."""
         doc = self._doc_ids(lo, hi)
         v, c = self.v[lo:hi], self.c[lo:hi]
@@ -393,7 +432,7 @@ class TimeTopicKernel(UserTopicKernel):
     doc_topics_key = "theta_time"
     topic_items_key = "phi_time"
 
-    def _doc_ids(self, lo: int, hi: int) -> np.ndarray:
+    def _doc_ids(self, lo: int, hi: int) -> IntArray:
         return self.t[lo:hi]
 
     def stat_arrays_rows(self) -> int:
@@ -437,8 +476,8 @@ class BlockedEStep:
             self.blocks[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
         ]
         self._block_size = block
-        self._workspaces: list[dict[str, object]] | None = None
-        self._stats: list[dict[str, np.ndarray]] | None = None
+        self._workspaces: list[Workspace] | None = None
+        self._stats: list[ArrayState] | None = None
 
     @property
     def num_blocks(self) -> int:
@@ -450,16 +489,24 @@ class BlockedEStep:
         """Number of worker slots (≤ configured threads)."""
         return len(self.runs)
 
-    def _ensure_buffers(self) -> None:
-        if self._workspaces is None:
+    def _ensure_buffers(self) -> tuple[list[Workspace], list[ArrayState]]:
+        if self._workspaces is None or self._stats is None:
             self._workspaces = [
                 self.kernel.make_workspace(self._block_size) for _ in self.runs
             ]
             self._stats = [self.kernel.stat_arrays() for _ in self.runs]
+        return self._workspaces, self._stats
 
-    def _run_worker(self, worker: int, state: dict[str, np.ndarray]) -> float:
-        ws = self._workspaces[worker]
-        stats = self._stats[worker]
+    @hot_path
+    def _run_worker(
+        self,
+        worker: int,
+        state: ArrayState,
+        workspaces: list[Workspace],
+        worker_stats: list[ArrayState],
+    ) -> float:
+        ws = workspaces[worker]
+        stats = worker_stats[worker]
         for array in stats.values():
             array.fill(0.0)
         log_likelihood = 0.0
@@ -467,9 +514,7 @@ class BlockedEStep:
             log_likelihood += self.kernel.accumulate(state, lo, hi, ws, stats)
         return log_likelihood
 
-    def compute(
-        self, state: dict[str, np.ndarray]
-    ) -> tuple[dict[str, np.ndarray], float]:
+    def compute(self, state: ArrayState) -> tuple[ArrayState, float]:
         """One E-step over the full dataset.
 
         Returns ``(stats, log_likelihood)``. The statistic arrays are the
@@ -477,7 +522,7 @@ class BlockedEStep:
         :meth:`compute` call; callers consume them immediately (the
         models' M-steps allocate fresh parameter arrays from them).
         """
-        self._ensure_buffers()
+        workspaces, worker_stats = self._ensure_buffers()
         dtype = self.kernel.dtype
         if dtype != np.dtype("float64"):
             state = {
@@ -485,16 +530,16 @@ class BlockedEStep:
                 for name, value in state.items()
             }
         if len(self.runs) == 1:
-            partial_lls = [self._run_worker(0, state)]
+            partial_lls = [self._run_worker(0, state, workspaces, worker_stats)]
         else:
             with ThreadPoolExecutor(max_workers=len(self.runs)) as pool:
                 futures = [
-                    pool.submit(self._run_worker, worker, state)
+                    pool.submit(self._run_worker, worker, state, workspaces, worker_stats)
                     for worker in range(len(self.runs))
                 ]
                 partial_lls = [future.result() for future in futures]
-        total = self._stats[0]
-        for stats in self._stats[1:]:
+        total = worker_stats[0]
+        for stats in worker_stats[1:]:
             for name, array in total.items():
                 array += stats[name]
         return total, float(sum(partial_lls))
