@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.cuboid import RatingCuboid
+from ..typing import FloatArray, IntArray
 from .params import TTCAMParameters
 
 
@@ -79,7 +80,7 @@ class GibbsTTCAM:
         self.burn_in = burn_in
         self.seed = seed
         self.params_: TTCAMParameters | None = None
-        self.assignments_: np.ndarray | None = None
+        self.assignments_: IntArray | None = None
 
     @property
     def name(self) -> str:
@@ -164,7 +165,23 @@ class GibbsTTCAM:
         return self
 
     @staticmethod
-    def _add(r, a, c, u, t, v, n_uz, n_zv, n_z, n_tx, n_xv, n_x, n_u_s, k1, sign):
+    def _add(
+        r: int,
+        a: int,
+        c: FloatArray,
+        u: IntArray,
+        t: IntArray,
+        v: IntArray,
+        n_uz: FloatArray,
+        n_zv: FloatArray,
+        n_z: FloatArray,
+        n_tx: FloatArray,
+        n_xv: FloatArray,
+        n_x: FloatArray,
+        n_u_s: FloatArray,
+        k1: int,
+        sign: int,
+    ) -> None:
         """Add/remove entry ``r``'s weighted counts for assignment ``a``."""
         weight = sign * c[r]
         if a < k1:
@@ -180,8 +197,21 @@ class GibbsTTCAM:
             n_u_s[u[r], 0] += weight
 
     def _conditional(
-        self, ur, tr, vr, n_uz, n_zv, n_z, n_tx, n_xv, n_x, n_u_s, k1, k2, v_dim
-    ) -> np.ndarray:
+        self,
+        ur: int,
+        tr: int,
+        vr: int,
+        n_uz: FloatArray,
+        n_zv: FloatArray,
+        n_z: FloatArray,
+        n_tx: FloatArray,
+        n_xv: FloatArray,
+        n_x: FloatArray,
+        n_u_s: FloatArray,
+        k1: int,
+        k2: int,
+        v_dim: int,
+    ) -> FloatArray:
         """Unnormalised full conditional over the ``K1 + K2`` choices."""
         gamma = self.gamma
         s_mass = n_u_s[ur].sum() + 2 * gamma
@@ -204,13 +234,13 @@ class GibbsTTCAM:
         )
         return np.concatenate([interest, context])
 
-    def score_items(self, user: int, interval: int) -> np.ndarray:
+    def score_items(self, user: int, interval: int) -> FloatArray:
         """Posterior-mean mixture likelihood for every item."""
         if self.params_ is None:
             raise RuntimeError("model is not fitted; call fit() first")
         return self.params_.score_items(user, interval)
 
-    def query_space(self, user: int, interval: int):
+    def query_space(self, user: int, interval: int) -> tuple[FloatArray, FloatArray]:
         """Expanded query vector / topic matrix, as in the EM model."""
         if self.params_ is None:
             raise RuntimeError("model is not fitted; call fit() first")

@@ -37,6 +37,7 @@ from ..robustness.errors import ShardFailedError
 from ..robustness.faults import fault_point
 from ..robustness.health import HealthMonitor, rejitter_arrays
 from ..robustness.retry import run_with_retry
+from ..typing import ArrayState, FloatArray, IntArray
 from .engine import BlockedEStep, EMEngineConfig, TTCAMKernel
 from .em import (
     EPS,
@@ -55,16 +56,19 @@ from .weighting import apply_item_weighting
 _STATE_KEYS = ("theta", "phi", "theta_time", "phi_time", "lambda_u")
 _STOCHASTIC = ("theta", "phi", "theta_time", "phi_time")
 
+#: One contiguous slice of cuboid entries: (users, intervals, items, scores).
+Shard = tuple[IntArray, IntArray, IntArray, FloatArray]
+
 
 @dataclass
 class _ShardStats:
     """Partial sufficient statistics produced by one shard's E-step."""
 
-    theta_num: np.ndarray  # (N, K1)
-    phi_num: np.ndarray  # (K1, V) — stored transposed as (V, K1) internally
-    theta_time_num: np.ndarray  # (T, K2)
-    phi_time_num: np.ndarray  # (V, K2)
-    lam_num: np.ndarray  # (N,)
+    theta_num: FloatArray  # (N, K1)
+    phi_num: FloatArray  # (K1, V) — stored transposed as (V, K1) internally
+    theta_time_num: FloatArray  # (T, K2)
+    phi_time_num: FloatArray  # (V, K2)
+    lam_num: FloatArray  # (N,)
     log_likelihood: float
 
     def __iadd__(self, other: "_ShardStats") -> "_ShardStats":
@@ -154,12 +158,12 @@ class PartitionedTTCAM:
 
     def _map_shard(
         self,
-        shard: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
-        theta: np.ndarray,
-        phi: np.ndarray,
-        theta_time: np.ndarray,
-        phi_time: np.ndarray,
-        lam: np.ndarray,
+        shard: Shard,
+        theta: FloatArray,
+        phi: FloatArray,
+        theta_time: FloatArray,
+        phi_time: FloatArray,
+        lam: FloatArray,
         shape: tuple[int, int, int],
     ) -> _ShardStats:
         """E-step + partial sufficient statistics for one shard (the mapper)."""
@@ -259,9 +263,7 @@ class PartitionedTTCAM:
         safe_user_mass = np.where(user_mass <= 0, 1.0, user_mass)
         shape = cuboid.shape
 
-        def step(
-            current: dict[str, np.ndarray],
-        ) -> tuple[dict[str, np.ndarray], float]:
+        def step(current: ArrayState) -> tuple[ArrayState, float]:
             """One partitioned EM iteration: map shards, reduce, normalise."""
             partials = self._run_map(
                 shards,
@@ -306,7 +308,7 @@ class PartitionedTTCAM:
         self.trace_ = trace
         return self
 
-    def _meta(self) -> dict:
+    def _meta(self) -> dict[str, object]:
         """Identifying configuration stored in (and checked against) checkpoints."""
         return {
             "model": "ttcam",  # partitioned EM is bit-compatible with serial TTCAM
@@ -324,20 +326,16 @@ class PartitionedTTCAM:
             no_collapse=("theta", "theta_time"),
         )
 
-    def _rejitter(
-        self, state: dict[str, np.ndarray], recovery: int
-    ) -> dict[str, np.ndarray]:
+    def _rejitter(self, state: ArrayState, recovery: int) -> ArrayState:
         """Seeded perturbation applied to a rolled-back state."""
         return rejitter_arrays(
             state, _STOCHASTIC, ("lambda_u",), seed=self.seed + 7919 * recovery
         )
 
-    def _partition(
-        self, cuboid: RatingCuboid
-    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    def _partition(self, cuboid: RatingCuboid) -> list[Shard]:
         """Split the cuboid's entries into contiguous shards."""
         bounds = np.linspace(0, cuboid.nnz, self.num_partitions + 1).astype(int)
-        shards = []
+        shards: list[Shard] = []
         for lo, hi in zip(bounds[:-1], bounds[1:]):
             if hi > lo:
                 shards.append(
@@ -350,7 +348,16 @@ class PartitionedTTCAM:
                 )
         return shards
 
-    def _run_map(self, shards, theta, phi, theta_time, phi_time, lam, shape):
+    def _run_map(
+        self,
+        shards: list[Shard],
+        theta: FloatArray,
+        phi: FloatArray,
+        theta_time: FloatArray,
+        phi_time: FloatArray,
+        lam: FloatArray,
+        shape: tuple[int, int, int],
+    ) -> list[_ShardStats]:
         """Run the mapper over all shards with per-shard retry.
 
         The mapper is a pure function of the broadcast parameters, so a
@@ -359,11 +366,11 @@ class PartitionedTTCAM:
         unaffected by which attempt finally succeeded.
         """
 
-        def attempt_shard(index: int, shard, attempt: int) -> _ShardStats:
+        def attempt_shard(index: int, shard: Shard, attempt: int) -> _ShardStats:
             fault_point("parallel.shard", shard=index, attempt=attempt)
             return self._map_shard(shard, theta, phi, theta_time, phi_time, lam, shape)
 
-        def guarded(index: int, shard) -> _ShardStats:
+        def guarded(index: int, shard: Shard) -> _ShardStats:
             return run_with_retry(
                 lambda attempt: attempt_shard(index, shard, attempt),
                 retries=self.max_shard_retries,
@@ -390,15 +397,16 @@ class PartitionedTTCAM:
                 # Attempt 0 already failed; replay it against the retry
                 # budget so fault plans keyed on attempt numbers line up.
                 results[index] = guarded(index, shards[index])
-            return results
+            assert all(stats is not None for stats in results)
+            return [stats for stats in results if stats is not None]
 
-    def score_items(self, user: int, interval: int) -> np.ndarray:
+    def score_items(self, user: int, interval: int) -> FloatArray:
         """Ranking scores for every item, as in the serial model."""
         if self.params_ is None:
             raise RuntimeError("model is not fitted; call fit() first")
         return self.params_.score_items(user, interval)
 
-    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+    def query_space(self, user: int, interval: int) -> tuple[FloatArray, FloatArray]:
         """Expanded query vector / topic matrix, as in the serial model."""
         if self.params_ is None:
             raise RuntimeError("model is not fitted; call fit() first")

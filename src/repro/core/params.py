@@ -20,10 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..typing import FloatArray
 from .em import EPS
 
 
-def _check_stochastic(name: str, matrix: np.ndarray, tol: float = 1e-6) -> None:
+def _check_stochastic(name: str, matrix: FloatArray, tol: float = 1e-6) -> None:
     if np.any(matrix < -tol):
         raise ValueError(f"{name} has negative entries")
     sums = matrix.sum(axis=-1)
@@ -36,10 +37,10 @@ def _check_stochastic(name: str, matrix: np.ndarray, tol: float = 1e-6) -> None:
 class ITCAMParameters:
     """Fitted parameters of item-based TCAM (Section 3.2.1)."""
 
-    theta: np.ndarray  # (N, K1)
-    phi: np.ndarray  # (K1, V)
-    theta_time: np.ndarray  # (T, V)
-    lambda_u: np.ndarray  # (N,)
+    theta: FloatArray  # (N, K1)
+    phi: FloatArray  # (K1, V)
+    theta_time: FloatArray  # (T, V)
+    lambda_u: FloatArray  # (N,)
 
     def __post_init__(self) -> None:
         _check_stochastic("theta", self.theta)
@@ -57,39 +58,39 @@ class ITCAMParameters:
     @property
     def num_users(self) -> int:
         """Number of users ``N``."""
-        return self.theta.shape[0]
+        return int(self.theta.shape[0])
 
     @property
     def num_user_topics(self) -> int:
         """Number of user-oriented topics ``K1``."""
-        return self.theta.shape[1]
+        return int(self.theta.shape[1])
 
     @property
     def num_intervals(self) -> int:
         """Number of time intervals ``T``."""
-        return self.theta_time.shape[0]
+        return int(self.theta_time.shape[0])
 
     @property
     def num_items(self) -> int:
         """Number of items ``V``."""
-        return self.phi.shape[1]
+        return int(self.phi.shape[1])
 
-    def interest_scores(self, user: int) -> np.ndarray:
+    def interest_scores(self, user: int) -> FloatArray:
         """``P(v | θ_u)`` for all items (Equation 2)."""
         return self.theta[user] @ self.phi
 
-    def context_scores(self, interval: int) -> np.ndarray:
+    def context_scores(self, interval: int) -> FloatArray:
         """``P(v | θ′_t)`` for all items."""
         return self.theta_time[interval]
 
-    def score_items(self, user: int, interval: int) -> np.ndarray:
+    def score_items(self, user: int, interval: int) -> FloatArray:
         """Full mixture likelihood ``P(v | u, t)`` for all items (Eq. 1)."""
         lam = self.lambda_u[user]
         return lam * self.interest_scores(user) + (1 - lam) * self.context_scores(
             interval
         )
 
-    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+    def query_space(self, user: int, interval: int) -> tuple[FloatArray, FloatArray]:
         """Expanded query vector and topic–item matrix (Equations 21–22).
 
         For ITCAM the temporal context of interval ``t`` acts as one extra
@@ -106,11 +107,11 @@ class ITCAMParameters:
 class TTCAMParameters:
     """Fitted parameters of topic-based TCAM (Section 3.2.2)."""
 
-    theta: np.ndarray  # (N, K1)
-    phi: np.ndarray  # (K1, V)
-    theta_time: np.ndarray  # (T, K2)
-    phi_time: np.ndarray  # (K2, V)
-    lambda_u: np.ndarray  # (N,)
+    theta: FloatArray  # (N, K1)
+    phi: FloatArray  # (K1, V)
+    theta_time: FloatArray  # (T, K2)
+    phi_time: FloatArray  # (K2, V)
+    lambda_u: FloatArray  # (N,)
 
     def __post_init__(self) -> None:
         _check_stochastic("theta", self.theta)
@@ -131,44 +132,44 @@ class TTCAMParameters:
     @property
     def num_users(self) -> int:
         """Number of users ``N``."""
-        return self.theta.shape[0]
+        return int(self.theta.shape[0])
 
     @property
     def num_user_topics(self) -> int:
         """Number of user-oriented topics ``K1``."""
-        return self.theta.shape[1]
+        return int(self.theta.shape[1])
 
     @property
     def num_time_topics(self) -> int:
         """Number of time-oriented topics ``K2``."""
-        return self.phi_time.shape[0]
+        return int(self.phi_time.shape[0])
 
     @property
     def num_intervals(self) -> int:
         """Number of time intervals ``T``."""
-        return self.theta_time.shape[0]
+        return int(self.theta_time.shape[0])
 
     @property
     def num_items(self) -> int:
         """Number of items ``V``."""
-        return self.phi.shape[1]
+        return int(self.phi.shape[1])
 
-    def interest_scores(self, user: int) -> np.ndarray:
+    def interest_scores(self, user: int) -> FloatArray:
         """``P(v | θ_u)`` for all items (Equation 2)."""
         return self.theta[user] @ self.phi
 
-    def context_scores(self, interval: int) -> np.ndarray:
+    def context_scores(self, interval: int) -> FloatArray:
         """``P(v | θ′_t)`` for all items (Equation 12)."""
         return self.theta_time[interval] @ self.phi_time
 
-    def score_items(self, user: int, interval: int) -> np.ndarray:
+    def score_items(self, user: int, interval: int) -> FloatArray:
         """Full mixture likelihood ``P(v | u, t)`` for all items (Eq. 1)."""
         lam = self.lambda_u[user]
         return lam * self.interest_scores(user) + (1 - lam) * self.context_scores(
             interval
         )
 
-    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+    def query_space(self, user: int, interval: int) -> tuple[FloatArray, FloatArray]:
         """Expanded query vector over the ``K1 + K2`` topic space (Eq. 21–22).
 
         ``ϑ_q = ⟨λ_u·θ_u, (1−λ_u)·θ′_t⟩`` paired with the stacked
@@ -182,9 +183,9 @@ class TTCAMParameters:
         )
         return weights, self.topic_item_matrix()
 
-    def topic_item_matrix(self) -> np.ndarray:
+    def topic_item_matrix(self) -> FloatArray:
         """Stacked ``(K1 + K2, V)`` topic–item matrix ``[φ; φ′]`` (memoised)."""
-        cached = getattr(self, "_stacked_matrix", None)
+        cached: FloatArray | None = getattr(self, "_stacked_matrix", None)
         if cached is None:
             cached = np.vstack([self.phi, self.phi_time])
             object.__setattr__(self, "_stacked_matrix", cached)

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..robustness.checkpoint import digest_arrays
 from ..robustness.errors import SnapshotCorruptError
+from ..typing import FloatArray
 from .params import ITCAMParameters, TTCAMParameters
 
 _FORMAT_KEY = "tcam_format"
@@ -143,15 +144,15 @@ class LoadedModel:
         kind = "TTCAM" if isinstance(self.params_, TTCAMParameters) else "ITCAM"
         return f"Loaded-{kind}"
 
-    def score_items(self, user: int, interval: int) -> np.ndarray:
+    def score_items(self, user: int, interval: int) -> FloatArray:
         """Ranking scores for every item."""
         return self.params_.score_items(user, interval)
 
-    def query_space(self, user: int, interval: int):
+    def query_space(self, user: int, interval: int) -> tuple[FloatArray, FloatArray]:
         """Expanded query vector and topic–item matrix."""
         return self.params_.query_space(user, interval)
 
-    def matrix_cache_key(self, interval: int):
+    def matrix_cache_key(self, interval: int) -> str | int:
         """TTCAM snapshots share one matrix; ITCAM's varies by interval."""
         if isinstance(self.params_, TTCAMParameters):
             return "static"

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.cuboid import RatingCuboid
+from ..typing import FloatArray
 from .em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
 from .params import TTCAMParameters
 from .weighting import apply_item_weighting
@@ -174,7 +175,14 @@ class StochasticTTCAM:
         return self
 
     @staticmethod
-    def _full_log_likelihood(cuboid, theta, phi, theta_time, phi_time, lam) -> float:
+    def _full_log_likelihood(
+        cuboid: RatingCuboid,
+        theta: FloatArray,
+        phi: FloatArray,
+        theta_time: FloatArray,
+        phi_time: FloatArray,
+        lam: FloatArray,
+    ) -> float:
         u, t, v, c = cuboid.users, cuboid.intervals, cuboid.items, cuboid.scores
         p_interest = np.einsum("rk,kr->r", theta[u], phi[:, v])
         p_context = np.einsum("rk,kr->r", theta_time[t], phi_time[:, v])
@@ -182,13 +190,13 @@ class StochasticTTCAM:
         prob = lam_r * p_interest + (1 - lam_r) * p_context
         return float(np.dot(c, np.log(prob + EPS)))
 
-    def score_items(self, user: int, interval: int) -> np.ndarray:
+    def score_items(self, user: int, interval: int) -> FloatArray:
         """Ranking scores for every item, as in the batch model."""
         if self.params_ is None:
             raise RuntimeError("model is not fitted; call fit() first")
         return self.params_.score_items(user, interval)
 
-    def query_space(self, user: int, interval: int):
+    def query_space(self, user: int, interval: int) -> tuple[FloatArray, FloatArray]:
         """Expanded query vector / topic matrix, as in the batch model."""
         if self.params_ is None:
             raise RuntimeError("model is not fitted; call fit() first")

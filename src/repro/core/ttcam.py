@@ -18,8 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.cuboid import RatingCuboid
-from ..robustness.checkpoint import CheckpointManager
+from ..robustness.checkpoint import Checkpoint, CheckpointManager
 from ..robustness.health import HealthMonitor, rejitter_arrays
+from ..typing import ArrayState, FloatArray
 from .engine import BlockedEStep, EMEngineConfig, TTCAMKernel
 from .em import (
     EPS,
@@ -157,10 +158,11 @@ class TTCAM:
             )
             if best is None or trace.final_log_likelihood > best[1].final_log_likelihood:
                 best = (params, trace)
+        assert best is not None  # n_init >= 1 guarantees at least one run
         self.params_, self.trace_ = best
         return self
 
-    def _meta(self) -> dict:
+    def _meta(self) -> dict[str, object]:
         """Identifying configuration stored in (and checked against) checkpoints."""
         return {
             "model": "ttcam",
@@ -179,9 +181,7 @@ class TTCAM:
             no_collapse=("theta", "theta_time"),
         )
 
-    def _rejitter(
-        self, state: dict[str, np.ndarray], recovery: int
-    ) -> dict[str, np.ndarray]:
+    def _rejitter(self, state: ArrayState, recovery: int) -> ArrayState:
         """Seeded perturbation applied to a rolled-back state."""
         return rejitter_arrays(
             state, _STOCHASTIC, ("lambda_u",), seed=self.seed + 7919 * recovery
@@ -192,7 +192,7 @@ class TTCAM:
         cuboid: RatingCuboid,
         seed: int,
         checkpoints: CheckpointManager | None = None,
-        restored=None,
+        restored: Checkpoint | None = None,
         monitor: HealthMonitor | None = None,
     ) -> tuple[TTCAMParameters, EMTrace]:
         """One EM run from a random initialisation (or a checkpoint)."""
@@ -227,10 +227,9 @@ class TTCAM:
             else None
         )
 
-        def engine_step(
-            current: dict[str, np.ndarray],
-        ) -> tuple[dict[str, np.ndarray], float]:
+        def engine_step(current: ArrayState) -> tuple[ArrayState, float]:
             """One EM iteration through the blocked execution engine."""
+            assert estep is not None  # selected only when the engine exists
             stats, log_likelihood = estep.compute(current)
             if self.personalized_lambda:
                 new_lam = stats["lam_num"] / safe_user_mass  # Eq. 11
@@ -245,9 +244,7 @@ class TTCAM:
             }
             return updated, log_likelihood
 
-        def step(
-            current: dict[str, np.ndarray],
-        ) -> tuple[dict[str, np.ndarray], float]:
+        def step(current: ArrayState) -> tuple[ArrayState, float]:
             """One full EM iteration (E-step likelihood, then M-step update)."""
             theta, phi = current["theta"], current["phi"]
             theta_time, phi_time = current["theta_time"], current["phi_time"]
@@ -310,11 +307,11 @@ class TTCAM:
             raise RuntimeError("model is not fitted; call fit() first")
         return self.params_
 
-    def score_items(self, user: int, interval: int) -> np.ndarray:
+    def score_items(self, user: int, interval: int) -> FloatArray:
         """Ranking scores ``P(v | u, t)`` for every item (Equation 1)."""
         return self._require_fitted().score_items(user, interval)
 
-    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+    def query_space(self, user: int, interval: int) -> tuple[FloatArray, FloatArray]:
         """Expanded ``K1 + K2`` query vector and stacked topic–item matrix."""
         return self._require_fitted().query_space(user, interval)
 
