@@ -8,13 +8,12 @@ compare with.
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..typing import IntArray
 from .ranking import QuerySpace, Recommendation, TopKResult, rank_order
 
 
 def bruteforce_topk(
-    query: QuerySpace, k: int, exclude: np.ndarray | None = None
+    query: QuerySpace, k: int, exclude: IntArray | None = None
 ) -> TopKResult:
     """Exact top-k by scanning all items.
 

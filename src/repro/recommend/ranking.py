@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..typing import FloatArray, IntArray
+
 
 @dataclass(frozen=True)
 class QuerySpace:
@@ -27,8 +29,8 @@ class QuerySpace:
         ``ϕ``, shape ``(K, V)``; row ``z`` holds item weights on topic ``z``.
     """
 
-    weights: np.ndarray
-    item_matrix: np.ndarray
+    weights: FloatArray
+    item_matrix: FloatArray
 
     def __post_init__(self) -> None:
         if self.weights.ndim != 1:
@@ -46,20 +48,21 @@ class QuerySpace:
     @property
     def num_topics(self) -> int:
         """Number of topics ``K``."""
-        return self.weights.shape[0]
+        return int(self.weights.shape[0])
 
     @property
     def num_items(self) -> int:
         """Number of items ``V``."""
-        return self.item_matrix.shape[1]
+        return int(self.item_matrix.shape[1])
 
     def score(self, item: int) -> float:
         """``S(u, t, v)`` for a single item (Equation 22)."""
         return float(self.weights @ self.item_matrix[:, item])
 
-    def score_all(self) -> np.ndarray:
+    def score_all(self) -> FloatArray:
         """``S(u, t, v)`` for every item at once."""
-        return self.weights @ self.item_matrix
+        result: FloatArray = self.weights @ self.item_matrix
+        return result
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,7 +100,9 @@ class TopKResult:
         return len(self.recommendations)
 
 
-def rank_order(scores: np.ndarray, k: int, exclude: np.ndarray | None = None) -> np.ndarray:
+def rank_order(
+    scores: FloatArray, k: int, exclude: IntArray | None = None
+) -> IntArray:
     """Deterministic top-k item ids for a dense score vector.
 
     Ties break toward the smaller item id so every retrieval engine in

@@ -38,21 +38,20 @@ whose hit/miss/eviction counters ride along on every
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Mapping, Protocol, Sequence
+from typing import Any, Mapping, Protocol, Sequence
 
 import numpy as np
 
 from ..robustness.errors import ServingUnavailableError
+from ..typing import FloatArray, IntArray
 from .bruteforce import bruteforce_topk
 from .ranking import QuerySpace, Recommendation, TopKResult, rank_order
 from .serving import (
     DEFAULT_ROW_BLOCK,
     BatchScorer,
     CacheStats,
-    LRUCache,
     ServingCache,
     check_serve_dtype,
 )
@@ -62,7 +61,7 @@ from .threshold import SortedTopicLists, batched_ta_topk, classic_ta_topk, ta_to
 class SupportsQuerySpace(Protocol):
     """Any fitted model that can expand a temporal query (Eq. 21)."""
 
-    def query_space(self, user: int, interval: int) -> tuple[np.ndarray, np.ndarray]:
+    def query_space(self, user: int, interval: int) -> tuple[FloatArray, FloatArray]:
         """Return ``(ϑ_q, ϕ)`` for the query ``(user, interval)``."""
         ...
 
@@ -157,22 +156,6 @@ class TemporalRecommender:
         self.serving_cache = cache if cache is not None else ServingCache()
         self._batch_scorer: BatchScorer | None = None
 
-    @property
-    def _index_cache(self) -> LRUCache:
-        """Deprecated alias for ``serving_cache.indexes``.
-
-        The unbounded per-recommender index dict was replaced by the
-        bounded LRU ``indexes`` region of :attr:`serving_cache`; this
-        alias keeps dict-style access working for one release.
-        """
-        warnings.warn(
-            "TemporalRecommender._index_cache is deprecated; use "
-            "recommender.serving_cache.indexes instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.serving_cache.indexes
-
     @classmethod
     def from_snapshot(
         cls,
@@ -206,7 +189,7 @@ class TemporalRecommender:
         interval: int,
         k: int = 10,
         method: str | None = None,
-        exclude: np.ndarray | None = None,
+        exclude: IntArray | None = None,
     ) -> TopKResult:
         """Top-k items for the temporal query ``(user, interval)``.
 
@@ -236,7 +219,7 @@ class TemporalRecommender:
         interval: int,
         k: int = 10,
         method: str | None = None,
-        exclude: np.ndarray | None = None,
+        exclude: IntArray | None = None,
     ) -> tuple[TopKResult, ServingStatus]:
         """Top-k plus the structured :class:`ServingStatus` for the query.
 
@@ -277,7 +260,7 @@ class TemporalRecommender:
         user: int,
         interval: int,
         k: int,
-        exclude: np.ndarray | None,
+        exclude: IntArray | None,
         reason: str | None,
         attempted: Sequence[str],
     ) -> tuple[TopKResult, ServingStatus]:
@@ -303,9 +286,9 @@ class TemporalRecommender:
 
     def recommend_batch(
         self,
-        queries: Sequence[tuple[int, int]] | np.ndarray,
+        queries: Sequence[tuple[int, int]] | IntArray,
         k: int = 10,
-        exclude: np.ndarray | Mapping[int, np.ndarray] | None = None,
+        exclude: IntArray | Mapping[int, IntArray] | None = None,
         dtype: str | None = None,
         row_block: int = DEFAULT_ROW_BLOCK,
     ) -> list[TopKResult]:
@@ -326,9 +309,9 @@ class TemporalRecommender:
 
     def recommend_batch_with_status(
         self,
-        queries: Sequence[tuple[int, int]] | np.ndarray,
+        queries: Sequence[tuple[int, int]] | IntArray,
         k: int = 10,
-        exclude: np.ndarray | Mapping[int, np.ndarray] | None = None,
+        exclude: IntArray | Mapping[int, IntArray] | None = None,
         dtype: str | None = None,
         row_block: int = DEFAULT_ROW_BLOCK,
     ) -> tuple[list[TopKResult], list[ServingStatus]]:
@@ -407,10 +390,16 @@ class TemporalRecommender:
             )
 
         snapshot = self.serving_cache.stats()
-        statuses = [replace(status, cache=snapshot) for status in statuses]
-        if statuses:
-            self.last_status = statuses[-1]
-        return results, statuses
+        # Every index was filled by the primary path or the fallback walk.
+        assert all(r is not None for r in results)
+        assert all(s is not None for s in statuses)
+        final_results = [r for r in results if r is not None]
+        final_statuses = [
+            replace(s, cache=snapshot) for s in statuses if s is not None
+        ]
+        if final_statuses:
+            self.last_status = final_statuses[-1]
+        return final_results, final_statuses
 
     def _scorer(self) -> BatchScorer:
         """The lazily created batch scorer bound to the primary model."""
@@ -420,8 +409,8 @@ class TemporalRecommender:
 
     @staticmethod
     def _exclude_items(
-        user: int, exclude: np.ndarray | Mapping[int, np.ndarray] | None
-    ) -> np.ndarray | None:
+        user: int, exclude: IntArray | Mapping[int, IntArray] | None
+    ) -> IntArray | None:
         """Resolve a batch ``exclude`` argument to one row's item array."""
         if exclude is None:
             return None
@@ -451,9 +440,10 @@ class TemporalRecommender:
         interval: int,
         k: int,
         engine: str,
-        exclude: np.ndarray | None,
+        exclude: IntArray | None,
     ) -> TopKResult:
         """Answer with the primary model through the selected engine."""
+        assert self.model is not None  # callers check before dispatching here
         weights, matrix = self.model.query_space(user, interval)
         query = QuerySpace(weights=weights, item_matrix=matrix)
         if engine == "bf":
@@ -467,11 +457,11 @@ class TemporalRecommender:
 
     def _serve_fallback(
         self,
-        fallback: object,
+        fallback: Any,
         user: int,
         interval: int,
         k: int,
-        exclude: np.ndarray | None,
+        exclude: IntArray | None,
     ) -> TopKResult:
         """Answer with one fallback model via its dense score vector."""
         scores = np.asarray(fallback.score_items(user, interval), dtype=np.float64)
@@ -483,7 +473,7 @@ class TemporalRecommender:
             recommendations=recommendations, items_scored=int(scores.shape[0])
         )
 
-    def _lists_for(self, matrix: np.ndarray, interval: int) -> SortedTopicLists:
+    def _lists_for(self, matrix: FloatArray, interval: int) -> SortedTopicLists:
         """Fetch or build the sorted-list index for a topic–item matrix.
 
         Models expose ``matrix_cache_key(interval)`` saying which queries
@@ -500,7 +490,7 @@ class TemporalRecommender:
             self.serving_cache.indexes.put(key, lists)
         return lists
 
-    def precompute(self, intervals: np.ndarray | None = None, user: int = 0) -> int:
+    def precompute(self, intervals: IntArray | None = None, user: int = 0) -> int:
         """Eagerly build sorted-list indexes (the paper's offline step).
 
         For TTCAM one call suffices; for ITCAM pass the intervals you plan

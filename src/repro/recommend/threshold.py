@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..typing import FloatArray, IntArray
 from .ranking import QuerySpace, Recommendation, TopKResult
 
 
@@ -67,13 +68,13 @@ class SortedTopicLists:
     cache-friendly row dot product instead of a strided column gather.
     """
 
-    order: np.ndarray  # (K, V) item ids, descending weight
-    values: np.ndarray  # (K, V) weights, descending
-    item_topic: np.ndarray  # (V, K) contiguous transpose for random access
+    order: IntArray  # (K, V) item ids, descending weight
+    values: FloatArray  # (K, V) weights, descending
+    item_topic: FloatArray  # (V, K) contiguous transpose for random access
     _scratch: "_QueryScratch | None" = field(default=None, repr=False, compare=False)
 
     @classmethod
-    def build(cls, item_matrix: np.ndarray) -> "SortedTopicLists":
+    def build(cls, item_matrix: FloatArray) -> "SortedTopicLists":
         """Sort every topic's items by weight (ties to smaller item id).
 
         One stable argsort of the negated matrix over axis 1: stability
@@ -115,7 +116,7 @@ class _ResultHeap:
     fresh set per call.
     """
 
-    def __init__(self, k: int, members: np.ndarray) -> None:
+    def __init__(self, k: int, members: IntArray) -> None:
         self.k = k
         self._heap: list[tuple[float, int]] = []  # (score, -item)
         self._members = members
@@ -166,7 +167,7 @@ def ta_topk(
     query: QuerySpace,
     lists: SortedTopicLists,
     k: int,
-    exclude: np.ndarray | None = None,
+    exclude: IntArray | None = None,
 ) -> TopKResult:
     """The paper's Algorithm 1: priority-queue-driven Threshold Algorithm.
 
@@ -242,7 +243,7 @@ def batched_ta_topk(
     query: QuerySpace,
     lists: SortedTopicLists,
     k: int,
-    exclude: np.ndarray | None = None,
+    exclude: IntArray | None = None,
     block: int = 256,
 ) -> TopKResult:
     """Block-vectorised Threshold Algorithm (exact, production engine).
@@ -322,7 +323,7 @@ def batched_ta_topk(
 
 
 def rank_order_pool(
-    items: np.ndarray, scores: np.ndarray, k: int
+    items: IntArray, scores: FloatArray, k: int
 ) -> list[tuple[int, float]]:
     """Deterministic best-k of a candidate pool (ties to smaller item id)."""
     if items.size == 0:
@@ -335,7 +336,7 @@ def classic_ta_topk(
     query: QuerySpace,
     lists: SortedTopicLists,
     k: int,
-    exclude: np.ndarray | None = None,
+    exclude: IntArray | None = None,
 ) -> TopKResult:
     """Textbook Threshold Algorithm: round-robin sorted access.
 

@@ -22,6 +22,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..typing import FloatArray
+
 from .errors import CheckpointError
 
 _ITERATION_KEY = "__iteration__"
@@ -31,7 +33,7 @@ _CHECKSUM_KEY = "__checksum__"
 _RESERVED = {_ITERATION_KEY, _TRACE_KEY, _META_KEY, _CHECKSUM_KEY}
 
 
-def digest_arrays(arrays: dict[str, np.ndarray]) -> str:
+def digest_arrays(arrays: dict[str, FloatArray]) -> str:
     """SHA-256 digest over named arrays (name, dtype, shape and bytes).
 
     The digest is independent of dict insertion order, so the same
@@ -51,10 +53,10 @@ def digest_arrays(arrays: dict[str, np.ndarray]) -> str:
 class Checkpoint:
     """One restorable EM state: parameter arrays plus trace position."""
 
-    arrays: dict[str, np.ndarray]
+    arrays: dict[str, FloatArray]
     iteration: int
     log_likelihood: list[float] = field(default_factory=list)
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
     path: Path | None = None
 
 
@@ -89,7 +91,7 @@ class CheckpointManager:
         self.every = every
         self.keep = keep
         self.prefix = prefix
-        self.meta: dict = {}
+        self.meta: dict[str, object] = {}
 
     def should_save(self, iteration: int) -> bool:
         """True when ``iteration`` falls on the save cadence."""
@@ -100,7 +102,7 @@ class CheckpointManager:
 
     def save(
         self,
-        arrays: dict[str, np.ndarray],
+        arrays: dict[str, FloatArray],
         iteration: int,
         log_likelihood: list[float] | None = None,
     ) -> Path:

@@ -24,6 +24,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..typing import FloatArray
+
 from .errors import InjectedFault
 
 _lock = threading.Lock()
@@ -43,8 +45,8 @@ def fault_point(site: str, **context: object) -> None:
 
 
 def maybe_poison(
-    site: str, arrays: dict[str, np.ndarray], **context: object
-) -> dict[str, np.ndarray]:
+    site: str, arrays: dict[str, FloatArray], **context: object
+) -> dict[str, FloatArray]:
     """Hook for NaN-poisoning faults; returns ``arrays`` untouched unless armed."""
     injector = _active
     if injector is not None:
@@ -199,8 +201,8 @@ class FaultInjector:
             raise InjectedFault(f"injected crash at {site} ({context})")
 
     def _poison(
-        self, site: str, arrays: dict[str, np.ndarray], context: dict[str, object]
-    ) -> dict[str, np.ndarray]:
+        self, site: str, arrays: dict[str, FloatArray], context: dict[str, object]
+    ) -> dict[str, FloatArray]:
         """Deliver NaN-poison plans; returns (possibly copied) arrays."""
         with _lock:
             plans = [

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..typing import FloatArray
+
 from .errors import HealthViolation
 
 
@@ -57,7 +59,7 @@ class HealthMonitor:
 
     def violations(
         self,
-        arrays: dict[str, np.ndarray],
+        arrays: dict[str, FloatArray],
         log_likelihood: float | None = None,
         previous: float | None = None,
     ) -> list[str]:
@@ -105,7 +107,7 @@ class HealthMonitor:
 
     def check(
         self,
-        arrays: dict[str, np.ndarray],
+        arrays: dict[str, FloatArray],
         log_likelihood: float | None = None,
         previous: float | None = None,
     ) -> None:
@@ -116,12 +118,12 @@ class HealthMonitor:
 
 
 def rejitter_arrays(
-    arrays: dict[str, np.ndarray],
+    arrays: dict[str, FloatArray],
     stochastic: tuple[str, ...],
     unit_interval: tuple[str, ...],
     seed: int,
     scale: float = 1e-3,
-) -> dict[str, np.ndarray]:
+) -> dict[str, FloatArray]:
     """Multiplicatively perturb a restored EM state to escape a bad path.
 
     Rolling back to a checkpoint and deterministically replaying the same
@@ -132,7 +134,7 @@ def rejitter_arrays(
     reproducible.
     """
     rng = np.random.default_rng(seed)
-    jittered: dict[str, np.ndarray] = {}
+    jittered: dict[str, FloatArray] = {}
     for name, value in arrays.items():
         value = np.array(value, dtype=np.float64, copy=True)
         if name in stochastic:

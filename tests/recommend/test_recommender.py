@@ -82,16 +82,12 @@ class TestCaching:
         rec.recommend(1, 1, k=3, method="ta")
         assert len(rec.serving_cache.indexes) == 2
 
-    def test_index_cache_alias_deprecated_but_working(self, models):
+    def test_index_cache_alias_removed(self, models):
+        # The deprecated `_index_cache` alias from PR 3 is gone; the
+        # bounded LRU region is the only index store.
         _, ttcam, _ = models
         rec = TemporalRecommender(ttcam)
-        rec.recommend(0, 0, k=3, method="ta")
-        with pytest.warns(DeprecationWarning):
-            alias = rec._index_cache
-        assert len(alias) == 1
-        assert alias is rec.serving_cache.indexes
-        key = next(iter(alias.keys()))
-        assert alias[key] is rec.serving_cache.indexes[key]
+        assert not hasattr(rec, "_index_cache")
 
     def test_status_carries_cache_counters(self, models):
         _, ttcam, _ = models
