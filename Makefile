@@ -1,12 +1,34 @@
 # Convenience targets for the TCAM reproduction.
 
-.PHONY: install test test-robustness bench bench-perf bench-serve bench-smoke examples all
+.PHONY: install test test-robustness lint typecheck check bench bench-perf bench-serve bench-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Static-analysis gate (see docs/static-analysis.md). The domain linter
+# is part of the package and always runs; ruff is skipped with a notice
+# when it is not installed (the offline image has no pip access).
+lint:
+	PYTHONPATH=src python -m repro.tooling.lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it)"; \
+	fi
+
+# mypy --strict over src/repro, configured in pyproject.toml. Skipped
+# with a notice when mypy is not installed locally; CI always runs it.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (CI runs it)"; \
+	fi
+
+check: lint typecheck test
 
 test-robustness:
 	pytest tests/robustness/
