@@ -1,6 +1,6 @@
 # Convenience targets for the TCAM reproduction.
 
-.PHONY: install test test-robustness lint typecheck check bench bench-perf bench-serve bench-smoke examples all
+.PHONY: install test test-robustness test-sanitize lint analyze typecheck check bench bench-perf bench-serve bench-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,11 @@ lint:
 		echo "ruff not installed; skipping (CI runs it)"; \
 	fi
 
+# Static concurrency-race analyzer (rules TCAM010-TCAM013); exits
+# non-zero on any unsuppressed finding, see docs/static-analysis.md.
+analyze:
+	PYTHONPATH=src python -m repro.tooling.races src/repro
+
 # mypy --strict over src/repro, configured in pyproject.toml. Skipped
 # with a notice when mypy is not installed locally; CI always runs it.
 typecheck:
@@ -28,10 +33,16 @@ typecheck:
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi
 
-check: lint typecheck test
+check: lint analyze typecheck test
 
 test-robustness:
 	pytest tests/robustness/
+
+# Tier-1 engine + serving tests with the runtime sanitizer armed: every
+# E-step verifies disjoint writes, simplex invariants and fixed-order
+# reduction while the suite runs.
+test-sanitize:
+	TCAM_SANITIZE=1 pytest -q tests/core tests/recommend
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -8,6 +8,12 @@ E-step plus the cheap M-step normalisation) for TTCAM at several
 * ``blocked-t1``  — the blocked engine, one worker;
 * ``blocked-tN``  — the blocked engine on N threads.
 
+In ``--smoke`` mode a fourth variant, ``blocked-t1-sanitize``, runs the
+blocked engine under the runtime sanitizer and the harness asserts the
+sanitize-off variants constructed no ``Sanitizer`` at all — the
+structural "zero overhead when off" guarantee from
+``docs/static-analysis.md``.
+
 Each configuration appends one entry to the ``BENCH_em.json`` trajectory.
 The acceptance bar for the engine (≥1.5× threaded over single-thread at
 the largest scale) is only reachable on a multi-core host — every entry
@@ -29,6 +35,7 @@ from perf_common import best_time, make_parser, synthetic_cuboid
 
 from repro.analysis.benchjson import BenchEntry, append_entries, default_context
 from repro.core import TTCAM, EMEngineConfig
+from repro.tooling.sanitize import Sanitizer, sanitize_enabled
 
 #: (requested ratings, K1, K2) per scale; the last is "the largest bench
 #: scale" referenced by the acceptance criteria.
@@ -80,9 +87,20 @@ def main(argv=None) -> int:
                 block_size=args.block_size, threads=threads
             ),
         }
+        if args.smoke:
+            variants["blocked-t1-sanitize"] = EMEngineConfig(
+                block_size=args.block_size, sanitize=True
+            )
         rates = {}
+        constructed_before = Sanitizer.constructed
         for variant, engine in variants.items():
             rate = fit_throughput(cuboid, k1, k2, iters, engine, args.repeats)
+            if variant == "blocked-t1" and not sanitize_enabled():
+                # zero-overhead-off proof: the sanitize-off runs so far
+                # must not have instantiated a single Sanitizer.
+                assert Sanitizer.constructed == constructed_before, (
+                    "sanitize-off engine run constructed a Sanitizer"
+                )
             rates[variant] = rate
             name = f"em/ttcam/r{cuboid.nnz}-k{k1}x{k2}/{variant}"
             entries.append(
@@ -109,6 +127,9 @@ def main(argv=None) -> int:
             f"threaded({threads})/blocked {threaded_gain:.2f}x "
             f"[{os.cpu_count()} cpu]"
         )
+        if "blocked-t1-sanitize" in rates:
+            overhead = rates["blocked-t1"] / rates["blocked-t1-sanitize"]
+            print(f"  -> sanitizer overhead when ON: {overhead:.2f}x slower")
 
     path = Path(args.output_dir) / "BENCH_em.json"
     append_entries(path, entries)

@@ -10,7 +10,9 @@ Covers the full offline/online loop from a shell:
 * ``tcam report``   — render a topic/influence report card for a
   snapshot against its training data;
 * ``tcam lint``     — run the domain-aware linter (rules
-  TCAM001–TCAM005, see ``docs/static-analysis.md``).
+  TCAM001–TCAM005, see ``docs/static-analysis.md``);
+* ``tcam analyze``  — run the static concurrency-race analyzer (rules
+  TCAM010–TCAM013, see ``docs/static-analysis.md``).
 
 Every command works on plain CSV (``user,interval,item,score``), so the
 CLI interoperates with any timestamped-rating export.
@@ -59,12 +61,13 @@ def _build_model(
 
 
 def _engine_config(args: argparse.Namespace) -> EMEngineConfig | None:
-    """Build the blocked-engine config from ``--block-size``/``--threads``."""
+    """Build the blocked-engine config from ``--block-size``/``--threads``/``--sanitize``."""
     block_size = getattr(args, "block_size", None)
     threads = getattr(args, "threads", 1)
-    if block_size is None and threads == 1:
+    sanitize = bool(getattr(args, "sanitize", False))
+    if block_size is None and threads == 1 and not sanitize:
         return None
-    return EMEngineConfig(block_size=block_size, threads=threads)
+    return EMEngineConfig(block_size=block_size, threads=threads, sanitize=sanitize)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -298,6 +301,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the static concurrency-race analyzer (rules TCAM010–TCAM013)."""
+    from .tooling.races import main as analyze_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    return analyze_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``tcam`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -357,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="E-step worker threads for the blocked engine (implies it when > 1)",
+    )
+    p_fit.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the EM engine under the runtime sanitizer "
+        "(write-disjointness, simplex and reduce-order checks)",
     )
     p_fit.set_defaults(func=cmd_fit)
 
@@ -423,6 +442,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static concurrency-race analysis of the threaded layers"
+    )
+    p_analyze.add_argument(
+        "paths", nargs="*", default=[], help="files or directories (default: src/repro)"
+    )
+    p_analyze.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
 
     return parser
 

@@ -53,6 +53,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..tooling.sanitize import Sanitizer, sanitize_enabled
 from ..typing import AnyArray, ArrayState, FloatArray, IntArray, Workspace, hot_path
 from .em import EPS, ScatterPlan, scatter_sum, scatter_sum_1d
 
@@ -86,11 +87,20 @@ class EMEngineConfig:
         (default, matches the legacy path to 1e-12) or ``"float32"``
         (approximate throughput mode; sufficient statistics still
         accumulate in float64).
+    sanitize:
+        Opt into the runtime sanitizer
+        (:mod:`repro.tooling.sanitize`): per-worker write intervals are
+        recorded and checked for disjointness, buffers for aliasing,
+        state/stats for NaN/Inf and simplex violations, and the reduce
+        for completion-order independence. Also enabled process-wide by
+        ``TCAM_SANITIZE=1``. Off (the default) adds no work to the hot
+        path beyond one ``None`` test per block.
     """
 
     block_size: int | None = None
     threads: int = 1
     dtype: str = "float64"
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.block_size is not None and self.block_size <= 0:
@@ -478,6 +488,9 @@ class BlockedEStep:
         self._block_size = block
         self._workspaces: list[Workspace] | None = None
         self._stats: list[ArrayState] | None = None
+        self._sanitizer = (
+            Sanitizer("engine") if config.sanitize or sanitize_enabled() else None
+        )
 
     @property
     def num_blocks(self) -> int:
@@ -511,7 +524,11 @@ class BlockedEStep:
             array.fill(0.0)
         log_likelihood = 0.0
         for lo, hi in self.runs[worker]:
+            if self._sanitizer is not None:
+                self._sanitizer.record_write(worker, lo, hi)
             log_likelihood += self.kernel.accumulate(state, lo, hi, ws, stats)
+        if self._sanitizer is not None:
+            self._sanitizer.record_completion(worker)
         return log_likelihood
 
     def compute(self, state: ArrayState) -> tuple[ArrayState, float]:
@@ -529,6 +546,9 @@ class BlockedEStep:
                 name: value.astype(dtype, copy=False)
                 for name, value in state.items()
             }
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.begin_pass(state, workspaces, worker_stats)
         if len(self.runs) == 1:
             partial_lls = [self._run_worker(0, state, workspaces, worker_stats)]
         else:
@@ -538,8 +558,13 @@ class BlockedEStep:
                     for worker in range(len(self.runs))
                 ]
                 partial_lls = [future.result() for future in futures]
+        partials = (
+            sanitizer.snapshot_partials(worker_stats) if sanitizer is not None else None
+        )
         total = worker_stats[0]
         for stats in worker_stats[1:]:
             for name, array in total.items():
                 array += stats[name]
+        if sanitizer is not None and partials is not None:
+            sanitizer.end_pass(total, partials, self.kernel.num_ratings)
         return total, float(sum(partial_lls))

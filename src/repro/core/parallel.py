@@ -175,7 +175,10 @@ class PartitionedTTCAM:
             # first attempt) while still reusing buffers across the
             # shard's blocks. Threads apply at the shard-map level.
             shard_config = EMEngineConfig(
-                block_size=self.engine.block_size, threads=1, dtype=self.engine.dtype
+                block_size=self.engine.block_size,
+                threads=1,
+                dtype=self.engine.dtype,
+                sanitize=self.engine.sanitize,
             )
             kernel = TTCAMKernel(
                 u, t, v, c, shape,

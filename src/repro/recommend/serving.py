@@ -40,6 +40,7 @@ traffic. This module amortises per-query cost across batches:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -55,6 +56,7 @@ from typing import (
 
 import numpy as np
 
+from ..tooling.sanitize import Sanitizer, check_topk_finite, sanitize_enabled
 from ..typing import AnyArray, BoolArray, FloatArray, IntArray, hot_path
 from .ranking import Recommendation, TopKResult
 
@@ -120,6 +122,13 @@ class LRUCache(Generic[_V]):
     hit/miss/eviction counters; the mapping dunders (``cache[key]``)
     bypass the counters so diagnostic introspection does not skew the
     serving statistics.
+
+    The mutating entry points (:meth:`get`, :meth:`put`,
+    :meth:`discard`, :meth:`clear`) serialise on an internal lock, so
+    recommenders sharing one :class:`ServingCache` across threads cannot
+    corrupt the recency order or lose counter increments. The uncounted
+    read-only accessors (:meth:`peek`, ``cache[key]``, ``len``) stay
+    lock-free: they never restructure the mapping.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -129,6 +138,7 @@ class LRUCache(Generic[_V]):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.RLock()
         self._data: OrderedDict[Hashable, _V] = OrderedDict()
 
     def __len__(self) -> int:
@@ -147,14 +157,15 @@ class LRUCache(Generic[_V]):
 
     def get(self, key: Hashable, default: _V | None = None) -> _V | None:
         """Counted lookup: a hit promotes the entry to most-recent."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def peek(self, key: Hashable, default: _V | None = None) -> _V | None:
         """Uncounted lookup that leaves the recency order untouched."""
@@ -162,16 +173,18 @@ class LRUCache(Generic[_V]):
 
     def put(self, key: Hashable, value: _V) -> None:
         """Insert (or refresh) an entry, evicting the LRU entry if full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def discard(self, key: Hashable) -> None:
         """Drop one entry if present (no counters touched)."""
-        self._data.pop(key, None)
+        with self._lock:
+            self._data.pop(key, None)
 
     def keys(self) -> KeysView[Hashable]:
         """Current keys, least- to most-recently used."""
@@ -179,7 +192,8 @@ class LRUCache(Generic[_V]):
 
     def clear(self) -> None:
         """Drop every entry (counters are retained)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> CacheStats:
         """Snapshot of this region's counters."""
@@ -271,6 +285,11 @@ class _Workspace:
     Buffers are keyed by ``(name, dtype)`` and grown to the elementwise
     maximum shape ever requested, so the steady state of a serving loop
     performs no per-batch allocations.
+
+    Single-writer contract: a workspace is owned by exactly one
+    :class:`BatchScorer` and is not thread-safe — per-thread recommenders
+    each own their scorer (and therefore their workspace), sharing only
+    the locked :class:`ServingCache`.
     """
 
     def __init__(self) -> None:
@@ -354,6 +373,7 @@ class BatchScorer:
         self.model = model
         self.cache = cache
         self.workspace = _Workspace()
+        self._sanitizer = Sanitizer("serving") if sanitize_enabled() else None
 
     # -- model structure -------------------------------------------------
 
@@ -604,4 +624,6 @@ class BatchScorer:
                 if masks[r] is not None:
                     candidates = candidates[~masks[r][candidates]]
                 results.append(exact_rescore(item_topic, weights_f64[r], candidates, k))
+        if self._sanitizer is not None:
+            check_topk_finite(results)
         return results

@@ -1,30 +1,54 @@
 """Developer tooling for the TCAM reproduction.
 
-Currently home to the domain-aware linter (:mod:`repro.tooling.lint`),
-which encodes the determinism and numerical-safety invariants the test
+Home to the domain-aware linter (:mod:`repro.tooling.lint`), the static
+concurrency-race analyzer (:mod:`repro.tooling.races`) and the opt-in
+runtime sanitizer (:mod:`repro.tooling.sanitize`) — together they encode
+the determinism, numerical-safety and data-race invariants the test
 suite otherwise only catches after the fact.
 
-The submodule is loaded lazily so that ``python -m repro.tooling.lint``
-does not import it twice (once as a package attribute, once as
-``__main__``), which would trigger a runpy ``RuntimeWarning``.
+The submodules are loaded lazily so that ``python -m repro.tooling.lint``
+(or ``...races``) does not import them twice (once as a package
+attribute, once as ``__main__``), which would trigger a runpy
+``RuntimeWarning``.
 """
 
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .lint import Finding, lint_paths, lint_source, main
+    from .races import analyze_paths, analyze_source
+    from .sanitize import Sanitizer, SanitizerError, sanitize_enabled
+
+#: Lazily exported name -> owning submodule.
+_SUBMODULE_EXPORTS = {
+    "Finding": "lint",
+    "lint_paths": "lint",
+    "lint_source": "lint",
+    "main": "lint",
+    "analyze_paths": "races",
+    "analyze_source": "races",
+    "Sanitizer": "sanitize",
+    "SanitizerError": "sanitize",
+    "sanitize_enabled": "sanitize",
+}
 
 __all__ = [
     "Finding",
     "lint_paths",
     "lint_source",
     "main",
+    "analyze_paths",
+    "analyze_source",
+    "Sanitizer",
+    "SanitizerError",
+    "sanitize_enabled",
 ]
 
 
 def __getattr__(name: str) -> Any:
-    if name in __all__:
-        from . import lint
+    submodule = _SUBMODULE_EXPORTS.get(name)
+    if submodule is not None:
+        from importlib import import_module
 
-        return getattr(lint, name)
+        return getattr(import_module(f".{submodule}", __name__), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -83,6 +83,8 @@ _GUARD_NAMES = frozenset({"EPS", "_EPS"})
 _GUARD_CALLS = frozenset({"maximum", "fmax", "clip", "where", "exp", "abs", "absolute"})
 
 #: numpy constructors that allocate a fresh array (banned in hot paths).
+#: Checked both as ``np.<name>(...)`` chains and as bare names imported
+#: via ``from numpy import <name>`` (aliases included).
 _ALLOCATORS = frozenset(
     {
         "zeros",
@@ -101,6 +103,16 @@ _ALLOCATORS = frozenset(
         "stack",
         "tile",
         "repeat",
+        "append",
+        "insert",
+        "pad",
+        "ascontiguousarray",
+        "asfortranarray",
+        "atleast_1d",
+        "atleast_2d",
+        "atleast_3d",
+        "arange",
+        "linspace",
     }
 )
 
@@ -423,7 +435,24 @@ def _check_safe_math(scopes: Iterable[_ScopeInfo], tree: ast.Module, emit: "_Emi
         )
 
 
-def _check_hot_alloc(scopes: Iterable[_ScopeInfo], emit: "_Emitter") -> None:
+def _numpy_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local names bound by ``from numpy import ...`` -> numpy name.
+
+    Lets TCAM003 see allocator calls that do not spell the ``np.``
+    prefix (``from numpy import concatenate as cat; cat(...)``).
+    """
+
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = alias.name
+    return aliases
+
+
+def _check_hot_alloc(
+    scopes: Iterable[_ScopeInfo], aliases: dict[str, str], emit: "_Emitter"
+) -> None:
     """TCAM003: no array allocation inside hot paths."""
 
     for scope in scopes:
@@ -439,6 +468,17 @@ def _check_hot_alloc(scopes: Iterable[_ScopeInfo], emit: "_Emitter") -> None:
                     "TCAM003",
                     f"np.{chain[1]}() allocates inside hot path "
                     f"'{scope.qualname}'; use the preallocated workspace",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and aliases.get(node.func.id) in _ALLOCATORS
+            ):
+                emit(
+                    node,
+                    "TCAM003",
+                    f"{node.func.id}() (numpy {aliases[node.func.id]}) "
+                    f"allocates inside hot path '{scope.qualname}'; use "
+                    "the preallocated workspace",
                 )
             elif isinstance(node.func, ast.Attribute) and node.func.attr == "copy":
                 if not chain or chain[0] not in {"np", "numpy"}:
@@ -596,7 +636,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     scopes = _collect_scopes(tree, _hot_kernels_for(path))
     _check_rng(tree, emit)
     _check_safe_math(scopes, tree, emit)
-    _check_hot_alloc(scopes, emit)
+    _check_hot_alloc(scopes, _numpy_aliases(tree), emit)
     _check_all_exports(tree, emit)
     _check_set_iteration(tree, emit)
     emit.findings.sort(key=lambda f: (f.line, f.col, f.rule))

@@ -1,0 +1,376 @@
+"""Tests for the opt-in runtime sanitizer (``repro.tooling.sanitize``).
+
+Three layers: the check helpers in isolation, the :class:`Sanitizer`
+recorder with hand-built violations, and the instrumented engine /
+serving layers end-to-end — a sanitized fit must be bit-identical to an
+unsanitized one, deliberately injected overlapping writes / aliased
+buffers / broken state must raise :class:`SanitizerError`, and a
+sanitize-off run must never construct a :class:`Sanitizer` at all (the
+zero-overhead-when-off guarantee).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TTCAM
+from repro.core.engine import BlockedEStep, EMEngineConfig, TTCAMKernel
+from repro.core.params import TTCAMParameters
+from repro.core.serialize import LoadedModel
+from repro.recommend.ranking import Recommendation, TopKResult
+from repro.recommend.serving import BatchScorer, ServingCache
+from repro.tooling.sanitize import (
+    ENV_FLAG,
+    Sanitizer,
+    SanitizerError,
+    check_finite,
+    check_simplex,
+    check_state,
+    check_topk_finite,
+    check_unit_interval,
+    sanitize_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_env_off(monkeypatch):
+    """Default every test to an unset TCAM_SANITIZE (tests opt in)."""
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+
+
+def _random_problem(seed=11, num_ratings=200):
+    """Random triples + a random valid TTCAM state (engine-test idiom)."""
+    rng = np.random.default_rng(seed)
+    n, t_dim, v_dim, k1, k2 = 9, 4, 15, 3, 2
+    u = rng.integers(0, n, num_ratings)
+    t = rng.integers(0, t_dim, num_ratings)
+    v = rng.integers(0, v_dim, num_ratings)
+    c = rng.random(num_ratings) + 0.25
+    state = {
+        "theta": rng.dirichlet(np.ones(k1), size=n),
+        "phi": rng.dirichlet(np.ones(v_dim), size=k1),
+        "theta_time": rng.dirichlet(np.ones(k2), size=t_dim),
+        "phi_time": rng.dirichlet(np.ones(v_dim), size=k2),
+        "lambda_u": rng.random(n),
+    }
+    return (u, t, v, c), (n, t_dim, v_dim), (k1, k2), state
+
+
+def _build_estep(config, seed=11, num_ratings=200):
+    triples, shape, topics, state = _random_problem(seed, num_ratings)
+    kernel = TTCAMKernel(*triples, shape, *topics, dtype=config.dtype)
+    return BlockedEStep(kernel, config), state
+
+
+# ---------------------------------------------------------------------------
+# Enablement
+# ---------------------------------------------------------------------------
+
+
+class TestEnablement:
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no", " OFF "])
+    def test_falsy_env_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert not sanitize_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy_env_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert sanitize_enabled()
+
+    def test_unset_env_is_off(self):
+        assert not sanitize_enabled()
+
+    def test_engine_off_by_default(self):
+        estep, _ = _build_estep(EMEngineConfig(block_size=64))
+        assert estep._sanitizer is None
+
+    def test_engine_config_knob(self):
+        estep, _ = _build_estep(EMEngineConfig(block_size=64, sanitize=True))
+        assert estep._sanitizer is not None
+
+    def test_engine_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        estep, _ = _build_estep(EMEngineConfig(block_size=64))
+        assert estep._sanitizer is not None
+
+    def test_scorer_follows_env(self, monkeypatch):
+        model = _make_serving_model()
+        assert BatchScorer(model, ServingCache())._sanitizer is None
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert BatchScorer(model, ServingCache())._sanitizer is not None
+
+    def test_no_sanitizer_constructed_when_off(self):
+        before = Sanitizer.constructed
+        estep, state = _build_estep(EMEngineConfig(block_size=32, threads=2))
+        estep.compute(state)
+        estep.compute(state)
+        assert Sanitizer.constructed == before
+
+
+# ---------------------------------------------------------------------------
+# Check helpers
+# ---------------------------------------------------------------------------
+
+
+class TestCheckHelpers:
+    def test_check_finite(self):
+        check_finite("x", np.array([0.0, 1.0]))
+        with pytest.raises(SanitizerError, match="NaN/Inf"):
+            check_finite("x", np.array([0.0, np.nan]))
+        with pytest.raises(SanitizerError, match="NaN/Inf"):
+            check_finite("x", np.array([np.inf, 1.0]))
+
+    def test_check_unit_interval(self):
+        check_unit_interval("lam", np.array([0.0, 0.5, 1.0]))
+        with pytest.raises(SanitizerError, match="unit interval"):
+            check_unit_interval("lam", np.array([0.5, 1.5]))
+        with pytest.raises(SanitizerError, match="unit interval"):
+            check_unit_interval("lam", np.array([-0.1, 0.5]))
+
+    def test_check_simplex(self):
+        rng = np.random.default_rng(0)
+        check_simplex("theta", rng.dirichlet(np.ones(5), size=8))
+        with pytest.raises(SanitizerError, match="not stochastic"):
+            check_simplex("theta", np.full((2, 4), 0.5))
+        with pytest.raises(SanitizerError, match="negative"):
+            check_simplex("theta", np.array([[1.5, -0.5]]))
+
+    def test_check_simplex_float32_tolerance(self):
+        # float32 rounding of a valid simplex must stay within tolerance.
+        rng = np.random.default_rng(1)
+        rows = rng.dirichlet(np.ones(64), size=16).astype(np.float32)
+        check_simplex("theta", rows)
+
+    def test_check_state_routes_by_key(self):
+        _, _, _, state = _random_problem()
+        check_state(state)
+        bad = dict(state)
+        bad["theta"] = state["theta"] * 2.0
+        with pytest.raises(SanitizerError, match="theta"):
+            check_state(bad)
+        bad = dict(state)
+        bad["lambda_u"] = state["lambda_u"] + 1.0
+        with pytest.raises(SanitizerError, match="lambda_u"):
+            check_state(bad)
+
+    def test_check_topk_finite(self):
+        good = TopKResult(
+            recommendations=[Recommendation(item=3, score=0.5)],
+            items_scored=1,
+            sorted_accesses=0,
+        )
+        check_topk_finite([good])
+        bad = TopKResult(
+            recommendations=[Recommendation(item=3, score=float("nan"))],
+            items_scored=1,
+            sorted_accesses=0,
+        )
+        with pytest.raises(SanitizerError, match="non-finite"):
+            check_topk_finite([good, bad])
+
+
+# ---------------------------------------------------------------------------
+# The Sanitizer recorder
+# ---------------------------------------------------------------------------
+
+
+class TestSanitizerRecorder:
+    def test_constructed_counter_increments(self):
+        before = Sanitizer.constructed
+        Sanitizer("a")
+        Sanitizer("b")
+        assert Sanitizer.constructed == before + 2
+
+    def test_disjoint_writes_pass(self):
+        san = Sanitizer("t")
+        san.record_write(0, 0, 50)
+        san.record_write(1, 50, 100)
+        san.assert_disjoint_writes()
+        san.assert_covers(100)
+
+    def test_overlapping_writes_raise(self):
+        san = Sanitizer("t")
+        san.record_write(0, 0, 60)
+        san.record_write(1, 50, 100)
+        with pytest.raises(SanitizerError, match="overlapping"):
+            san.assert_disjoint_writes()
+
+    def test_coverage_gap_raises(self):
+        san = Sanitizer("t")
+        san.record_write(0, 0, 40)
+        san.record_write(1, 50, 100)
+        with pytest.raises(SanitizerError, match="gap"):
+            san.assert_covers(100)
+
+    def test_coverage_shortfall_raises(self):
+        san = Sanitizer("t")
+        san.record_write(0, 0, 90)
+        with pytest.raises(SanitizerError, match="90"):
+            san.assert_covers(100)
+
+    def test_no_writes_raise(self):
+        san = Sanitizer("t")
+        with pytest.raises(SanitizerError, match="no write intervals"):
+            san.assert_covers(100)
+
+    def test_aliased_buffers_raise(self):
+        san = Sanitizer("t")
+        shared = np.zeros(4)
+        workspaces = [{"buf": shared}, {"buf": shared}]
+        stats = [{"acc": np.zeros(2)}, {"acc": np.zeros(2)}]
+        with pytest.raises(SanitizerError, match="aliases"):
+            san.assert_private_buffers(workspaces, stats)
+
+    def test_private_buffers_pass(self):
+        san = Sanitizer("t")
+        workspaces = [{"buf": np.zeros(4)}, {"buf": np.zeros(4)}]
+        stats = [{"acc": np.zeros(2)}, {"acc": np.zeros(2)}]
+        san.assert_private_buffers(workspaces, stats)
+
+    def test_fixed_order_reduce_verification(self):
+        san = Sanitizer("t")
+        partials = [
+            {"acc": np.array([0.1, 0.2])},
+            {"acc": np.array([0.3, 0.4])},
+        ]
+        total = {"acc": partials[0]["acc"] + partials[1]["acc"]}
+        san.verify_fixed_order_reduce(total, partials)
+        tampered = {"acc": total["acc"] + 1e-9}
+        with pytest.raises(SanitizerError, match="completion order"):
+            san.verify_fixed_order_reduce(tampered, partials)
+
+    def test_empty_partials_raise(self):
+        san = Sanitizer("t")
+        with pytest.raises(SanitizerError, match="no partial snapshots"):
+            san.verify_fixed_order_reduce({}, [])
+
+
+# ---------------------------------------------------------------------------
+# Engine integration
+# ---------------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_sanitized_compute_is_bit_identical(self):
+        plain, state = _build_estep(EMEngineConfig(block_size=32, threads=3))
+        sanitized, _ = _build_estep(
+            EMEngineConfig(block_size=32, threads=3, sanitize=True)
+        )
+        expected, expected_ll = plain.compute(state)
+        stats, ll = sanitized.compute(state)
+        assert ll == expected_ll
+        for name, array in expected.items():
+            assert np.array_equal(stats[name], array), name
+
+    def test_clean_pass_raises_nothing(self):
+        estep, state = _build_estep(
+            EMEngineConfig(block_size=32, threads=2, sanitize=True)
+        )
+        estep.compute(state)
+        estep.compute(state)  # buffer-reuse steady state stays clean
+
+    def test_overlapping_worker_runs_detected(self):
+        estep, state = _build_estep(
+            EMEngineConfig(block_size=32, threads=2, sanitize=True)
+        )
+        assert len(estep.runs) == 2
+        estep.runs[1] = estep.runs[0]  # both workers write the same rows
+        with pytest.raises(SanitizerError, match="overlapping"):
+            estep.compute(state)
+
+    def test_block_grid_gap_detected(self):
+        estep, state = _build_estep(
+            EMEngineConfig(block_size=32, threads=2, sanitize=True)
+        )
+        assert len(estep.runs[0]) >= 2
+        estep.runs[0] = estep.runs[0][1:]  # drop the first block
+        with pytest.raises(SanitizerError, match="gap"):
+            estep.compute(state)
+
+    def test_aliased_workspace_detected(self):
+        estep, state = _build_estep(
+            EMEngineConfig(block_size=32, threads=2, sanitize=True)
+        )
+        estep._ensure_buffers()
+        estep._workspaces[1] = estep._workspaces[0]
+        with pytest.raises(SanitizerError, match="aliases"):
+            estep.compute(state)
+
+    def test_invalid_state_detected(self):
+        estep, state = _build_estep(
+            EMEngineConfig(block_size=32, sanitize=True)
+        )
+        state["theta"] = state["theta"] * 2.0
+        with pytest.raises(SanitizerError, match="theta"):
+            estep.compute(state)
+
+    def test_sanitized_fit_matches_plain_fit(self, tiny_cuboid):
+        cuboid, _ = tiny_cuboid
+        plain = TTCAM(3, 2, max_iter=3, tol=-1.0, seed=7,
+                      engine=EMEngineConfig(block_size=64, threads=2)).fit(cuboid)
+        sanitized = TTCAM(3, 2, max_iter=3, tol=-1.0, seed=7,
+                          engine=EMEngineConfig(block_size=64, threads=2,
+                                                sanitize=True)).fit(cuboid)
+        assert np.array_equal(plain.params_.theta, sanitized.params_.theta)
+        assert np.array_equal(plain.params_.phi, sanitized.params_.phi)
+        assert np.array_equal(plain.params_.lambda_u, sanitized.params_.lambda_u)
+
+
+# ---------------------------------------------------------------------------
+# Serving integration
+# ---------------------------------------------------------------------------
+
+
+def _make_serving_model(seed=5):
+    rng = np.random.default_rng(seed)
+    params = TTCAMParameters(
+        theta=rng.dirichlet(np.full(3, 0.4), size=8),
+        phi=rng.dirichlet(np.full(30, 0.1), size=3),
+        theta_time=rng.dirichlet(np.full(2, 0.4), size=4),
+        phi_time=rng.dirichlet(np.full(30, 0.1), size=2),
+        lambda_u=rng.beta(3.0, 3.0, size=8),
+    )
+    return LoadedModel(params)
+
+
+class TestServingIntegration:
+    def test_serve_group_flags_non_finite_scores(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        scorer = BatchScorer(_make_serving_model(), ServingCache())
+        assert scorer._sanitizer is not None
+        bad = TopKResult(
+            recommendations=[Recommendation(item=0, score=float("nan"))],
+            items_scored=1,
+            sorted_accesses=0,
+        )
+        monkeypatch.setattr(
+            "repro.recommend.serving.exact_rescore",
+            lambda *args, **kwargs: bad,
+        )
+        with pytest.raises(SanitizerError, match="non-finite"):
+            scorer.serve_group(0, [0, 1], 3, None, "float64")
+
+    def test_serve_group_unsanitized_does_not_check(self, monkeypatch):
+        scorer = BatchScorer(_make_serving_model(), ServingCache())
+        assert scorer._sanitizer is None
+        bad = TopKResult(
+            recommendations=[Recommendation(item=0, score=float("nan"))],
+            items_scored=1,
+            sorted_accesses=0,
+        )
+        monkeypatch.setattr(
+            "repro.recommend.serving.exact_rescore",
+            lambda *args, **kwargs: bad,
+        )
+        results = scorer.serve_group(0, [0], 3, None, "float64")
+        assert results == [bad]
+
+    def test_clean_serving_passes_under_sanitizer(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        scorer = BatchScorer(_make_serving_model(), ServingCache())
+        results = scorer.serve_group(1, [0, 3, 5], 4, None, "float64")
+        assert len(results) == 3
+        for result in results:
+            assert len(result.items) == 4

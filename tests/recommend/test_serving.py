@@ -8,6 +8,7 @@ set stability at the bench scales, per-row degradation and the scratch
 hoisting in the threshold engines.
 """
 
+import threading
 import time
 
 import numpy as np
@@ -326,6 +327,52 @@ class TestSelectCandidates:
         scores = np.array([[3.0, 1.0], [2.0, 5.0]])
         _, mask = select_candidates(scores, 7)
         assert mask.all()
+
+
+class TestConcurrentServing:
+    def test_threaded_recommenders_sharing_cache_match_serial(self):
+        # The documented threading model: one recommender (and therefore
+        # one BatchScorer + workspace) per thread, sharing only the
+        # locked ServingCache. Threaded results must equal the serial
+        # ones exactly, and the shared cache must stay consistent.
+        rng = np.random.default_rng(11)
+        model = make_ttcam(rng)
+        query_sets = [
+            [(u, u % 5) for u in range(12)],
+            [((u * 5) % 12, (u + 2) % 5) for u in range(12)],
+            [(3, 1), (3, 1), (7, 4), (0, 0)],
+        ]
+        serial = TemporalRecommender(model)
+        expected = [serial.recommend_batch(queries, k=5) for queries in query_sets]
+
+        shared = ServingCache()
+        recommenders = [
+            TemporalRecommender(model, cache=shared) for _ in query_sets
+        ]
+        outcomes = [None] * len(query_sets)
+
+        def worker(slot):
+            batches = [
+                recommenders[slot].recommend_batch(query_sets[slot], k=5)
+                for _ in range(4)
+            ]
+            outcomes[slot] = batches
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(len(query_sets))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for slot, batches in enumerate(outcomes):
+            assert batches is not None
+            for batch in batches:
+                for result, reference in zip(batch, expected[slot]):
+                    assert result.items == reference.items
+                    assert result.scores == reference.scores
 
 
 class TestWallClockCeiling:

@@ -254,3 +254,52 @@ class TestEvaluate:
             ]
         )
         assert code == 0
+
+
+class TestAnalyze:
+    def test_list_rules(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("TCAM010", "TCAM011", "TCAM012", "TCAM013"):
+            assert code in out
+
+    def test_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "from concurrent.futures import as_completed\n"
+            "\n"
+            "def gather(pending):\n"
+            "    return [f.result() for f in as_completed(pending)]\n",
+            encoding="utf-8",
+        )
+        assert main(["analyze", str(dirty)]) == 1
+        assert "TCAM013" in capsys.readouterr().out
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n", encoding="utf-8")
+        assert main(["analyze", str(clean)]) == 0
+
+
+class TestFitSanitize:
+    def test_fit_under_sanitizer(self, dataset_csv, tmp_path, capsys):
+        path = tmp_path / "model.npz"
+        code = main(
+            [
+                "fit",
+                "--input",
+                str(dataset_csv),
+                "--model",
+                "ttcam",
+                "--k1",
+                "4",
+                "--k2",
+                "4",
+                "--iters",
+                "3",
+                "--sanitize",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()

@@ -251,6 +251,67 @@ def test_tcam003_builtin_kernel_config_applies_by_path():
     assert lint_source(source, "src/repro/data/io.py") == []
 
 
+@pytest.mark.parametrize(
+    "allocator", ["concatenate", "stack", "hstack", "vstack", "empty_like"]
+)
+def test_tcam003_flags_concatenation_allocators(allocator):
+    # The hot-path allocation rule covers the whole np.* allocating
+    # family, not just zeros/empty.
+    source = f"""
+    import numpy as np
+    from repro.typing import hot_path
+
+    @hot_path
+    def accumulate(a, b):
+        return np.{allocator}([a, b])
+    """
+    assert rules_of(source) == ["TCAM003"]
+
+
+@pytest.mark.parametrize(
+    "import_line, call",
+    [
+        ("from numpy import concatenate", "concatenate([a, b])"),
+        ("from numpy import vstack as vs", "vs([a, b])"),
+        ("from numpy import empty_like", "empty_like(a)"),
+    ],
+)
+def test_tcam003_tracks_bare_numpy_imports(import_line, call):
+    # Allocators imported by bare name (optionally aliased) are caught
+    # the same as the np.-prefixed spelling.
+    source = f"""
+    {import_line}
+    from repro.typing import hot_path
+
+    @hot_path
+    def accumulate(a, b):
+        return {call}
+    """
+    assert rules_of(source) == ["TCAM003"]
+
+
+def test_tcam003_bare_import_outside_hot_path_is_clean():
+    source = """
+    from numpy import concatenate
+
+    def make_workspace(a, b):
+        return concatenate([a, b])
+    """
+    assert rules_of(source) == []
+
+
+def test_tcam003_non_allocator_bare_import_is_clean():
+    source = """
+    from numpy import float64 as f64
+    from repro.typing import hot_path
+
+    @hot_path
+    def accumulate(a):
+        return f64(a.sum())
+    """
+    assert rules_of(source) == []
+
+
 def test_tcam003_suppressible():
     source = textwrap.dedent(
         """
