@@ -1,6 +1,6 @@
 # Convenience targets for the TCAM reproduction.
 
-.PHONY: install test test-robustness test-sanitize lint analyze typecheck check bench bench-perf bench-serve bench-smoke examples all
+.PHONY: install test test-robustness test-sanitize test-stream-faults lint analyze typecheck check bench bench-perf bench-serve bench-stream bench-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -44,6 +44,11 @@ test-robustness:
 test-sanitize:
 	TCAM_SANITIZE=1 pytest -q tests/core tests/recommend
 
+# Streaming fault-injection suite (WAL torn writes, kill/resume, swap
+# gate) with the runtime sanitizer armed — the crash-safety gate CI runs.
+test-stream-faults:
+	TCAM_SANITIZE=1 pytest -q tests/streaming -m faults
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -58,12 +63,18 @@ bench-perf:
 bench-serve:
 	PYTHONPATH=src python benchmarks/perf/bench_serve.py
 
+# Streaming ingestion benchmark: WAL append rate, fold-in rate, and
+# sustained ingest-while-serving; appends to BENCH_stream.json.
+bench-stream:
+	PYTHONPATH=src python benchmarks/perf/bench_stream.py
+
 # Tiny-scale run of the same harness (seconds); writes to a scratch dir so
 # the committed trajectories are never polluted by smoke numbers.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/perf/bench_em.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 	PYTHONPATH=src python benchmarks/perf/bench_topk.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 	PYTHONPATH=src python benchmarks/perf/bench_serve.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
+	PYTHONPATH=src python benchmarks/perf/bench_stream.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 
 examples:
 	@for script in examples/*.py; do \

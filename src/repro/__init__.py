@@ -35,6 +35,7 @@ from .data import Rating, RatingCuboid, generate, holdout_split, profile
 from .evaluation import ModelSpec, evaluate_ranking, run_accuracy_experiment
 from .extensions import BackgroundTTCAM, OnlineTTCAM
 from .recommend import TemporalRecommender
+from .streaming import EventLog, SnapshotPublisher, StreamEvent, StreamIngestor
 
 __version__ = "1.0.0"
 
@@ -61,5 +62,9 @@ __all__ = [
     "BackgroundTTCAM",
     "OnlineTTCAM",
     "TemporalRecommender",
+    "EventLog",
+    "StreamEvent",
+    "StreamIngestor",
+    "SnapshotPublisher",
     "__version__",
 ]

@@ -12,7 +12,11 @@ Covers the full offline/online loop from a shell:
 * ``tcam lint``     — run the domain-aware linter (rules
   TCAM001–TCAM005, see ``docs/static-analysis.md``);
 * ``tcam analyze``  — run the static concurrency-race analyzer (rules
-  TCAM010–TCAM013, see ``docs/static-analysis.md``).
+  TCAM010–TCAM013, see ``docs/static-analysis.md``);
+* ``tcam stream``   — the crash-safe streaming loop
+  (``docs/robustness.md``): ``append`` dense events to the durable
+  event log, ``run`` the incremental ingestor against a snapshot, and
+  inspect ``status`` of log and consumer checkpoints.
 
 Every command works on plain CSV (``user,interval,item,score``), so the
 CLI interoperates with any timestamped-rating export.
@@ -311,6 +315,91 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return analyze_main(argv)
 
 
+def _read_dense_events(path: Path) -> list[tuple[int, int, int, float]]:
+    """Read dense ``user,interval,item[,score]`` rows from a CSV file."""
+    import csv
+
+    events: list[tuple[int, int, int, float]] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"user", "interval", "item"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            missing = sorted(required - set(reader.fieldnames or ()))
+            raise SystemExit(f"error: {path} is missing columns {missing}")
+        for row in reader:
+            score = float(row["score"]) if row.get("score") else 1.0
+            events.append(
+                (int(row["user"]), int(row["interval"]), int(row["item"]), score)
+            )
+    return events
+
+
+def cmd_stream_append(args: argparse.Namespace) -> int:
+    """Durably append dense CSV events to a streaming event log."""
+    from .streaming import EventLog, StreamEvent
+
+    rows = _read_dense_events(Path(args.input))
+    with EventLog(args.log, segment_events=args.segment_events) as log:
+        before = log.next_offset
+        offset = log.append(
+            StreamEvent(user=u, interval=t, item=i, score=s) for u, t, i, s in rows
+        )
+    print(f"appended {offset - before} events; log now holds {offset}")
+    return 0
+
+
+def cmd_stream_run(args: argparse.Namespace) -> int:
+    """Fold durable events into a fitted snapshot, crash-safely."""
+    from .streaming import EventLog, StreamIngestor
+
+    loaded = LoadedModel.from_file(args.snapshot)
+    params = loaded.params_
+    if not hasattr(params, "phi_time"):
+        raise SystemExit("error: streaming ingestion needs a TTCAM snapshot")
+    with EventLog(args.log) as log:
+        ingestor = StreamIngestor(
+            log,
+            params,
+            args.checkpoints,
+            batch_events=args.batch_events,
+            drift_threshold=args.drift_threshold,
+            checkpoint_every=args.checkpoint_every,
+        )
+        report = ingestor.run(max_batches=args.max_batches)
+        if report.batches:
+            ingestor.checkpoint()
+        if args.output is not None:
+            final = save_params(ingestor.params, args.output)
+            print(f"wrote folded snapshot to {final}")
+    print(
+        f"applied {report.applied} events in {report.batches} micro-batches "
+        f"(skipped {report.skipped}, boundaries {report.boundaries}); "
+        f"consumer offset {report.offset}"
+    )
+    return 0
+
+
+def cmd_stream_status(args: argparse.Namespace) -> int:
+    """Show the durable state of an event log and its consumer."""
+    from .robustness import CheckpointManager
+    from .streaming import EventLog
+
+    with EventLog(args.log) as log:
+        print(f"log: {log.next_offset} durable events in {len(log.segment_paths)} segment(s)")
+    if args.checkpoints is not None:
+        manager = CheckpointManager(args.checkpoints, prefix="stream")
+        checkpoint = manager.latest()
+        if checkpoint is None:
+            print("consumer: no checkpoint yet (offset 0)")
+        else:
+            offset = checkpoint.meta.get("offset", 0)
+            print(
+                f"consumer: offset {offset} after {checkpoint.iteration} "
+                f"micro-batches ({checkpoint.path})"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``tcam`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -453,6 +542,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_stream = sub.add_parser(
+        "stream", help="crash-safe streaming ingestion (see docs/robustness.md)"
+    )
+    stream_sub = p_stream.add_subparsers(dest="stream_command", required=True)
+
+    p_sa = stream_sub.add_parser(
+        "append", help="durably append dense CSV events to the event log"
+    )
+    p_sa.add_argument("--log", required=True, help="event-log directory")
+    p_sa.add_argument("--input", required=True, help="CSV with user,interval,item[,score]")
+    p_sa.add_argument("--segment-events", type=int, default=4096)
+    p_sa.set_defaults(func=cmd_stream_append)
+
+    p_sr = stream_sub.add_parser(
+        "run", help="fold durable events into a TTCAM snapshot"
+    )
+    p_sr.add_argument("--log", required=True, help="event-log directory")
+    p_sr.add_argument("--snapshot", required=True, help="fitted TTCAM .npz snapshot")
+    p_sr.add_argument("--checkpoints", required=True, help="consumer checkpoint directory")
+    p_sr.add_argument("--output", default=None, help="write the folded snapshot here")
+    p_sr.add_argument("--batch-events", type=int, default=256)
+    p_sr.add_argument("--drift-threshold", type=float, default=0.85)
+    p_sr.add_argument("--checkpoint-every", type=int, default=4)
+    p_sr.add_argument("--max-batches", type=int, default=None)
+    p_sr.set_defaults(func=cmd_stream_run)
+
+    p_ss = stream_sub.add_parser(
+        "status", help="durable event count and consumer offset"
+    )
+    p_ss.add_argument("--log", required=True, help="event-log directory")
+    p_ss.add_argument("--checkpoints", default=None, help="consumer checkpoint directory")
+    p_ss.set_defaults(func=cmd_stream_status)
 
     return parser
 

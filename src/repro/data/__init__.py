@@ -1,7 +1,14 @@
 """Data substrate: rating events, the sparse rating cuboid, synthetic
 dataset generation, time discretisation, splits, and I/O."""
 
-from .adapters import filter_min_activity, from_events, load_movielens_dat, load_timestamped_csv
+from .adapters import (
+    cuboid_from_dense_events,
+    dense_stream_tuples,
+    filter_min_activity,
+    from_events,
+    load_movielens_dat,
+    load_timestamped_csv,
+)
 from .cuboid import RatingCuboid
 from .events import Rating, UserDocument, dataset_statistics, group_by_interval, group_by_user
 from .indexer import Indexer
@@ -27,6 +34,8 @@ from .splits import Split, cross_validation_splits, holdout_split, leave_last_in
 from .synthetic import EventSpec, GroundTruth, SyntheticConfig, auto_events, generate
 
 __all__ = [
+    "cuboid_from_dense_events",
+    "dense_stream_tuples",
     "filter_min_activity",
     "from_events",
     "load_movielens_dat",

@@ -15,6 +15,14 @@ loaders turn common on-disk formats into a
 All three discretise raw timestamps with a
 :class:`~repro.data.intervals.TimeDiscretizer` at a caller-chosen
 interval length — the hyper-parameter the paper's Table 3 sweeps.
+
+The streaming pipeline speaks *dense* ids (a fitted model's integer
+space) rather than labels, so this module also bridges the two worlds:
+:func:`dense_stream_tuples` flattens a cuboid into the
+``(user, interval, item, score)`` tuples an event log records, and
+:func:`cuboid_from_dense_events` folds such tuples back into a cuboid.
+Both sides are duck-typed plain tuples on purpose — the data layer
+stays below :mod:`repro.streaming` in the dependency order.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from .cuboid import RatingCuboid
 from .events import Rating
@@ -137,3 +147,53 @@ def filter_min_activity(
         cuboid.user_activity()[cuboid.users] >= min_user_ratings
     ) & (cuboid.item_user_counts()[cuboid.items] >= min_item_users)
     return cuboid.select(keep)
+
+
+def dense_stream_tuples(
+    cuboid: RatingCuboid,
+) -> list[tuple[int, int, int, float]]:
+    """Flatten a cuboid into dense ``(user, interval, item, score)`` tuples.
+
+    The tuples come out in deterministic interval-major order (interval,
+    then user, then item) — the order a live feed would deliver them —
+    ready to be appended to a streaming event log. Plain tuples, not
+    :class:`~repro.streaming.wal.StreamEvent`, so this module does not
+    depend on the streaming package.
+    """
+    order = np.lexsort((cuboid.items, cuboid.users, cuboid.intervals))
+    return [
+        (
+            int(cuboid.users[i]),
+            int(cuboid.intervals[i]),
+            int(cuboid.items[i]),
+            float(cuboid.scores[i]),
+        )
+        for i in order
+    ]
+
+
+def cuboid_from_dense_events(
+    events: Iterable[tuple[int, int, int, float]],
+    num_users: int | None = None,
+    num_intervals: int | None = None,
+    num_items: int | None = None,
+) -> RatingCuboid:
+    """Fold dense ``(user, interval, item, score)`` tuples into a cuboid.
+
+    The inverse of :func:`dense_stream_tuples` (duplicates coalesce by
+    summing, matching the event log's replay semantics); dimensions
+    default to ``max id + 1``. Use it to rebuild an offline training
+    cuboid from a drained event log.
+    """
+    materialised = list(events)
+    if not materialised:
+        raise ValueError("no events to fold")
+    return RatingCuboid.from_arrays(
+        users=[e[0] for e in materialised],
+        intervals=[e[1] for e in materialised],
+        items=[e[2] for e in materialised],
+        scores=[e[3] for e in materialised],
+        num_users=num_users,
+        num_intervals=num_intervals,
+        num_items=num_items,
+    )

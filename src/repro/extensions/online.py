@@ -13,6 +13,14 @@ few partial-EM iterations to estimate only the *local* parameters —
 This also addresses the paper's future-work note on time-evolving user
 interests: re-folding a user on their recent window tracks drift without
 retraining.
+
+Streaming feeds these paths constantly, and real streams repeat and
+reorder themselves (producer retries, out-of-order delivery), so both
+fold-ins guard their inputs: duplicate ``(item, interval)`` /
+``(user, item)`` events within one batch are deterministically coalesced
+(scores summed, first-occurrence order preserved) and out-of-order
+interval sequences are detected — each with a :class:`UserWarning` so
+the condition is observable without crashing a serving path.
 """
 
 from __future__ import annotations
@@ -24,6 +32,54 @@ import numpy as np
 from ..core.em import EPS
 from ..core.params import TTCAMParameters
 from ..core.ttcam import TTCAM
+
+
+def _coalesce_duplicates(
+    keys: tuple[np.ndarray, ...],
+    scores: np.ndarray,
+    what: str,
+) -> tuple[tuple[np.ndarray, ...], np.ndarray]:
+    """Deterministically merge duplicate events within one fold-in batch.
+
+    ``keys`` are aligned id arrays whose tuples identify an event (e.g.
+    ``(items, intervals)`` for a user fold-in). Duplicates are summed
+    into one event — the same merge :meth:`RatingCuboid.coalesce`
+    applies offline — keeping first-occurrence order so clean batches
+    pass through bit-unchanged. Emits a :class:`UserWarning` naming the
+    batch kind when anything was merged.
+    """
+    stacked = np.stack(keys)
+    _, first, inverse = np.unique(
+        stacked, axis=1, return_index=True, return_inverse=True
+    )
+    if first.size == stacked.shape[1]:
+        return keys, scores
+    order = np.argsort(first, kind="stable")  # unique groups, first-seen order
+    summed = np.bincount(inverse, weights=scores, minlength=first.size)
+    merged = int(stacked.shape[1] - first.size)
+    warnings.warn(
+        f"{what} batch contains {merged} duplicate event(s); "
+        "coalesced deterministically (scores summed)",
+        UserWarning,
+        stacklevel=3,
+    )
+    return tuple(key[first[order]] for key in keys), summed[order]
+
+
+def _warn_out_of_order(intervals: np.ndarray, what: str) -> None:
+    """Warn when a batch's interval sequence runs backwards.
+
+    Folding is order-independent, so the result is unaffected — but a
+    stream delivering out-of-order intervals usually signals a misbehaving
+    producer, which should be visible rather than silent.
+    """
+    if intervals.size > 1 and bool(np.any(np.diff(intervals) < 0)):
+        warnings.warn(
+            f"{what} batch has out-of-order intervals; folding is "
+            "order-independent but the feed may be misordered",
+            UserWarning,
+            stacklevel=3,
+        )
 
 
 class OnlineTTCAM:
@@ -85,6 +141,8 @@ class OnlineTTCAM:
             if scores is None
             else np.asarray(scores, dtype=np.float64)
         )
+        _warn_out_of_order(intervals, "user fold-in")
+        (items, intervals), c = _coalesce_duplicates((items, intervals), c, "user fold-in")
 
         phi_v = self.params.phi[:, items].T  # (R, K1), fixed
         p_context = np.einsum(
@@ -144,6 +202,7 @@ class OnlineTTCAM:
             if scores is None
             else np.asarray(scores, dtype=np.float64)
         )
+        (users, items), c = _coalesce_duplicates((users, items), c, "interval fold-in")
 
         p_interest = np.einsum(
             "rk,kr->r", self.params.theta[users], self.params.phi[:, items]
@@ -184,6 +243,30 @@ class OnlineTTCAM:
             theta_time=extended,
             phi_time=self.params.phi_time,
             lambda_u=self.params.lambda_u,
+        )
+        self.params = new_params
+        return new_params
+
+    def extend_with_user(
+        self,
+        items: np.ndarray,
+        intervals: np.ndarray,
+        scores: np.ndarray | None = None,
+    ) -> TTCAMParameters:
+        """Return new parameters with one extra user appended.
+
+        The new user's ``(θ_u, λ_u)`` is folded in from their ratings
+        (or the cold-start prior when they have none); every other
+        parameter is shared with the base model. The streaming ingestor
+        uses this to admit unseen user ids without a refit.
+        """
+        theta_u, lam = self.fold_in_user(items, intervals, scores)
+        new_params = TTCAMParameters(
+            theta=np.vstack([self.params.theta, theta_u[None, :]]),
+            phi=self.params.phi,
+            theta_time=self.params.theta_time,
+            phi_time=self.params.phi_time,
+            lambda_u=np.append(self.params.lambda_u, lam),
         )
         self.params = new_params
         return new_params

@@ -34,10 +34,23 @@ cached serving state — sorted-list indexes, context vectors, exclusion
 masks — lives in a bounded :class:`~repro.recommend.serving.ServingCache`
 whose hit/miss/eviction counters ride along on every
 :class:`ServingStatus`.
+
+**Hot swap.** The primary model, its serving cache and its batch scorer
+live together in one immutable *generation* object. Every query captures
+the current generation exactly once on entry and serves entirely from
+that capture, so :meth:`TemporalRecommender.swap_model` can publish a
+new generation — one atomic reference assignment under a lock — while
+traffic is in flight: queries that already started complete against the
+old generation, queries that start afterwards see the new one, and no
+query ever observes a half-swapped mix (read-copy-update). The streaming
+:class:`~repro.streaming.publisher.SnapshotPublisher` drives this to hot
+swap freshly ingested snapshots with zero dropped queries; swap,
+rollback and drift counters ride along on every :class:`ServingStatus`.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Mapping, Protocol, Sequence
@@ -81,9 +94,21 @@ class ServingStatus:
     attempted:
         Names of models tried and skipped before the serving one.
     cache:
-        Aggregate hit/miss/eviction counters of the recommender's
+        Aggregate hit/miss/eviction counters of the serving generation's
         :class:`~repro.recommend.serving.ServingCache` at serve time
         (``None`` only on statuses predating the cache).
+    generation:
+        Index of the serving generation that answered; bumped by every
+        :meth:`TemporalRecommender.swap_model`. All rows of one batch
+        carry the same generation — a torn (mixed-generation) batch is
+        impossible by construction.
+    swaps:
+        Snapshot hot-swaps performed over this recommender's lifetime.
+    rollbacks:
+        Publishes rejected or reverted (corrupt snapshot, failed health
+        validation) over this recommender's lifetime.
+    drift_events:
+        Swaps that were escalations from temporal-drift boundaries.
     """
 
     degraded: bool
@@ -91,6 +116,44 @@ class ServingStatus:
     reason: str | None = None
     attempted: tuple[str, ...] = field(default_factory=tuple)
     cache: CacheStats | None = None
+    generation: int = 0
+    swaps: int = 0
+    rollbacks: int = 0
+    drift_events: int = 0
+
+
+class _Generation:
+    """One immutable serving generation: a model plus its cached state.
+
+    The recommender's RCU read side: queries capture a generation once
+    and use only its members, so swapping the recommender's current
+    generation never disturbs a query already in flight. The members
+    themselves are never reassigned after construction — the serving
+    cache mutates internally, but it belongs to exactly one generation.
+    """
+
+    __slots__ = ("model", "cache", "index", "_scorer")
+
+    def __init__(
+        self, model: SupportsQuerySpace | None, cache: ServingCache, index: int
+    ) -> None:
+        self.model = model
+        self.cache = cache
+        self.index = index
+        self._scorer: BatchScorer | None = None
+
+    def scorer(self) -> BatchScorer:
+        """The generation's lazily built batch scorer.
+
+        Benign-race lazy init: concurrent first callers may each build a
+        scorer, but both are equivalent (same model, same cache) and the
+        attribute store is atomic, so whichever lands last wins safely.
+        """
+        if self._scorer is None:
+            self._scorer = BatchScorer(self.model, self.cache)
+        scorer = self._scorer
+        assert scorer is not None
+        return scorer
 
 
 def _model_name(model: object) -> str:
@@ -142,7 +205,6 @@ class TemporalRecommender:
             raise ValueError(f"method must be one of {self._METHODS}, got {method!r}")
         if model is None and not fallbacks:
             raise ValueError("a recommender needs a model or at least one fallback")
-        self.model = model
         self.method = method
         self.fallbacks = tuple(fallbacks)
         self.unavailable_reason = unavailable_reason
@@ -152,9 +214,111 @@ class TemporalRecommender:
         # matrix cache key (TTCAM's topic–item matrix is query-independent
         # — one entry; ITCAM's depends on the queried interval — one entry
         # per recently queried interval), plus context vectors, dtype
-        # conversions and exclusion masks for the batch engine.
-        self.serving_cache = cache if cache is not None else ServingCache()
-        self._batch_scorer: BatchScorer | None = None
+        # conversions and exclusion masks for the batch engine. The cache
+        # lives inside the generation so a hot swap retires it with the
+        # model it indexed.
+        self._generation = _Generation(
+            model, cache if cache is not None else ServingCache(), 0
+        )
+        self._swap_lock = threading.Lock()
+        self._swaps = 0
+        self._rollbacks = 0
+        self._drift_events = 0
+        self.last_rollback_reason: str | None = None
+
+    # ------------------------------------------------------------------
+    # generations (RCU hot swap)
+    # ------------------------------------------------------------------
+
+    @property
+    def model(self) -> SupportsQuerySpace | None:
+        """The current generation's primary model (``None`` = degraded)."""
+        return self._generation.model
+
+    @property
+    def serving_cache(self) -> ServingCache:
+        """The current generation's serving cache."""
+        return self._generation.cache
+
+    @property
+    def generation(self) -> int:
+        """Index of the currently published serving generation."""
+        return self._generation.index
+
+    @property
+    def swap_count(self) -> int:
+        """Hot swaps performed over this recommender's lifetime."""
+        return self._swaps
+
+    @property
+    def rollback_count(self) -> int:
+        """Failed publishes recorded against this recommender."""
+        return self._rollbacks
+
+    @property
+    def drift_count(self) -> int:
+        """Swaps escalated from temporal-drift boundaries."""
+        return self._drift_events
+
+    def swap_model(
+        self,
+        model: SupportsQuerySpace,
+        cache: ServingCache | None = None,
+        drift: bool = False,
+    ) -> int:
+        """Atomically publish ``model`` as a new serving generation.
+
+        The new generation (model + fresh :class:`ServingCache` + lazy
+        scorer) becomes visible to queries that *start* after this call
+        returns; queries already in flight finish against the generation
+        they captured on entry, so no query is ever dropped or served a
+        torn mix of old and new parameters. Returns the new generation
+        index. ``drift=True`` additionally counts the swap as a
+        drift-boundary escalation.
+        """
+        if model is None:
+            raise ValueError("cannot swap in a missing model; use fallbacks instead")
+        with self._swap_lock:
+            generation = _Generation(
+                model,
+                cache if cache is not None else ServingCache(),
+                self._generation.index + 1,
+            )
+            self._swaps += 1
+            if drift:
+                self._drift_events += 1
+            self.unavailable_reason = None
+            # Single atomic publication point — the RCU write side.
+            self._generation = generation
+            return generation.index
+
+    def note_rollback(self, reason: str) -> None:
+        """Record a rejected or reverted publish (kept generation serves on)."""
+        with self._swap_lock:
+            self._rollbacks += 1
+            self.last_rollback_reason = reason
+
+    def _status(
+        self,
+        generation: "_Generation",
+        degraded: bool,
+        served_by: str,
+        reason: str | None = None,
+        attempted: tuple[str, ...] = (),
+        cache: CacheStats | None = None,
+    ) -> ServingStatus:
+        """Stamp one :class:`ServingStatus` with the generation counters."""
+        return ServingStatus(
+            degraded,
+            served_by,
+            reason,
+            attempted,
+            cache=cache if cache is not None else generation.cache.stats(),
+            generation=generation.index,
+            swaps=self._swaps,
+            rollbacks=self._rollbacks,
+            drift_events=self._drift_events,
+        )
 
     @classmethod
     def from_snapshot(
@@ -230,17 +394,20 @@ class TemporalRecommender:
         engine = method if method is not None else self.method
         if engine not in self._METHODS:
             raise ValueError(f"method must be one of {self._METHODS}, got {engine!r}")
+        # RCU read side: capture the generation once; every lookup below
+        # uses this capture, so a concurrent swap cannot tear the query.
+        generation = self._generation
         attempted: list[str] = []
         reason = self.unavailable_reason
-        if self.model is not None:
-            range_problem = self._range_problem(user, interval)
+        if generation.model is not None:
+            range_problem = self._range_problem(generation.model, user, interval)
             if range_problem is None:
                 try:
-                    result = self._serve_primary(user, interval, k, engine, exclude)
-                    status = ServingStatus(
-                        False,
-                        _model_name(self.model),
-                        cache=self.serving_cache.stats(),
+                    result = self._serve_primary(
+                        generation, user, interval, k, engine, exclude
+                    )
+                    status = self._status(
+                        generation, False, _model_name(generation.model)
                     )
                     self.last_status = status
                     return result, status
@@ -248,15 +415,16 @@ class TemporalRecommender:
                     reason = f"primary model failed: {exc}"
             else:
                 reason = range_problem
-            attempted.append(_model_name(self.model))
+            attempted.append(_model_name(generation.model))
         result, status = self._serve_via_fallbacks(
-            user, interval, k, exclude, reason, attempted
+            generation, user, interval, k, exclude, reason, attempted
         )
         self.last_status = status
         return result, status
 
     def _serve_via_fallbacks(
         self,
+        generation: "_Generation",
         user: int,
         interval: int,
         k: int,
@@ -272,12 +440,12 @@ class TemporalRecommender:
             except Exception:
                 attempted.append(_model_name(fallback))
                 continue
-            status = ServingStatus(
+            status = self._status(
+                generation,
                 True,
                 _model_name(fallback),
                 reason,
                 tuple(attempted),
-                cache=self.serving_cache.stats(),
             )
             return result, status
         raise ServingUnavailableError(
@@ -344,6 +512,10 @@ class TemporalRecommender:
         serve_dtype = check_serve_dtype(dtype if dtype is not None else self.serve_dtype)
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        # RCU read side: the whole batch serves from one captured
+        # generation, so concurrent swaps can never produce a torn batch.
+        generation = self._generation
+        model = generation.model
         pairs = [(int(user), int(interval)) for user, interval in queries]
         count = len(pairs)
         results: list[TopKResult | None] = [None] * count
@@ -351,13 +523,13 @@ class TemporalRecommender:
 
         fallback_reason: dict[int, str] = {}
         groups: dict[int, list[int]] = {}
-        if self.model is None:
+        if model is None:
             reason = self.unavailable_reason or "no primary model"
             for i in range(count):
                 fallback_reason[i] = reason
         else:
             for i, (user, interval) in enumerate(pairs):
-                problem = self._range_problem(user, interval)
+                problem = self._range_problem(model, user, interval)
                 if problem is None:
                     groups.setdefault(interval, []).append(i)
                 else:
@@ -366,7 +538,7 @@ class TemporalRecommender:
         for interval, indices in groups.items():
             users = [pairs[i][0] for i in indices]
             try:
-                group_results = self._scorer().serve_group(
+                group_results = generation.scorer().serve_group(
                     interval, users, k, exclude, serve_dtype, row_block
                 )
             except Exception as exc:
@@ -375,12 +547,15 @@ class TemporalRecommender:
             else:
                 for i, result in zip(indices, group_results):
                     results[i] = result
-                    statuses[i] = ServingStatus(False, _model_name(self.model))
+                    statuses[i] = self._status(
+                        generation, False, _model_name(model), cache=CacheStats()
+                    )
 
-        attempted = [_model_name(self.model)] if self.model is not None else []
+        attempted = [_model_name(model)] if model is not None else []
         for i in sorted(fallback_reason):
             user, interval = pairs[i]
             results[i], statuses[i] = self._serve_via_fallbacks(
+                generation,
                 user,
                 interval,
                 k,
@@ -389,7 +564,7 @@ class TemporalRecommender:
                 attempted,
             )
 
-        snapshot = self.serving_cache.stats()
+        snapshot = generation.cache.stats()
         # Every index was filled by the primary path or the fallback walk.
         assert all(r is not None for r in results)
         assert all(s is not None for s in statuses)
@@ -402,10 +577,8 @@ class TemporalRecommender:
         return final_results, final_statuses
 
     def _scorer(self) -> BatchScorer:
-        """The lazily created batch scorer bound to the primary model."""
-        if self._batch_scorer is None:
-            self._batch_scorer = BatchScorer(self.model, self.serving_cache)
-        return self._batch_scorer
+        """The current generation's batch scorer (tests and tooling hook)."""
+        return self._generation.scorer()
 
     @staticmethod
     def _exclude_items(
@@ -419,13 +592,16 @@ class TemporalRecommender:
             return None if items is None else np.asarray(items, dtype=np.int64)
         return np.asarray(exclude, dtype=np.int64)
 
-    def _range_problem(self, user: int, interval: int) -> str | None:
-        """Why the query is outside the primary model, or ``None`` if it fits.
+    @staticmethod
+    def _range_problem(
+        model: SupportsQuerySpace, user: int, interval: int
+    ) -> str | None:
+        """Why the query is outside the given model, or ``None`` if it fits.
 
         Only models that expose fitted ``params_`` dimensions are
         checked; anything else is assumed to accept the query.
         """
-        params = getattr(self.model, "params_", None)
+        params = getattr(model, "params_", None)
         num_users = getattr(params, "num_users", None)
         num_intervals = getattr(params, "num_intervals", None)
         if num_users is not None and not 0 <= user < num_users:
@@ -436,19 +612,21 @@ class TemporalRecommender:
 
     def _serve_primary(
         self,
+        generation: "_Generation",
         user: int,
         interval: int,
         k: int,
         engine: str,
         exclude: IntArray | None,
     ) -> TopKResult:
-        """Answer with the primary model through the selected engine."""
-        assert self.model is not None  # callers check before dispatching here
-        weights, matrix = self.model.query_space(user, interval)
+        """Answer with the generation's model through the selected engine."""
+        model = generation.model
+        assert model is not None  # callers check before dispatching here
+        weights, matrix = model.query_space(user, interval)
         query = QuerySpace(weights=weights, item_matrix=matrix)
         if engine == "bf":
             return bruteforce_topk(query, k, exclude=exclude)
-        lists = self._lists_for(matrix, interval)
+        lists = self._lists_for(generation, matrix, interval)
         if engine == "ta":
             return ta_topk(query, lists, k, exclude=exclude)
         if engine == "batched-ta":
@@ -473,21 +651,24 @@ class TemporalRecommender:
             recommendations=recommendations, items_scored=int(scores.shape[0])
         )
 
-    def _lists_for(self, matrix: FloatArray, interval: int) -> SortedTopicLists:
+    @staticmethod
+    def _lists_for(
+        generation: "_Generation", matrix: FloatArray, interval: int
+    ) -> SortedTopicLists:
         """Fetch or build the sorted-list index for a topic–item matrix.
 
         Models expose ``matrix_cache_key(interval)`` saying which queries
         share a topic–item matrix; without it the index is rebuilt per
         query (correct but slow).
         """
-        key_fn = getattr(self.model, "matrix_cache_key", None)
+        key_fn = getattr(generation.model, "matrix_cache_key", None)
         if key_fn is None:
             return SortedTopicLists.build(matrix)
         key = key_fn(interval)
-        lists = self.serving_cache.indexes.get(key)
+        lists = generation.cache.indexes.get(key)
         if lists is None:
             lists = SortedTopicLists.build(matrix)
-            self.serving_cache.indexes.put(key, lists)
+            generation.cache.indexes.put(key, lists)
         return lists
 
     def precompute(self, intervals: IntArray | None = None, user: int = 0) -> int:
@@ -497,11 +678,12 @@ class TemporalRecommender:
         to query. Returns the number of cached indexes. A recommender
         whose primary model is unavailable has nothing to precompute.
         """
-        if self.model is None:
+        generation = self._generation
+        if generation.model is None:
             return 0
         if intervals is None:
             intervals = np.array([0])
         for interval in np.asarray(intervals, dtype=np.int64):
-            _, matrix = self.model.query_space(user, int(interval))
-            self._lists_for(matrix, int(interval))
-        return len(self.serving_cache.indexes)
+            _, matrix = generation.model.query_space(user, int(interval))
+            self._lists_for(generation, matrix, int(interval))
+        return len(generation.cache.indexes)

@@ -19,6 +19,7 @@ The pieces compose into a crash-safe runtime around the EM models:
 from .checkpoint import Checkpoint, CheckpointManager, digest_arrays
 from .errors import (
     CheckpointError,
+    EventLogCorruptError,
     HealthViolation,
     InjectedFault,
     RetryExhaustedError,
@@ -31,6 +32,7 @@ from .faults import (
     FaultInjector,
     active_injector,
     fault_point,
+    faulty_write,
     maybe_poison,
     truncate_file,
 )
@@ -42,6 +44,7 @@ __all__ = [
     "CheckpointManager",
     "digest_arrays",
     "CheckpointError",
+    "EventLogCorruptError",
     "HealthViolation",
     "InjectedFault",
     "RetryExhaustedError",
@@ -52,6 +55,7 @@ __all__ = [
     "FaultInjector",
     "active_injector",
     "fault_point",
+    "faulty_write",
     "maybe_poison",
     "truncate_file",
     "HealthMonitor",

@@ -26,6 +26,15 @@ class CheckpointError(RobustnessError):
     """A training checkpoint is unusable (missing, corrupt or mismatched)."""
 
 
+class EventLogCorruptError(RobustnessError):
+    """A write-ahead event-log segment is damaged beyond its live tail.
+
+    A torn tail on the *last* segment is expected after a crash and is
+    silently truncated during recovery; corruption anywhere else means
+    the durable history itself is damaged and replay cannot be trusted.
+    """
+
+
 class HealthViolation(RobustnessError):
     """An EM iteration violated a numerical-health invariant.
 

@@ -12,15 +12,30 @@ Sites instrumented in this package:
 
 * ``em.iteration``   — top of every EM iteration (context: ``iteration``);
 * ``em.state``       — the freshly updated EM state (poisonable);
-* ``parallel.shard`` — one shard's E-step (context: ``shard``, ``attempt``).
+* ``parallel.shard`` — one shard's E-step (context: ``shard``, ``attempt``);
+* ``wal.write``      — every byte range the event log writes (context:
+  ``segment``), targetable by the write-fault plans below;
+* ``stream.batch``   — top of every ingested micro-batch (context:
+  ``batch``, ``offset``);
+* ``stream.checkpoint`` — just before the ingestor persists its state.
+
+Write faults (:meth:`FaultInjector.torn_write`,
+:meth:`FaultInjector.short_write`, :meth:`FaultInjector.disk_full`)
+act through :func:`faulty_write`, which production file-writing code
+routes its writes through: a *short* write delivers only a prefix and
+reports it (the caller's write loop must finish the job), a *torn*
+write delivers a prefix and then simulates the process dying, and
+*disk-full* raises ``OSError(ENOSPC)`` without writing anything.
 """
 
 from __future__ import annotations
 
+import errno
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import IO
 
 import numpy as np
 
@@ -54,6 +69,24 @@ def maybe_poison(
     return arrays
 
 
+def faulty_write(site: str, handle: IO[bytes], data: "bytes | memoryview", **context: object) -> int:
+    """Write ``data`` to ``handle``, subject to armed write-fault plans.
+
+    Returns the number of bytes actually written, mirroring the
+    ``os.write`` contract: a *short-write* plan delivers only a prefix,
+    so callers must loop until all bytes are on disk (see
+    :meth:`repro.streaming.wal.EventLog.append`). A *torn-write* plan
+    writes a prefix and then raises :class:`InjectedFault`, simulating
+    the process dying mid-write; a *disk-full* plan raises
+    ``OSError(ENOSPC)`` before anything is written. Without an armed
+    injector this is exactly ``handle.write(data)``.
+    """
+    injector = _active
+    if injector is None:
+        return handle.write(data)
+    return injector._write(site, handle, data, context)
+
+
 def truncate_file(path: str | Path, keep_fraction: float = 0.5) -> Path:
     """Truncate a file in place, simulating a crash mid-write.
 
@@ -76,12 +109,13 @@ class _Plan:
     """One armed fault: what to do, where, and how many times."""
 
     site: str
-    action: str  # "crash" | "delay" | "nan"
+    action: str  # "crash" | "delay" | "nan" | "torn-write" | "short-write" | "disk-full"
     times: int
     match: dict[str, object]
     seconds: float = 0.0
     cells: int = 1
     array: str | None = None
+    keep_fraction: float = 0.5
     fired: int = 0
 
     def applies(self, site: str, context: dict[str, object]) -> bool:
@@ -155,6 +189,67 @@ class FaultInjector:
         )
         return self
 
+    def torn_write(
+        self,
+        site: str,
+        keep_fraction: float = 0.5,
+        times: int = 1,
+        **match: object,
+    ) -> "FaultInjector":
+        """Arm a crash mid-write: a prefix lands on disk, then the
+        process "dies" (:class:`InjectedFault`).
+
+        ``keep_fraction`` of the requested bytes (at least one when any
+        were requested) are written before the fault raises — exactly
+        the torn tail a WAL recovery path must truncate.
+        """
+        if not 0 <= keep_fraction < 1:
+            raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+        self._plans.append(
+            _Plan(
+                site=site,
+                action="torn-write",
+                times=times,
+                match=match,
+                keep_fraction=keep_fraction,
+            )
+        )
+        return self
+
+    def short_write(
+        self,
+        site: str,
+        keep_fraction: float = 0.5,
+        times: int = 1,
+        **match: object,
+    ) -> "FaultInjector":
+        """Arm ``times`` short writes: only a prefix is written and its
+        length returned, as ``os.write`` is allowed to do.
+
+        No exception is raised — correct callers loop until every byte
+        is durable, so a short write must be invisible in the recovered
+        state.
+        """
+        if not 0 <= keep_fraction < 1:
+            raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+        self._plans.append(
+            _Plan(
+                site=site,
+                action="short-write",
+                times=times,
+                match=match,
+                keep_fraction=keep_fraction,
+            )
+        )
+        return self
+
+    def disk_full(self, site: str, times: int = 1, **match: object) -> "FaultInjector":
+        """Arm ``times`` ``OSError(ENOSPC)`` raises before any byte is written."""
+        self._plans.append(
+            _Plan(site=site, action="disk-full", times=times, match=match)
+        )
+        return self
+
     @property
     def fired(self) -> int:
         """Total faults delivered so far."""
@@ -225,3 +320,33 @@ class FaultInjector:
             flat[index] = np.nan
             poisoned[name] = target
         return poisoned
+
+    def _write(
+        self,
+        site: str,
+        handle: IO[bytes],
+        data: "bytes | memoryview",
+        context: dict[str, object],
+    ) -> int:
+        """Deliver write-fault plans for one :func:`faulty_write` call."""
+        matched: _Plan | None = None
+        with _lock:
+            for plan in self._plans:
+                if (
+                    plan.action in ("torn-write", "short-write", "disk-full")
+                    and plan.applies(site, context)
+                ):
+                    plan.fired += 1
+                    matched = plan
+                    break
+        if matched is None:
+            return handle.write(data)
+        if matched.action == "disk-full":
+            raise OSError(errno.ENOSPC, f"injected disk-full at {site} ({context})")
+        size = len(data)
+        keep = max(1, int(size * matched.keep_fraction)) if size else 0
+        written = handle.write(memoryview(data)[:keep])
+        if matched.action == "torn-write":
+            handle.flush()
+            raise InjectedFault(f"injected torn write at {site} ({context})")
+        return written

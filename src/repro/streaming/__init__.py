@@ -1,0 +1,43 @@
+"""Crash-safe streaming ingestion: durable log, fold-in, hot swap.
+
+The batch pipeline (cuboid → EM fit → snapshot) assumes the data holds
+still; this package is the online counterpart, moving one rating event
+at a time from the network edge into the serving path without ever
+losing or double-counting it:
+
+* :class:`EventLog` / :class:`StreamEvent` — an append-only,
+  checksummed write-ahead log; events are durable (fsync) before they
+  are acknowledged, and recovery after any crash truncates at most an
+  unacknowledged torn tail.
+* :class:`StreamIngestor` / :class:`IngestReport` — consumes the log in
+  micro-batches, folds new users/intervals into a fitted TTCAM with
+  partial EM, tracks per-interval temporal drift
+  (:class:`DriftTracker`) and escalates cosine-threshold boundaries to
+  checkpointed partial refits. Its checkpoints carry the consumer
+  offset, so kill-anywhere resume replays to bit-identical parameters.
+* :class:`SnapshotPublisher` / :class:`PublishResult` — health-gates
+  folded snapshots and hot-swaps them into a
+  :class:`~repro.recommend.recommender.TemporalRecommender` under its
+  read-copy-update generation scheme: zero dropped queries, zero torn
+  batches, rollback on corrupt or unhealthy candidates.
+
+See ``docs/robustness.md`` (Streaming section) for the on-disk WAL
+format and the end-to-end crash-safety argument.
+"""
+
+from .drift import DriftTracker, DriftUpdate, unit_norm
+from .ingestor import IngestReport, StreamIngestor
+from .publisher import PublishResult, SnapshotPublisher
+from .wal import EventLog, StreamEvent
+
+__all__ = [
+    "DriftTracker",
+    "DriftUpdate",
+    "unit_norm",
+    "IngestReport",
+    "StreamIngestor",
+    "PublishResult",
+    "SnapshotPublisher",
+    "EventLog",
+    "StreamEvent",
+]

@@ -1,0 +1,163 @@
+"""Unit-norm drifting context vectors with cosine-threshold boundaries.
+
+The streaming ingestor needs a *cheap* answer to "has this interval's
+temporal context genuinely changed, or is it just wobbling?". Following
+the drifting-vector design referenced by the roadmap (a unit-norm
+vector that drifts in small steps but jumps at boundaries, with cosine
+similarity reduced to a dot product by keeping everything L2-normalised),
+each tracked interval carries one unit vector:
+
+* every micro-batch produces a fresh context estimate; its unit-norm
+  form is compared to the tracked vector by a single dot product;
+* ``cosine >= threshold`` → **drift**: the tracked vector takes a small
+  step toward the estimate and is re-normalised;
+* ``cosine < threshold`` → **boundary**: the context has jumped — the
+  tracked vector is replaced outright and the caller escalates (the
+  ingestor runs a checkpointed partial refit of that interval).
+
+Everything is deterministic and dtype-stable, so drift decisions replay
+identically during crash recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..typing import FloatArray
+
+#: Vectors with less mass than this are treated as absent (no signal).
+_NORM_FLOOR = 1e-300
+
+
+def unit_norm(vector: FloatArray) -> FloatArray:
+    """L2-normalise a vector (float64); zero vectors raise.
+
+    Keeping every tracked vector at unit length is what makes the
+    boundary test a plain dot product.
+    """
+    values = np.asarray(vector, dtype=np.float64)
+    norm = float(np.linalg.norm(values))
+    if not norm > _NORM_FLOOR:
+        raise ValueError("cannot unit-normalise a zero vector")
+    return values / norm
+
+
+@dataclass(frozen=True, slots=True)
+class DriftUpdate:
+    """Outcome of feeding one context estimate to the tracker.
+
+    Attributes
+    ----------
+    interval:
+        The interval whose vector was updated.
+    cosine:
+        Similarity between the tracked vector and the new estimate
+        (``1.0`` for a freshly initialised interval).
+    boundary:
+        True when the estimate crossed the cosine threshold — the
+        caller should escalate to a refit.
+    """
+
+    interval: int
+    cosine: float
+    boundary: bool
+
+
+class DriftTracker:
+    """Per-interval unit-norm drift vectors over a growing interval axis.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the context vectors (``K2`` time topics).
+    drift_rate:
+        Step size toward each new estimate on a non-boundary update
+        (``0`` = frozen, ``1`` = always jump).
+    threshold:
+        Cosine below which an update counts as a boundary.
+
+    The tracker's state is two arrays — ``vectors`` of shape ``(T, dim)``
+    and a 0/1 ``valid`` mask — exposed for checkpointing and restored
+    with :meth:`restore`, so drift decisions survive a crash bit-for-bit.
+    """
+
+    def __init__(self, dim: int, drift_rate: float = 0.2, threshold: float = 0.85) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not 0.0 <= drift_rate <= 1.0:
+            raise ValueError(f"drift_rate must be in [0, 1], got {drift_rate}")
+        if not -1.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [-1, 1], got {threshold}")
+        self.dim = dim
+        self.drift_rate = drift_rate
+        self.threshold = threshold
+        self.vectors: FloatArray = np.zeros((0, dim), dtype=np.float64)
+        self.valid: FloatArray = np.zeros(0, dtype=np.float64)
+        self.boundaries = 0
+        self.updates = 0
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of intervals currently tracked (rows of ``vectors``)."""
+        return int(self.vectors.shape[0])
+
+    def ensure_intervals(self, count: int) -> None:
+        """Grow the tracked axis to at least ``count`` intervals."""
+        if count <= self.num_intervals:
+            return
+        extra = count - self.num_intervals
+        self.vectors = np.vstack(
+            [self.vectors, np.zeros((extra, self.dim), dtype=np.float64)]
+        )
+        self.valid = np.concatenate(
+            [self.valid, np.zeros(extra, dtype=np.float64)]
+        )
+
+    def update(self, interval: int, estimate: FloatArray) -> DriftUpdate:
+        """Feed one micro-batch context estimate for ``interval``.
+
+        Returns the :class:`DriftUpdate` verdict; the tracked vector has
+        already drifted (or jumped) when this returns.
+        """
+        if interval < 0:
+            raise ValueError(f"interval must be non-negative, got {interval}")
+        self.ensure_intervals(interval + 1)
+        fresh = unit_norm(estimate)
+        self.updates += 1
+        if not self.valid[interval]:
+            self.vectors[interval] = fresh
+            self.valid[interval] = 1.0
+            return DriftUpdate(interval=interval, cosine=1.0, boundary=False)
+        current = self.vectors[interval]
+        cosine = float(np.dot(current, fresh))
+        if cosine < self.threshold:
+            # Boundary: the context jumped; re-anchor on the estimate.
+            self.vectors[interval] = fresh
+            self.boundaries += 1
+            return DriftUpdate(interval=interval, cosine=cosine, boundary=True)
+        stepped = (1.0 - self.drift_rate) * current + self.drift_rate * fresh
+        self.vectors[interval] = unit_norm(stepped)
+        return DriftUpdate(interval=interval, cosine=cosine, boundary=False)
+
+    def restore(
+        self,
+        vectors: FloatArray,
+        valid: FloatArray,
+        boundaries: int = 0,
+        updates: int = 0,
+    ) -> None:
+        """Replace the tracker state (crash-recovery path)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        valid = np.asarray(valid, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"vectors must have shape (T, {self.dim}), got {vectors.shape}"
+            )
+        if valid.shape != (vectors.shape[0],):
+            raise ValueError("valid mask must align with vectors")
+        self.vectors = vectors.copy()
+        self.valid = valid.copy()
+        self.boundaries = int(boundaries)
+        self.updates = int(updates)

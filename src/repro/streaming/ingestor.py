@@ -1,0 +1,406 @@
+"""Incremental fold-in of durable stream events into a fitted TTCAM.
+
+The :class:`StreamIngestor` is the consumer side of the streaming
+pipeline: it reads acknowledged events from an :class:`~repro.streaming.wal.EventLog`
+in fixed-size micro-batches and folds them into a fitted model without a
+full refit, using the partial-EM estimators of
+:class:`~repro.extensions.online.OnlineTTCAM`:
+
+* **New intervals** get uniform-prior context rows appended to
+  ``θ′`` before anything else, so every event in the batch is in range.
+* **New users** are admitted in ascending id order — ids that actually
+  appear in the batch are folded in from their own events, gap ids in
+  between get the cold-start prior directly.
+* **Per-interval context updates**: each interval's events produce a
+  fresh context estimate; a :class:`~repro.streaming.drift.DriftTracker`
+  compares it (unit-norm cosine) with the interval's tracked vector.
+  Within the threshold, the published context takes a small *blend* step
+  toward the estimate; below it — a temporal boundary — the ingestor
+  escalates to a **partial refit** (a longer fold of that interval,
+  re-anchoring its context outright) and checkpoints immediately.
+
+Every micro-batch application is a pure function of ``(model state,
+events)``: no clocks, no randomness, fixed iteration order. Combined
+with the durable consumer ``offset`` stored inside each checkpoint,
+killing the ingestor at *any* point and resuming from the latest
+checkpoint replays the exact same micro-batches and reproduces
+bit-identical parameters — no event is ever double-applied or dropped.
+Items beyond the fitted catalogue cannot be folded (φ has no column for
+them); such events are counted, warned about once per batch and skipped
+deterministically.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..core.params import TTCAMParameters
+from ..extensions.online import OnlineTTCAM
+from ..robustness.checkpoint import CheckpointManager
+from ..robustness.errors import CheckpointError
+from ..robustness.faults import fault_point
+from .drift import DriftTracker
+from .wal import EventLog, StreamEvent
+
+#: Checkpoint keys for the drift tracker's state arrays.
+_DRIFT_VECTORS = "drift_vectors"
+_DRIFT_VALID = "drift_valid"
+
+
+@dataclass(frozen=True, slots=True)
+class IngestReport:
+    """Outcome of one :meth:`StreamIngestor.run` call.
+
+    Attributes
+    ----------
+    batches:
+        Micro-batches applied by this call.
+    applied:
+        Events folded into the model by this call.
+    skipped:
+        Events dropped because their item id is outside the fitted
+        catalogue.
+    boundaries:
+        Drift boundaries detected (each escalated to a partial refit).
+    checkpoints:
+        Durable checkpoints written.
+    offset:
+        The consumer offset after this call (next event to consume).
+    """
+
+    batches: int
+    applied: int
+    skipped: int
+    boundaries: int
+    checkpoints: int
+    offset: int
+
+
+class StreamIngestor:
+    """Folds event-log micro-batches into a fitted TTCAM, crash-safely.
+
+    Parameters
+    ----------
+    log:
+        The durable event log to consume.
+    base:
+        Fitted :class:`~repro.core.params.TTCAMParameters` to start from.
+    checkpoint_dir:
+        Directory for consumer checkpoints (parameters + drift state +
+        offset). Sharing it across restarts is what makes resume work.
+    batch_events:
+        Events per micro-batch (the sliding consumption interval).
+    fold_iterations:
+        Partial-EM iterations per fold-in.
+    refit_iterations:
+        Iterations for the escalated partial refit at a drift boundary.
+    drift_rate, drift_threshold:
+        :class:`~repro.streaming.drift.DriftTracker` parameters.
+    blend:
+        Step size of a non-boundary context update; the published row
+        becomes ``(1-blend)·old + blend·estimate`` (both are
+        distributions, so the blend stays on the simplex).
+    checkpoint_every:
+        Checkpoint cadence in micro-batches (boundaries checkpoint
+        immediately regardless).
+    resume:
+        When true (default), restore the newest valid checkpoint in
+        ``checkpoint_dir`` — parameters, drift state and offset — and
+        continue from there. A checkpoint written under a different
+        configuration raises
+        :class:`~repro.robustness.errors.CheckpointError`.
+    """
+
+    def __init__(
+        self,
+        log: EventLog,
+        base: TTCAMParameters,
+        checkpoint_dir: str | Path,
+        batch_events: int = 256,
+        fold_iterations: int = 10,
+        refit_iterations: int = 30,
+        drift_rate: float = 0.2,
+        drift_threshold: float = 0.85,
+        blend: float = 0.3,
+        checkpoint_every: int = 4,
+        resume: bool = True,
+    ) -> None:
+        if batch_events <= 0:
+            raise ValueError(f"batch_events must be positive, got {batch_events}")
+        if refit_iterations <= 0:
+            raise ValueError(
+                f"refit_iterations must be positive, got {refit_iterations}"
+            )
+        if not 0.0 < blend <= 1.0:
+            raise ValueError(f"blend must be in (0, 1], got {blend}")
+        self.log = log
+        self.batch_events = batch_events
+        self.fold_iterations = fold_iterations
+        self.refit_iterations = refit_iterations
+        self.blend = blend
+        self.online = OnlineTTCAM(base, fold_iterations=fold_iterations)
+        self.tracker = DriftTracker(
+            dim=base.num_time_topics,
+            drift_rate=drift_rate,
+            threshold=drift_threshold,
+        )
+        self.tracker.ensure_intervals(base.num_intervals)
+        self.offset = 0
+        self.batches = 0
+        self.applied = 0
+        self.skipped = 0
+        self.boundaries = 0
+        self.refits = 0
+        self.manager = CheckpointManager(
+            checkpoint_dir, every=checkpoint_every, keep=3, prefix="stream"
+        )
+        if resume:
+            self._try_resume()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def params(self) -> TTCAMParameters:
+        """The current folded parameters (a fresh container per batch)."""
+        return self.online.params
+
+    def _config(self) -> dict[str, object]:
+        """The knobs a checkpoint must match to be resumable."""
+        return {
+            "kind": "stream-ingestor",
+            "k1": self.params.num_user_topics,
+            "k2": self.params.num_time_topics,
+            "num_items": self.params.num_items,
+            "batch_events": self.batch_events,
+            "fold_iterations": self.fold_iterations,
+            "refit_iterations": self.refit_iterations,
+            "drift_rate": self.tracker.drift_rate,
+            "drift_threshold": self.tracker.threshold,
+            "blend": self.blend,
+        }
+
+    def checkpoint(self) -> Path:
+        """Durably persist parameters, drift state and consumer offset."""
+        fault_point("stream.checkpoint", offset=self.offset, batch=self.batches)
+        arrays = {
+            "theta": self.params.theta,
+            "phi": self.params.phi,
+            "theta_time": self.params.theta_time,
+            "phi_time": self.params.phi_time,
+            "lambda_u": self.params.lambda_u,
+            _DRIFT_VECTORS: self.tracker.vectors,
+            _DRIFT_VALID: self.tracker.valid,
+        }
+        self.manager.meta = {
+            "config": self._config(),
+            "offset": self.offset,
+            "counters": {
+                "batches": self.batches,
+                "applied": self.applied,
+                "skipped": self.skipped,
+                "boundaries": self.boundaries,
+                "refits": self.refits,
+                "tracker_updates": self.tracker.updates,
+                "tracker_boundaries": self.tracker.boundaries,
+            },
+        }
+        return self.manager.save(arrays, iteration=self.batches)
+
+    def _try_resume(self) -> None:
+        """Restore the newest valid checkpoint, if one exists."""
+        checkpoint = self.manager.latest()
+        if checkpoint is None:
+            return
+        meta = checkpoint.meta
+        stored = meta.get("config")
+        if stored != self._config():
+            raise CheckpointError(
+                "stream checkpoint was written under a different configuration "
+                f"(stored {stored!r})"
+            )
+        self.online.params = TTCAMParameters(
+            theta=np.asarray(checkpoint.arrays["theta"], dtype=np.float64),
+            phi=np.asarray(checkpoint.arrays["phi"], dtype=np.float64),
+            theta_time=np.asarray(checkpoint.arrays["theta_time"], dtype=np.float64),
+            phi_time=np.asarray(checkpoint.arrays["phi_time"], dtype=np.float64),
+            lambda_u=np.asarray(checkpoint.arrays["lambda_u"], dtype=np.float64),
+        )
+        counters = meta.get("counters")
+        counters = counters if isinstance(counters, Mapping) else {}
+        self.tracker.restore(
+            checkpoint.arrays[_DRIFT_VECTORS],
+            checkpoint.arrays[_DRIFT_VALID],
+            boundaries=int(counters.get("tracker_boundaries", 0)),  # type: ignore[arg-type]
+            updates=int(counters.get("tracker_updates", 0)),  # type: ignore[arg-type]
+        )
+        self.offset = int(meta.get("offset", 0))  # type: ignore[arg-type]
+        self.batches = int(counters.get("batches", 0))  # type: ignore[arg-type]
+        self.applied = int(counters.get("applied", 0))  # type: ignore[arg-type]
+        self.skipped = int(counters.get("skipped", 0))  # type: ignore[arg-type]
+        self.boundaries = int(counters.get("boundaries", 0))  # type: ignore[arg-type]
+        self.refits = int(counters.get("refits", 0))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # micro-batch application
+    # ------------------------------------------------------------------
+
+    def _extend_intervals(self, max_interval: int) -> None:
+        """Append uniform-prior context rows up to ``max_interval``."""
+        params = self.params
+        missing = max_interval + 1 - params.num_intervals
+        if missing <= 0:
+            return
+        k2 = params.num_time_topics
+        prior = np.full((missing, k2), 1.0 / k2)
+        self.online.params = TTCAMParameters(
+            theta=params.theta,
+            phi=params.phi,
+            theta_time=np.vstack([params.theta_time, prior]),
+            phi_time=params.phi_time,
+            lambda_u=params.lambda_u,
+        )
+        self.tracker.ensure_intervals(max_interval + 1)
+
+    def _extend_users(self, events: list[StreamEvent]) -> None:
+        """Admit every unseen user id, in ascending order.
+
+        Ids that appear in the batch fold in from their own events; gap
+        ids below the maximum get the cold-start prior row directly
+        (uniform interests, ``λ=0.5``) without a warning, because their
+        absence from this batch is expected, not anomalous.
+        """
+        params = self.params
+        max_user = max(event.user for event in events)
+        if max_user < params.num_users:
+            return
+        by_user: dict[int, list[StreamEvent]] = {}
+        for event in events:
+            if event.user >= params.num_users:
+                by_user.setdefault(event.user, []).append(event)
+        k1 = params.num_user_topics
+        for user in range(params.num_users, max_user + 1):
+            mine = by_user.get(user)
+            if mine:
+                self.online.extend_with_user(
+                    np.array([event.item for event in mine], dtype=np.int64),
+                    np.array([event.interval for event in mine], dtype=np.int64),
+                    np.array([event.score for event in mine], dtype=np.float64),
+                )
+            else:
+                params = self.params
+                self.online.params = TTCAMParameters(
+                    theta=np.vstack([params.theta, np.full((1, k1), 1.0 / k1)]),
+                    phi=params.phi,
+                    theta_time=params.theta_time,
+                    phi_time=params.phi_time,
+                    lambda_u=np.append(params.lambda_u, 0.5),
+                )
+
+    def _set_context_row(self, interval: int, row: np.ndarray) -> None:
+        """Publish one interval's context via copy-on-write."""
+        params = self.params
+        theta_time = params.theta_time.copy()
+        theta_time[interval] = row
+        self.online.params = TTCAMParameters(
+            theta=params.theta,
+            phi=params.phi,
+            theta_time=theta_time,
+            phi_time=params.phi_time,
+            lambda_u=params.lambda_u,
+        )
+
+    def _apply_batch(self, events: list[StreamEvent]) -> bool:
+        """Fold one micro-batch into the model; True if a boundary hit.
+
+        Deterministic application order — extend intervals, admit users
+        ascending, update interval contexts ascending — so replaying the
+        same events over the same state reproduces identical bits.
+        """
+        catalogue = self.params.num_items
+        usable = [event for event in events if event.item < catalogue]
+        dropped = len(events) - len(usable)
+        if dropped:
+            self.skipped += dropped
+            warnings.warn(
+                f"stream batch skipped {dropped} event(s) whose items are "
+                f"outside the fitted catalogue (< {catalogue}); folding "
+                "cannot invent topic–item columns — retrain to admit them",
+                UserWarning,
+                stacklevel=3,
+            )
+        if not usable:
+            return False
+        self._extend_intervals(max(event.interval for event in usable))
+        self._extend_users(usable)
+
+        by_interval: dict[int, list[StreamEvent]] = {}
+        for event in usable:
+            by_interval.setdefault(event.interval, []).append(event)
+        boundary_hit = False
+        for interval in sorted(by_interval):
+            group = by_interval[interval]
+            users = np.array([event.user for event in group], dtype=np.int64)
+            items = np.array([event.item for event in group], dtype=np.int64)
+            scores = np.array([event.score for event in group], dtype=np.float64)
+            estimate = self.online.fold_in_interval(users, items, scores)
+            verdict = self.tracker.update(interval, estimate)
+            if verdict.boundary:
+                # Temporal boundary: the context jumped. Re-anchor the
+                # interval with a longer partial refit instead of a blend.
+                boundary_hit = True
+                self.boundaries += 1
+                refit = OnlineTTCAM(
+                    self.params, fold_iterations=self.refit_iterations
+                )
+                self._set_context_row(
+                    interval, refit.fold_in_interval(users, items, scores)
+                )
+                self.refits += 1
+            else:
+                old = self.params.theta_time[interval]
+                self._set_context_row(
+                    interval, (1.0 - self.blend) * old + self.blend * estimate
+                )
+        self.applied += len(usable)
+        return boundary_hit
+
+    # ------------------------------------------------------------------
+    # consumption loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_batches: int | None = None) -> IngestReport:
+        """Consume durable events from the current offset, in micro-batches.
+
+        Processes complete and partial batches until the log is drained
+        (or ``max_batches`` is reached), checkpointing on the configured
+        cadence and immediately after any drift boundary. Returns a
+        report of what this call did.
+        """
+        start = (self.batches, self.applied, self.skipped, self.boundaries)
+        checkpoints = 0
+        while max_batches is None or self.batches - start[0] < max_batches:
+            events = self.log.read(self.offset, self.batch_events)
+            if not events:
+                break
+            fault_point("stream.batch", offset=self.offset, batch=self.batches)
+            boundary = self._apply_batch(events)
+            self.offset += len(events)
+            self.batches += 1
+            if boundary or self.manager.should_save(self.batches):
+                self.checkpoint()
+                checkpoints += 1
+        return IngestReport(
+            batches=self.batches - start[0],
+            applied=self.applied - start[1],
+            skipped=self.skipped - start[2],
+            boundaries=self.boundaries - start[3],
+            checkpoints=checkpoints,
+            offset=self.offset,
+        )

@@ -1,0 +1,199 @@
+"""Zero-downtime publication of ingested snapshots into serving.
+
+The :class:`SnapshotPublisher` closes the streaming loop: the
+:class:`~repro.streaming.ingestor.StreamIngestor` folds events into
+fresh parameters, and the publisher hot-swaps those parameters into a
+live :class:`~repro.recommend.recommender.TemporalRecommender` — or
+refuses to, keeping the current generation serving.
+
+Every candidate goes through the same gate before it can serve:
+
+1. **Integrity** — snapshot files load through
+   :func:`~repro.core.serialize.load_params`, so a truncated or
+   bit-flipped archive surfaces as
+   :class:`~repro.robustness.errors.SnapshotCorruptError` instead of
+   garbage scores.
+2. **Health** — a :class:`~repro.robustness.health.HealthMonitor`
+   checks the candidate's parameter invariants (finite, row-stochastic,
+   λ in the unit interval, no collapsed topics).
+3. **Probes** — a configurable set of ``(user, interval)`` probe
+   queries must produce finite scores end to end.
+
+Only a candidate that passes all three is published, through the
+recommender's read-copy-update :meth:`~repro.recommend.recommender.TemporalRecommender.swap_model`
+— one atomic generation swap, so in-flight queries finish on the old
+snapshot and no query is ever dropped or served a torn mix. A failed
+candidate is recorded as a rollback (the serving generation simply
+stays), and :meth:`SnapshotPublisher.revert` can re-publish the
+previous healthy snapshot if a bad one ever got through the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.params import ITCAMParameters, TTCAMParameters
+from ..core.serialize import LoadedModel, load_params
+from ..recommend.recommender import TemporalRecommender
+from ..robustness.errors import SnapshotCorruptError
+from ..robustness.health import HealthMonitor
+
+#: Invariants every TCAM parameter container must satisfy to serve.
+_MONITOR = HealthMonitor(
+    stochastic=("theta", "phi", "theta_time", "phi_time"),
+    unit_interval=("lambda_u",),
+    no_collapse=("phi",),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PublishResult:
+    """Outcome of one publication attempt.
+
+    Attributes
+    ----------
+    published:
+        True when the candidate is now the serving generation.
+    generation:
+        The serving generation index after this attempt (new on
+        success, unchanged on rejection).
+    reason:
+        Why the candidate was rejected (``None`` on success).
+    drift:
+        Whether this publish was escalated by a drift boundary.
+    """
+
+    published: bool
+    generation: int
+    reason: str | None = None
+    drift: bool = False
+
+
+class SnapshotPublisher:
+    """Validates and hot-swaps model snapshots into a live recommender.
+
+    Parameters
+    ----------
+    recommender:
+        The serving recommender to publish into; its current model (if
+        any) seeds the revert history.
+    probes:
+        ``(user, interval)`` pairs that every candidate must answer
+        with finite scores before it may serve. Probes outside a
+        candidate's dimensions fail it — a snapshot that lost users or
+        intervals the probes rely on should not be published silently.
+    monitor:
+        Override the default parameter :class:`HealthMonitor`.
+    """
+
+    def __init__(
+        self,
+        recommender: TemporalRecommender,
+        probes: Sequence[tuple[int, int]] = ((0, 0),),
+        monitor: HealthMonitor | None = None,
+    ) -> None:
+        self.recommender = recommender
+        self.probes = tuple((int(user), int(interval)) for user, interval in probes)
+        self.monitor = monitor if monitor is not None else _MONITOR
+        self._previous: LoadedModel | None = None
+        current = recommender.model
+        self._current: LoadedModel | None = (
+            current if isinstance(current, LoadedModel) else None
+        )
+
+    # ------------------------------------------------------------------
+    # validation gate
+    # ------------------------------------------------------------------
+
+    def _reject(self, reason: str) -> PublishResult:
+        """Record a failed candidate; the serving generation stays."""
+        self.recommender.note_rollback(reason)
+        return PublishResult(
+            published=False,
+            generation=self.recommender.generation,
+            reason=reason,
+        )
+
+    def _validate(self, params: ITCAMParameters | TTCAMParameters) -> str | None:
+        """Why the candidate must not serve, or ``None`` when healthy."""
+        arrays = {
+            name: np.asarray(getattr(params, name))
+            for name in ("theta", "phi", "theta_time", "lambda_u")
+        }
+        if isinstance(params, TTCAMParameters):
+            arrays["phi_time"] = np.asarray(params.phi_time)
+        problems = self.monitor.violations(arrays)
+        if problems:
+            return "unhealthy snapshot: " + "; ".join(problems)
+        for user, interval in self.probes:
+            if not 0 <= user < params.num_users:
+                return f"probe user {user} outside snapshot ({params.num_users} users)"
+            if not 0 <= interval < params.num_intervals:
+                return (
+                    f"probe interval {interval} outside snapshot "
+                    f"({params.num_intervals} intervals)"
+                )
+            scores = params.score_items(user, interval)
+            if not bool(np.all(np.isfinite(scores))):
+                return f"probe ({user}, {interval}) produced non-finite scores"
+        return None
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        params: ITCAMParameters | TTCAMParameters,
+        drift: bool = False,
+    ) -> PublishResult:
+        """Gate and hot-swap one parameter snapshot.
+
+        On success the candidate becomes the serving generation — an
+        atomic swap, with in-flight queries finishing on the previous
+        generation. On rejection the recommender records a rollback and
+        keeps serving exactly what it served before. ``drift=True``
+        marks the swap as a drift-boundary escalation (counted
+        separately on every :class:`~repro.recommend.recommender.ServingStatus`).
+        """
+        problem = self._validate(params)
+        if problem is not None:
+            return self._reject(problem)
+        model = LoadedModel(params)
+        generation = self.recommender.swap_model(model, drift=drift)
+        self._previous, self._current = self._current, model
+        return PublishResult(published=True, generation=generation, drift=drift)
+
+    def publish_file(self, path: str | Path, drift: bool = False) -> PublishResult:
+        """Load, gate and hot-swap a snapshot file.
+
+        A corrupt archive (torn write, checksum mismatch, invalid
+        parameters) is rejected and recorded as a rollback rather than
+        raised — the serving path never goes down because a publish
+        failed.
+        """
+        try:
+            params = load_params(path)
+        except (SnapshotCorruptError, FileNotFoundError) as exc:
+            return self._reject(f"snapshot rejected: {exc}")
+        return self.publish(params, drift=drift)
+
+    def revert(self) -> PublishResult:
+        """Re-publish the previous healthy snapshot (counted as rollback).
+
+        The escape hatch for a snapshot that passed the gate but
+        misbehaves in production: swap the last known-good generation
+        back in. Fails (without touching serving) when no previous
+        snapshot exists.
+        """
+        if self._previous is None:
+            return self._reject("no previous snapshot to revert to")
+        model = self._previous
+        self.recommender.note_rollback("reverted to previous snapshot")
+        generation = self.recommender.swap_model(model)
+        self._previous, self._current = None, model
+        return PublishResult(published=True, generation=generation)

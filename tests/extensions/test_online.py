@@ -143,3 +143,71 @@ class TestExtendAndColdStart:
         )
         assert scores.shape == (model.params_.num_items,)
         assert scores.sum() == pytest.approx(1.0)
+
+
+class TestStreamHardening:
+    """Duplicate coalescing and out-of-order detection on fold-in batches."""
+
+    def test_duplicate_user_events_coalesce_to_summed_scores(self, base):
+        model, _, _ = base
+        items = np.array([3, 3, 5])
+        intervals = np.array([1, 1, 2])
+        with pytest.warns(UserWarning, match="duplicate"):
+            theta_dup, lam_dup = OnlineTTCAM(model).fold_in_user(
+                items, intervals, np.array([1.0, 2.0, 1.0])
+            )
+        theta_sum, lam_sum = OnlineTTCAM(model).fold_in_user(
+            np.array([3, 5]), np.array([1, 2]), np.array([3.0, 1.0])
+        )
+        np.testing.assert_array_equal(theta_dup, theta_sum)
+        assert lam_dup == lam_sum
+
+    def test_duplicate_interval_events_coalesce(self, base):
+        model, _, _ = base
+        with pytest.warns(UserWarning, match="duplicate"):
+            dup = OnlineTTCAM(model).fold_in_interval(
+                np.array([0, 0, 1]), np.array([2, 2, 4]), np.array([1.0, 1.5, 2.0])
+            )
+        merged = OnlineTTCAM(model).fold_in_interval(
+            np.array([0, 1]), np.array([2, 4]), np.array([2.5, 2.0])
+        )
+        np.testing.assert_array_equal(dup, merged)
+
+    def test_clean_batches_pass_through_unwarned_and_unchanged(self, base):
+        model, cuboid, _ = base
+        rows = cuboid.entries_of_user(2)
+        import warnings as w
+
+        with w.catch_warnings():
+            w.simplefilter("error", UserWarning)
+            theta, lam = OnlineTTCAM(model).fold_in_user(
+                cuboid.items[rows], cuboid.intervals[rows], cuboid.scores[rows]
+            )
+        assert np.isfinite(theta).all() and 0.0 <= lam <= 1.0
+
+    def test_out_of_order_intervals_warn_but_match_sorted_result(self, base):
+        model, _, _ = base
+        items = np.array([1, 2, 3])
+        backwards = np.array([2, 1, 0])
+        with pytest.warns(UserWarning, match="out-of-order"):
+            theta_b, lam_b = OnlineTTCAM(model).fold_in_user(items, backwards)
+        order = np.argsort(backwards, kind="stable")
+        theta_s, lam_s = OnlineTTCAM(model).fold_in_user(
+            items[order], backwards[order]
+        )
+        np.testing.assert_allclose(theta_b, theta_s)
+        assert lam_b == pytest.approx(lam_s)
+
+    def test_coalescing_keeps_first_occurrence_order(self, base):
+        model, _, _ = base
+        # (item, interval) pairs: dup of the *later* pair must not reorder.
+        items = np.array([7, 2, 7])
+        intervals = np.array([0, 1, 0])
+        with pytest.warns(UserWarning, match="duplicate"):
+            theta_dup, _ = OnlineTTCAM(model).fold_in_user(
+                items, intervals, np.array([1.0, 1.0, 1.0])
+            )
+        theta_ref, _ = OnlineTTCAM(model).fold_in_user(
+            np.array([7, 2]), np.array([0, 1]), np.array([2.0, 1.0])
+        )
+        np.testing.assert_array_equal(theta_dup, theta_ref)

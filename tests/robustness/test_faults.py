@@ -129,3 +129,89 @@ class TestTruncateFile:
         target.write_bytes(b"abc")
         with pytest.raises(ValueError, match="keep_fraction"):
             truncate_file(target, keep_fraction=1.0)
+
+
+class TestWriteFaults:
+    """The write-fault hook: disk-full, torn and short delivery modes."""
+
+    def _write(self, tmp_path, data=b"0123456789", **plan):
+        from repro.robustness import faulty_write
+
+        target = tmp_path / "out.bin"
+        with FaultInjector() as chaos:
+            for mode, kwargs in plan.items():
+                getattr(chaos, mode)("io.write", **kwargs)
+            with target.open("wb") as handle:
+                written = faulty_write("io.write", handle, data)
+        return target, written
+
+    def test_passthrough_when_disarmed(self, tmp_path):
+        from repro.robustness import faulty_write
+
+        target = tmp_path / "out.bin"
+        with target.open("wb") as handle:
+            assert faulty_write("io.write", handle, b"abc") == 3
+        assert target.read_bytes() == b"abc"
+
+    def test_disk_full_raises_enospc_before_writing(self, tmp_path):
+        import errno
+
+        from repro.robustness import faulty_write
+
+        target = tmp_path / "out.bin"
+        with FaultInjector() as chaos:
+            chaos.disk_full("io.write")
+            with target.open("wb") as handle:
+                with pytest.raises(OSError) as excinfo:
+                    faulty_write("io.write", handle, b"abcdef")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert target.read_bytes() == b""  # nothing landed
+
+    def test_torn_write_leaves_prefix_then_crashes(self, tmp_path):
+        from repro.robustness import faulty_write
+
+        target = tmp_path / "out.bin"
+        with FaultInjector() as chaos:
+            chaos.torn_write("io.write", keep_fraction=0.4)
+            with target.open("wb") as handle:
+                with pytest.raises(InjectedFault):
+                    faulty_write("io.write", handle, b"0123456789")
+        assert target.read_bytes() == b"0123"  # the torn prefix survived
+
+    def test_short_write_returns_partial_count(self, tmp_path):
+        target, written = self._write(
+            tmp_path, short_write=dict(keep_fraction=0.3)
+        )
+        assert written == 3
+        assert target.read_bytes() == b"012"
+
+    def test_short_write_budget_exhausts(self, tmp_path):
+        from repro.robustness import faulty_write
+
+        target = tmp_path / "out.bin"
+        with FaultInjector() as chaos:
+            chaos.short_write("io.write", keep_fraction=0.5, times=1)
+            with target.open("wb") as handle:
+                first = faulty_write("io.write", handle, b"abcd")
+                second = faulty_write("io.write", handle, b"abcd"[first:])
+        assert first == 2
+        assert second == 2  # plan spent; remainder written in full
+        assert target.read_bytes() == b"abcd"
+
+    def test_write_faults_respect_context_matching(self, tmp_path):
+        from repro.robustness import faulty_write
+
+        target = tmp_path / "out.bin"
+        with FaultInjector() as chaos:
+            chaos.disk_full("io.write", segment=7)
+            with target.open("wb") as handle:
+                assert faulty_write("io.write", handle, b"ok", segment=3) == 2
+                with pytest.raises(OSError):
+                    faulty_write("io.write", handle, b"no", segment=7)
+
+    def test_keep_fraction_validated(self):
+        with FaultInjector() as chaos:
+            with pytest.raises(ValueError, match="keep_fraction"):
+                chaos.torn_write("io.write", keep_fraction=1.5)
+            with pytest.raises(ValueError, match="keep_fraction"):
+                chaos.short_write("io.write", keep_fraction=-0.1)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the streaming suite: one small fitted TTCAM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ttcam import TTCAM
+from repro.data import RatingCuboid
+
+
+@pytest.fixture(scope="session")
+def stream_base():
+    """A small fitted TTCAM parameter set (10 users, 3 intervals, 15 items)."""
+    rng = np.random.default_rng(5)
+    n = 240
+    cuboid = RatingCuboid.from_arrays(
+        users=rng.integers(0, 10, n),
+        intervals=rng.integers(0, 3, n),
+        items=rng.integers(0, 15, n),
+        scores=rng.integers(1, 4, n).astype(float),
+        num_users=10,
+        num_intervals=3,
+        num_items=15,
+    )
+    model = TTCAM(num_user_topics=3, num_time_topics=2, max_iter=8, seed=0)
+    model.fit(cuboid)
+    return model.params_

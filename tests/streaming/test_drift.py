@@ -1,0 +1,96 @@
+"""Drift-vector tracking: unit-norm invariants, boundaries, restore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming import DriftTracker, unit_norm
+
+
+class TestUnitNorm:
+    def test_normalises_to_unit_length(self):
+        vector = unit_norm(np.array([3.0, 4.0]))
+        assert np.isclose(np.linalg.norm(vector), 1.0)
+        assert np.allclose(vector, [0.6, 0.8])
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError, match="zero vector"):
+            unit_norm(np.zeros(4))
+
+
+class TestTracker:
+    def test_first_update_initialises_without_boundary(self):
+        tracker = DriftTracker(dim=3)
+        verdict = tracker.update(0, np.array([1.0, 0.0, 0.0]))
+        assert verdict.cosine == 1.0
+        assert not verdict.boundary
+        assert tracker.valid[0] == 1.0
+
+    def test_similar_estimate_drifts_and_stays_unit_norm(self):
+        tracker = DriftTracker(dim=2, drift_rate=0.5, threshold=0.8)
+        tracker.update(0, np.array([1.0, 0.0]))
+        verdict = tracker.update(0, np.array([0.9, 0.1]))
+        assert not verdict.boundary
+        assert verdict.cosine > 0.8
+        assert np.isclose(np.linalg.norm(tracker.vectors[0]), 1.0)
+        # Drifted strictly between the old vector and the new estimate.
+        assert 0.0 < tracker.vectors[0][1] < unit_norm(np.array([0.9, 0.1]))[1]
+
+    def test_orthogonal_estimate_is_a_boundary(self):
+        tracker = DriftTracker(dim=2, threshold=0.8)
+        tracker.update(0, np.array([1.0, 0.0]))
+        verdict = tracker.update(0, np.array([0.0, 1.0]))
+        assert verdict.boundary
+        assert verdict.cosine < 0.8
+        assert tracker.boundaries == 1
+        # Boundary re-anchors outright on the new estimate.
+        assert np.allclose(tracker.vectors[0], [0.0, 1.0])
+
+    def test_intervals_grow_on_demand(self):
+        tracker = DriftTracker(dim=2)
+        tracker.update(4, np.array([1.0, 1.0]))
+        assert tracker.num_intervals == 5
+        assert tracker.valid.tolist() == [0, 0, 0, 0, 1]
+
+    def test_updates_are_deterministic(self):
+        runs = []
+        for _ in range(2):
+            tracker = DriftTracker(dim=3, drift_rate=0.3)
+            for step in range(6):
+                tracker.update(step % 2, np.array([1.0, step * 0.4, 0.2]))
+            runs.append(tracker.vectors.copy())
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_restore_roundtrip_is_bit_exact(self):
+        tracker = DriftTracker(dim=2, threshold=0.9)
+        tracker.update(0, np.array([1.0, 0.2]))
+        tracker.update(1, np.array([0.1, 1.0]))
+        tracker.update(0, np.array([0.2, 1.0]))  # boundary
+        clone = DriftTracker(dim=2, threshold=0.9)
+        clone.restore(
+            tracker.vectors, tracker.valid, tracker.boundaries, tracker.updates
+        )
+        np.testing.assert_array_equal(clone.vectors, tracker.vectors)
+        assert clone.boundaries == tracker.boundaries
+        verdict_a = tracker.update(0, np.array([0.3, 1.0]))
+        verdict_b = clone.update(0, np.array([0.3, 1.0]))
+        assert verdict_a == verdict_b
+
+    def test_restore_validates_shapes(self):
+        tracker = DriftTracker(dim=2)
+        with pytest.raises(ValueError, match="shape"):
+            tracker.restore(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError, match="align"):
+            tracker.restore(np.zeros((2, 2)), np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dim"):
+            DriftTracker(dim=0)
+        with pytest.raises(ValueError, match="drift_rate"):
+            DriftTracker(dim=2, drift_rate=1.5)
+        with pytest.raises(ValueError, match="threshold"):
+            DriftTracker(dim=2, threshold=2.0)
+        tracker = DriftTracker(dim=2)
+        with pytest.raises(ValueError, match="interval"):
+            tracker.update(-1, np.ones(2))

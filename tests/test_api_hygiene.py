@@ -99,7 +99,7 @@ def test_top_level_all_is_complete():
 # ---------------------------------------------------------------------------
 
 #: Packages whose public functions must be fully annotated.
-TYPED_PACKAGES = ("repro.core", "repro.recommend", "repro.robustness")
+TYPED_PACKAGES = ("repro.core", "repro.recommend", "repro.robustness", "repro.streaming")
 
 #: Parameters that never need annotations.
 IMPLICIT_PARAMS = {"self", "cls"}

@@ -303,3 +303,83 @@ class TestFitSanitize:
         )
         assert code == 0
         assert path.exists()
+
+
+class TestStream:
+    @pytest.fixture()
+    def events_csv(self, tmp_path):
+        path = tmp_path / "events.csv"
+        path.write_text(
+            "user,interval,item,score\n"
+            "0,0,1,1.0\n"
+            "1,0,2,2.0\n"
+            "2,1,3,1.0\n"
+            "0,2,4,\n"  # blank score defaults to implicit 1.0
+        )
+        return path
+
+    def test_append_run_status_loop(self, snapshot, events_csv, tmp_path, capsys):
+        log_dir = tmp_path / "wal"
+        ckpt_dir = tmp_path / "ckpt"
+        folded = tmp_path / "folded.npz"
+        assert main(["stream", "append", "--log", str(log_dir), "--input", str(events_csv)]) == 0
+        assert "appended 4 events" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "stream", "run",
+                    "--log", str(log_dir),
+                    "--snapshot", str(snapshot),
+                    "--checkpoints", str(ckpt_dir),
+                    "--batch-events", "3",
+                    "--output", str(folded),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "applied 4 events in 2 micro-batches" in out
+        assert folded.exists()
+        assert main(
+            ["stream", "status", "--log", str(log_dir), "--checkpoints", str(ckpt_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 durable events" in out
+        assert "offset 4" in out
+
+    def test_append_rejects_missing_columns(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("who,when\n1,2\n")
+        with pytest.raises(SystemExit, match="missing columns"):
+            main(["stream", "append", "--log", str(tmp_path / "wal"), "--input", str(bad)])
+
+    def test_status_without_checkpoints_reports_log_only(self, tmp_path, capsys):
+        log_dir = tmp_path / "wal"
+        # status on a brand-new (empty) log directory
+        assert main(["stream", "status", "--log", str(log_dir)]) == 0
+        assert "0 durable events" in capsys.readouterr().out
+
+    def test_run_rejects_itcam_snapshot(self, dataset_csv, tmp_path):
+        snap = tmp_path / "itcam.npz"
+        assert (
+            main(
+                [
+                    "fit",
+                    "--input", str(dataset_csv),
+                    "--model", "itcam",
+                    "--k1", "4",
+                    "--iters", "2",
+                    "--output", str(snap),
+                ]
+            )
+            == 0
+        )
+        with pytest.raises(SystemExit, match="TTCAM snapshot"):
+            main(
+                [
+                    "stream", "run",
+                    "--log", str(tmp_path / "wal"),
+                    "--snapshot", str(snap),
+                    "--checkpoints", str(tmp_path / "ckpt"),
+                ]
+            )
