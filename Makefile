@@ -69,7 +69,9 @@ bench-stream:
 	PYTHONPATH=src python benchmarks/perf/bench_stream.py
 
 # Tiny-scale run of the same harness (seconds); writes to a scratch dir so
-# the committed trajectories are never polluted by smoke numbers.
+# the committed trajectories are never polluted by smoke numbers. The serve
+# smoke includes the scaled-down mmap+quantized million tier (one spawned
+# process per variant), so that machinery cannot rot between full runs.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/perf/bench_em.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 	PYTHONPATH=src python benchmarks/perf/bench_topk.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke

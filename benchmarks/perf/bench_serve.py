@@ -12,13 +12,24 @@ The script additionally *verifies* the serving contracts while it
 measures: float64 batch results must match the per-query engine exactly,
 and float32 must return the same top-k item sets.
 
+A separate **million-item tier** measures the mmap + quantized serving
+path (``repro.recommend.paramstore`` / ``repro.recommend.quantize``) at
+V=1M: eager float64 against mmap-backed float64/float16/int8 selection,
+one spawned process per variant so each reports its own peak RSS. All
+variants must return bitwise-identical top-k to eager float64, and
+mmap+int8 must peak materially below eager loading. ``--smoke`` runs the
+same tier at V=2000.
+
 Run ``python benchmarks/perf/bench_serve.py`` (with ``src`` on
 ``PYTHONPATH``), or ``make bench-serve``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import shutil
 import sys
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -28,7 +39,7 @@ from perf_common import best_time, make_parser
 
 from repro.analysis.benchjson import BenchEntry, append_entries, default_context
 from repro.core.params import TTCAMParameters
-from repro.core.serialize import LoadedModel
+from repro.core.serialize import LoadedModel, save_params
 from repro.recommend import TemporalRecommender
 
 #: (num_user_topics, num_items, k, num_queries) per scale.
@@ -38,6 +49,23 @@ SCALES = [
     (32, 50_000, 20, 256),
 ]
 SMOKE_SCALES = [(6, 500, 5, 32)]
+
+#: The mmap/quantized tier: each variant runs in its own spawned process
+#: so ``ru_maxrss`` (a since-process-start high-water mark) isolates that
+#: variant's resident footprint. Same tuple shape as ``SCALES``.
+MILLION_SCALE = (16, 1_000_000, 10, 256)
+SMOKE_MILLION_SCALE = (6, 2_000, 5, 48)
+#: (variant name, selection dtype, serve from the mmap sidecar).
+MILLION_VARIANTS = (
+    ("eager-f64", "float64", False),
+    ("mmap-f64", "float64", True),
+    ("mmap-f16", "float16", True),
+    ("mmap-int8", "int8", True),
+)
+#: Row block for the million tier: the (rows, V) score workspace is the
+#: dominant allocation at V=1M, and it exists in every variant — keep it
+#: small so the measured RSS contrast is parameters, not workspace.
+MILLION_ROW_BLOCK = 32
 
 NUM_USERS = 2_000
 NUM_INTERVALS = 48
@@ -88,6 +116,143 @@ def verify_contracts(model: LoadedModel, queries, k: int) -> None:
         assert set(r32.items) == set(r64.items), (
             f"float32 top-k set diverged at query ({user}, {interval})"
         )
+
+
+def _params_nbytes(model: LoadedModel) -> int:
+    """Bytes held by the model's parameter arrays (the eager footprint)."""
+    names = ("theta", "phi", "theta_time", "phi_time", "lambda_u")
+    params = model.params_
+    return int(
+        sum(
+            np.asarray(getattr(params, name)).nbytes
+            for name in names
+            if hasattr(params, name)
+        )
+    )
+
+
+def _million_child(spec, snapshot, queries, k, repeats, queue) -> None:
+    """One million-tier variant, measured in a fresh process.
+
+    Loads the snapshot (eagerly or through the mmap sidecar), serves the
+    workload, and reports throughput, cache hit rate, this process's
+    peak RSS, and a bitwise sample of results for the parent to
+    cross-check against the eager float64 reference.
+    """
+    from repro.analysis.benchjson import peak_rss_bytes
+
+    variant, dtype, use_mmap = spec
+    model = LoadedModel.from_file(snapshot, mmap=use_mmap)
+    rec = TemporalRecommender(model, serve_dtype=dtype)
+    def run():
+        rec.recommend_batch(queries, k=k, row_block=MILLION_ROW_BLOCK)
+
+    elapsed = best_time(run, repeats)
+    sample = rec.recommend_batch(
+        queries[:VERIFY_SAMPLE], k=k, row_block=MILLION_ROW_BLOCK
+    )
+    queue.put(
+        {
+            "variant": variant,
+            "dtype": dtype,
+            "mmap": use_mmap,
+            "qps": len(queries) / elapsed,
+            "cache_hit_rate": rec.serving_cache.stats().hit_rate,
+            "peak_rss_bytes": peak_rss_bytes(),
+            "params_nbytes": _params_nbytes(model),
+            "sample": [
+                [list(r.items), [float(s).hex() for s in r.scores]] for r in sample
+            ],
+        }
+    )
+
+
+def million_tier(args, smoke: bool, context: dict) -> list[BenchEntry]:
+    """Run the mmap + quantized serving tier, one process per variant.
+
+    Writes a snapshot with its mmap sidecar to a temporary directory,
+    then spawns each variant as its own process: ``ru_maxrss`` is a
+    process-lifetime high-water mark, so sharing a process would let the
+    first variant's footprint mask every later one. The parent asserts
+    all variants return bitwise-identical top-k (items, scores, order)
+    to the eager float64 reference, and — at full scale — that mmap+int8
+    serving peaks materially below eager loading.
+    """
+    num_topics, num_items, k, num_queries = (
+        SMOKE_MILLION_SCALE if smoke else MILLION_SCALE
+    )
+    queries = make_queries(num_queries, seed=43)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-serve-1m-"))
+    entries = []
+    try:
+        model = make_model(num_topics, num_items, seed=17)
+        snapshot = save_params(model.params_, workdir / "model.npz", mmap_layout=True)
+        del model
+        spawn = multiprocessing.get_context("spawn")
+        results = []
+        for spec in MILLION_VARIANTS:
+            queue = spawn.SimpleQueue()
+            proc = spawn.Process(
+                target=_million_child,
+                args=(spec, str(snapshot), queries, k, args.repeats, queue),
+            )
+            proc.start()
+            proc.join()
+            if proc.exitcode != 0 or queue.empty():
+                raise RuntimeError(
+                    f"million-tier child {spec[0]} failed (exit {proc.exitcode})"
+                )
+            results.append(queue.get())
+        reference = results[0]
+        for payload in results[1:]:
+            assert payload["sample"] == reference["sample"], (
+                f"{payload['variant']} top-k diverged from eager float64"
+            )
+        for payload in results:
+            name = (
+                f"serve/v{num_items}-z{num_topics}-k{k}/{payload['variant']}"
+            )
+            entries.append(
+                BenchEntry(
+                    name=name,
+                    value=round(payload["qps"], 2),
+                    unit="queries/sec",
+                    params={
+                        "num_items": num_items,
+                        "num_topics": num_topics,
+                        "k": k,
+                        "num_queries": num_queries,
+                        "variant": payload["variant"],
+                        "dtype": payload["dtype"],
+                        "mmap": payload["mmap"],
+                        "row_block": MILLION_ROW_BLOCK,
+                        "cache_hit_rate": round(payload["cache_hit_rate"], 4),
+                        "peak_rss_bytes": payload["peak_rss_bytes"],
+                        "params_nbytes": payload["params_nbytes"],
+                    },
+                    context=context,
+                )
+            )
+            rss = payload["peak_rss_bytes"]
+            rss_mib = "n/a" if rss is None else f"{rss / 2**20:8.1f} MiB"
+            print(
+                f"{name:45s} {payload['qps']:10.1f} queries/sec  "
+                f"(peak RSS {rss_mib}, cache hit-rate "
+                f"{payload['cache_hit_rate']:.2f})"
+            )
+        if not smoke:
+            eager_rss = results[0]["peak_rss_bytes"]
+            int8_rss = results[-1]["peak_rss_bytes"]
+            if eager_rss is not None and int8_rss is not None:
+                ratio = int8_rss / eager_rss
+                print(f"mmap-int8 peak RSS is {ratio:.2f}x eager-f64")
+                assert ratio <= 0.7, (
+                    f"mmap+int8 serving peaked at {ratio:.2f}x eager RSS "
+                    "(need <= 0.7x: the mmap tier must materially cut memory)"
+                )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return entries
 
 
 def main(argv=None) -> int:
@@ -148,6 +313,8 @@ def main(argv=None) -> int:
                 )
             )
             print(f"{name:45s} {rate:10.1f} queries/sec  (cache hit-rate {hit_rate:.2f})")
+
+    entries.extend(million_tier(args, args.smoke, context))
 
     if not args.smoke:
         largest = max(s[1] for s in scales)

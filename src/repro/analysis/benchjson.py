@@ -31,6 +31,7 @@ import json
 import os
 import platform
 import subprocess
+import sys
 from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -61,12 +62,45 @@ class BenchEntry:
         )
 
 
+def peak_rss_bytes() -> int | None:
+    """This process's peak resident set size, in bytes.
+
+    On Linux this reads ``VmHWM`` from ``/proc/self/status``: unlike
+    ``resource.ru_maxrss`` — which the kernel does *not* reset across
+    ``execve``, so a freshly spawned worker inherits its parent's
+    high-water mark — ``VmHWM`` belongs to the process's own memory map
+    and starts clean. Elsewhere it falls back to ``ru_maxrss``,
+    platform-normalized (macOS reports bytes, other Unixes kibibytes).
+    The value is a high-water mark since this process's memory map
+    existed, so a meaningful *per-variant* measurement needs one process
+    per variant; ``bench_serve``'s V=1M tier spawns children for exactly
+    this reason. Returns ``None`` where neither source is available.
+    """
+    if sys.platform == "linux":
+        try:
+            with open("/proc/self/status") as handle:
+                for line in handle:
+                    if line.startswith("VmHWM:"):
+                        return int(line.split()[1]) * 1024
+        except (OSError, ValueError, IndexError):  # pragma: no cover
+            pass
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only module
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024  # pragma: no cover - non-Linux Unix
+
+
 def default_context() -> dict:
     """Environment fingerprint stamped into every entry.
 
     Records everything needed to judge whether two entries are
-    comparable: wall-clock timestamp, CPU budget, library versions and
-    the git revision (best-effort; absent outside a checkout).
+    comparable: wall-clock timestamp, CPU budget, peak resident memory
+    at capture time, library versions and the git revision (best-effort;
+    absent outside a checkout).
     """
     import numpy
 
@@ -76,6 +110,9 @@ def default_context() -> dict:
         "numpy": numpy.__version__,
         "python": platform.python_version(),
     }
+    peak = peak_rss_bytes()
+    if peak is not None:
+        context["peak_rss_bytes"] = peak
     try:
         revision = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],

@@ -130,7 +130,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
     trace = model.trace_
     params = model.params_
     assert trace is not None and params is not None  # fit() always sets both
-    path = save_params(params, args.output)
+    path = save_params(params, args.output, mmap_layout=args.mmap_layout)
     lam = params.lambda_u
     print(
         f"fitted {model.name} in {trace.iterations} EM iterations "
@@ -138,6 +138,10 @@ def cmd_fit(args: argparse.Namespace) -> int:
     )
     print(f"mean personal-interest influence λ̄ = {lam.mean():.3f}")
     print(f"snapshot written to {path}")
+    if args.mmap_layout:
+        from .recommend.paramstore import store_dir
+
+        print(f"mmap sidecar written to {store_dir(path)}")
     return 0
 
 
@@ -152,13 +156,20 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         fallbacks.append(GlobalPopularity().fit(load_cuboid_csv(args.fallback_input)))
     try:
         recommender = TemporalRecommender.from_snapshot(
-            args.model, method=args.engine, fallbacks=fallbacks
+            args.model, method=args.engine, fallbacks=fallbacks, mmap=args.mmap
         )
     except SnapshotCorruptError as exc:
         print(f"snapshot unusable and no fallback given: {exc}", file=sys.stderr)
         return 2
     if args.batch_file is not None:
         return _recommend_batch_file(recommender, args)
+    if args.serve_dtype != "float64":
+        print(
+            f"--select-dtype {args.serve_dtype} applies to --batch-file mode "
+            "only; single queries always score in exact float64",
+            file=sys.stderr,
+        )
+        return 2
     if args.user is None or args.interval is None:
         print(
             "either --batch-file or both --user and --interval are required",
@@ -204,12 +215,20 @@ def _recommend_batch_file(recommender: TemporalRecommender, args: argparse.Names
     from .robustness import ServingUnavailableError
 
     queries: list[tuple[int, int]] = []
-    for line in Path(args.batch_file).read_text().splitlines():
+    for lineno, line in enumerate(Path(args.batch_file).read_text().splitlines(), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        user, interval = line.split(",")[:2]
-        queries.append((int(user), int(interval)))
+        try:
+            user, interval = line.split(",")[:2]
+            queries.append((int(user), int(interval)))
+        except ValueError:
+            print(
+                f"{args.batch_file}:{lineno}: expected 'user,interval' with "
+                f"integer fields, got {line!r}",
+                file=sys.stderr,
+            )
+            return 2
     if not queries:
         print(f"no queries in {args.batch_file}", file=sys.stderr)
         return 2
@@ -219,6 +238,9 @@ def _recommend_batch_file(recommender: TemporalRecommender, args: argparse.Names
         )
     except ServingUnavailableError as exc:
         print(f"serving unavailable: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid batch request: {exc}", file=sys.stderr)
         return 2
     degraded = 0
     for (user, interval), result, status in zip(queries, results, statuses):
@@ -466,6 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the EM engine under the runtime sanitizer "
         "(write-disjointness, simplex and reduce-order checks)",
     )
+    p_fit.add_argument(
+        "--mmap-layout",
+        action="store_true",
+        help="also publish the memory-mapped sidecar layout "
+        "(<output>.arrays/) so `tcam recommend --mmap` can page "
+        "parameters instead of loading them eagerly",
+    )
     p_fit.set_defaults(func=cmd_fit)
 
     p_rec = sub.add_parser("recommend", help="serve top-k from a snapshot")
@@ -497,10 +526,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries scored per GEMM block in batch mode",
     )
     p_rec.add_argument(
+        "--select-dtype",
         "--serve-dtype",
-        choices=("float64", "float32"),
+        dest="serve_dtype",
+        choices=("float64", "float32", "float16", "int8"),
         default="float64",
-        help="batch selection dtype (float32 trades exactness for speed)",
+        help="batch candidate-selection dtype: float64 is exact; float32 uses a "
+        "fixed wider margin; float16/int8 quantize selection with a proven "
+        "margin and stay bitwise identical to float64 (batch mode only)",
+    )
+    p_rec.add_argument(
+        "--mmap",
+        action="store_true",
+        help="serve from the snapshot's memory-mapped sidecar layout "
+        "(written by `tcam fit --mmap-layout`); parameters page in on "
+        "demand instead of loading eagerly",
     )
     p_rec.set_defaults(func=cmd_recommend)
 

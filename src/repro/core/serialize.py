@@ -18,6 +18,7 @@ leaking raw numpy/zipfile tracebacks.
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -37,7 +38,9 @@ _ITCAM_FIELDS = ("theta", "phi", "theta_time", "lambda_u")
 
 
 def save_params(
-    params: ITCAMParameters | TTCAMParameters, path: str | Path
+    params: ITCAMParameters | TTCAMParameters,
+    path: str | Path,
+    mmap_layout: bool = False,
 ) -> Path:
     """Persist fitted parameters to ``path`` (.npz), atomically.
 
@@ -46,6 +49,13 @@ def save_params(
     checksum over the parameter arrays lets it detect corruption. The
     archive is written to a temporary file and renamed into place, so a
     crash mid-save never leaves a truncated snapshot at ``path``.
+
+    ``mmap_layout=True`` additionally publishes the memory-mapped
+    sidecar directory ``<path>.arrays/`` (per-array ``.npy`` files plus
+    derived serving arrays — see :mod:`repro.recommend.paramstore`), so
+    serving processes can page parameters in instead of materialising
+    them. The ``.npz`` remains the source of truth; the sidecar is
+    derived and re-creatable.
     """
     path = Path(path)
     if isinstance(params, TTCAMParameters):
@@ -71,6 +81,12 @@ def save_params(
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, final)
+    if mmap_layout:
+        # Imported lazily: core must stay importable without the
+        # recommend package (and vice versa) at module-load time.
+        from ..recommend.paramstore import write_store
+
+        write_store(params, final)
     return final
 
 
@@ -127,15 +143,45 @@ class LoadedModel:
     Exposes the same prediction surface as a fitted model
     (``score_items`` / ``query_space`` / ``matrix_cache_key``) so a
     :class:`~repro.recommend.recommender.TemporalRecommender` can serve
-    straight from a snapshot.
+    straight from a snapshot. When constructed from an mmap sidecar
+    layout, :attr:`param_store` carries the open
+    :class:`~repro.recommend.paramstore.ParamStore`, and the serving
+    layer prefers its persisted derived arrays (rescore transpose,
+    sorted lists, quantized selection forms) over rebuilding them.
     """
 
-    def __init__(self, params: ITCAMParameters | TTCAMParameters) -> None:
+    def __init__(
+        self,
+        params: ITCAMParameters | TTCAMParameters,
+        param_store: object | None = None,
+    ) -> None:
         self.params_ = params
+        self.param_store = param_store
 
     @classmethod
-    def from_file(cls, path: str | Path) -> "LoadedModel":
-        """Load a snapshot and wrap it for serving."""
+    def from_file(cls, path: str | Path, mmap: bool = False) -> "LoadedModel":
+        """Load a snapshot and wrap it for serving.
+
+        ``mmap=True`` serves from the sidecar store published by
+        ``save_params(..., mmap_layout=True)``: parameters page in on
+        demand and never fully materialise. A missing or damaged sidecar
+        degrades to the eager checksummed load with a
+        :class:`RuntimeWarning` — mmap is an optimisation, not a second
+        source of truth.
+        """
+        if mmap:
+            from ..recommend.paramstore import ParamStore
+
+            try:
+                store = ParamStore.for_snapshot(path)
+                return cls(store.params(), param_store=store)
+            except SnapshotCorruptError as exc:
+                warnings.warn(
+                    f"mmap sidecar for {path} unusable ({exc}); "
+                    "falling back to eager snapshot load",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return cls(load_params(path))
 
     @property

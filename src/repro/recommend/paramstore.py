@@ -1,0 +1,530 @@
+"""Memory-mapped parameter store for million-item serving.
+
+A fitted snapshot (`.npz`, see :mod:`repro.core.serialize`) is the
+durable, checksummed source of truth — but serving from it means
+decompressing every array into resident memory. At ``V ≥ 10⁶`` items
+that is gigabytes of float64 before the first query is answered, most of
+which a real query mix never touches (cold users, cold items, cold
+intervals).
+
+This module adds an **mmap sidecar layout** next to the snapshot: a
+directory ``<snapshot>.arrays/`` holding one raw ``.npy`` file per array
+plus a ``manifest.json`` with per-file SHA-256 digests, shapes and
+dtypes. Serving opens every array with ``np.load(..., mmap_mode="r")``,
+so the kernel pages in exactly the rows a query touches — a recommender
+process's resident set scales with the *hot* fraction of the catalogue,
+not its size.
+
+Beyond the raw parameters the layout persists the derived serving
+arrays that are expensive (in time or resident bytes) to rebuild online:
+
+* ``item_topic`` — the contiguous ``(V, K)`` rescore transpose (TTCAM,
+  whose topic–item matrix is query-independent);
+* ``sorted_order`` / ``sorted_values`` — the Threshold-Algorithm
+  per-topic sorted lists for the same matrix;
+* ``context`` / ``context32`` (+ per-interval error statistics) — the
+  per-interval context score vectors ``θ′_t·Φ`` in float64 and float32;
+* ``qsel_int8_*`` / ``qsel_float16_*`` — the quantized selection forms
+  of Φ with their measured per-topic error bounds (see
+  :mod:`repro.recommend.quantize`).
+
+**Trust model.** ``__post_init__`` validation of the parameter
+containers would page every byte of every array — defeating the point —
+so :meth:`ParamStore.params` constructs them *without* validation and
+the store instead (a) verifies manifest structure, shapes and dtypes
+against the mapped files, (b) fully hashes every file small enough to be
+cheap, and (c) spot-checks sampled rows for the stochastic invariants.
+:meth:`ParamStore.verify` performs the full every-byte hash check when
+integrity matters more than start-up latency (tests do this; a paranoid
+deployment can too). The sidecar is *derived* data: if it is missing or
+damaged, loaders fall back to the checksummed ``.npz``.
+
+**Atomicity.** :func:`write_store` builds the layout in a temporary
+sibling directory, fsyncs, and renames it into place; the manifest is
+written last, so a torn publish leaves a directory without a manifest —
+which :class:`ParamStore` rejects cleanly — never a plausible-looking
+store with half-written arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Hashable, Mapping
+
+import numpy as np
+
+from ..core.params import ITCAMParameters, TTCAMParameters
+from ..robustness.errors import SnapshotCorruptError
+from ..typing import AnyArray, FloatArray
+from .quantize import QUANTIZED_DTYPES, ContextVector, QuantizedMatrix, quantize_matrix
+from .threshold import SortedTopicLists
+
+__all__ = ["MANIFEST_NAME", "STORE_SUFFIX", "ParamStore", "store_dir", "write_store"]
+
+#: Name of the manifest file inside a store directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Suffix appended to the snapshot filename to form the sidecar directory.
+STORE_SUFFIX = ".arrays"
+
+_FORMAT = "tcam-store-v1"
+
+_TTCAM_FIELDS = ("theta", "phi", "theta_time", "phi_time", "lambda_u")
+_ITCAM_FIELDS = ("theta", "phi", "theta_time", "lambda_u")
+
+#: Files up to this size are fully hashed at load time; larger ones are
+#: only hashed by :meth:`ParamStore.verify` (reading them would page the
+#: whole layout in, defeating the mmap win).
+_EAGER_HASH_LIMIT = 1 << 20
+
+
+def store_dir(snapshot: str | Path) -> Path:
+    """The sidecar store directory belonging to a snapshot path."""
+    snapshot = Path(snapshot)
+    return snapshot.with_name(snapshot.name + STORE_SUFFIX)
+
+
+def _file_sha256(path: Path) -> str:
+    """Chunked SHA-256 of one file (3.10-compatible, bounded memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush directory metadata so renames survive a crash (POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _context_stats(context: FloatArray) -> tuple[AnyArray, FloatArray, FloatArray]:
+    """Float32 image of a ``(T, V)`` context block plus per-row stats."""
+    rows = context.shape[0]
+    values = context.astype(np.float32)
+    delta = np.empty(rows, dtype=np.float64)
+    abs_max = np.empty(rows, dtype=np.float64)
+    for t in range(rows):
+        vector = ContextVector.from_exact(context[t])
+        delta[t] = vector.delta
+        abs_max[t] = vector.abs_max
+    return values, delta, abs_max
+
+
+def write_store(
+    params: ITCAMParameters | TTCAMParameters,
+    snapshot: str | Path,
+    quantized_dtypes: tuple[str, ...] = QUANTIZED_DTYPES,
+) -> Path:
+    """Write the mmap sidecar layout for ``params`` next to ``snapshot``.
+
+    This is an offline step run at publish time: it reads the full
+    parameter set once, derives the serving arrays (rescore transpose,
+    sorted topic lists, context vectors, quantized selection forms) and
+    publishes everything with a rename. Returns the store directory.
+    An existing store at the same location is replaced.
+    """
+    final = store_dir(snapshot)
+    tmp = final.with_name(final.name + ".tmp")
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+
+    arrays: dict[str, AnyArray] = {}
+    if isinstance(params, TTCAMParameters):
+        variant = "ttcam"
+        for name in _TTCAM_FIELDS:
+            arrays[name] = np.asarray(getattr(params, name))
+        lists = SortedTopicLists.build(params.topic_item_matrix())
+        arrays["item_topic"] = lists.item_topic
+        arrays["sorted_order"] = lists.order
+        arrays["sorted_values"] = lists.values
+        # Row-by-row GEMV, the exact expression the online path evaluates
+        # per interval — a single (T, K2) @ (K2, V) GEMM can differ from
+        # it in the last ULP, and persisted context rows must be
+        # bit-identical to freshly computed ones.
+        intervals = int(params.theta_time.shape[0])
+        context = np.empty((intervals, params.num_items), dtype=np.float64)
+        for t in range(intervals):
+            context[t] = params.theta_time[t] @ params.phi_time
+        arrays["context"] = context
+    elif isinstance(params, ITCAMParameters):
+        variant = "itcam"
+        for name in _ITCAM_FIELDS:
+            arrays[name] = np.asarray(getattr(params, name))
+        # ITCAM's context *is* theta_time; only the float32 image and
+        # its statistics are additional. The per-interval topic–item
+        # matrix (phi + one theta_time row) is cheap to assemble online,
+        # so no per-interval transposes are persisted.
+        context = np.asarray(params.theta_time, dtype=np.float64)
+    else:
+        raise TypeError(f"unsupported parameter type: {type(params).__name__}")
+
+    context32, context_delta, context_abs_max = _context_stats(context)
+    arrays["context32"] = context32
+    arrays["context_delta"] = context_delta
+    arrays["context_absmax"] = context_abs_max
+
+    for dtype in quantized_dtypes:
+        quantized = quantize_matrix(np.asarray(params.phi, dtype=np.float64), dtype)
+        arrays[f"qsel_{dtype}_storage"] = quantized.storage
+        if quantized.scale is not None:
+            arrays[f"qsel_{dtype}_scale"] = quantized.scale
+        arrays[f"qsel_{dtype}_delta"] = quantized.delta
+        arrays[f"qsel_{dtype}_absmax"] = quantized.row_abs_max
+
+    entries: dict[str, dict[str, Any]] = {}
+    for name, array in arrays.items():
+        filename = f"{name}.npy"
+        path = tmp / filename
+        with open(path, "wb") as handle:
+            np.save(handle, np.ascontiguousarray(array))
+            handle.flush()
+            os.fsync(handle.fileno())
+        entries[name] = {
+            "file": filename,
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "sha256": _file_sha256(path),
+        }
+
+    manifest = {
+        "format": _FORMAT,
+        "variant": variant,
+        "quantized_dtypes": list(quantized_dtypes),
+        "arrays": entries,
+    }
+    manifest_path = tmp / MANIFEST_NAME
+    with open(manifest_path, "w", encoding="utf-8") as text:
+        json.dump(manifest, text, indent=2, sort_keys=True)
+        text.flush()
+        os.fsync(text.fileno())
+    _fsync_dir(tmp)
+
+    if final.exists():
+        shutil.rmtree(final)
+    os.rename(tmp, final)
+    _fsync_dir(final.parent)
+    return final
+
+
+class ParamStore:
+    """Memory-mapped view of one published parameter store directory.
+
+    All arrays are opened with ``mmap_mode="r"`` — constructing a store
+    maps files without reading them, so start-up cost and resident
+    memory are both tiny regardless of catalogue size. Accessors hand
+    out mmap-backed objects directly (memoised on the store, *not*
+    copied), and the serving layer deliberately keeps them out of its
+    byte-budget caches: they are pageable, not resident.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        manifest_path = self.directory / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise SnapshotCorruptError(
+                f"parameter store {self.directory} has no {MANIFEST_NAME} "
+                "(missing or torn publish)"
+            )
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as text:
+                manifest = json.load(text)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SnapshotCorruptError(
+                f"parameter store manifest {manifest_path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != _FORMAT:
+            raise SnapshotCorruptError(
+                f"{manifest_path} is not a {_FORMAT} manifest"
+            )
+        self.variant = str(manifest.get("variant"))
+        if self.variant not in ("ttcam", "itcam"):
+            raise SnapshotCorruptError(
+                f"unknown parameter-store variant {self.variant!r} in {manifest_path}"
+            )
+        entries = manifest.get("arrays")
+        if not isinstance(entries, Mapping) or not entries:
+            raise SnapshotCorruptError(f"{manifest_path} lists no arrays")
+        self._entries: dict[str, dict[str, Any]] = {
+            str(name): dict(entry) for name, entry in entries.items()
+        }
+        self._arrays: dict[str, AnyArray] = {}
+        for name, entry in self._entries.items():
+            self._arrays[name] = self._open_array(name, entry)
+        self._check_structure()
+        self._spot_check()
+        self._params: ITCAMParameters | TTCAMParameters | None = None
+        self._lists: SortedTopicLists | None = None
+        self._quantized: dict[str, QuantizedMatrix | None] = {}
+
+    @classmethod
+    def for_snapshot(cls, snapshot: str | Path) -> "ParamStore":
+        """Open the store belonging to a snapshot path."""
+        return cls(store_dir(snapshot))
+
+    # -- load-time validation --------------------------------------------
+
+    def _open_array(self, name: str, entry: Mapping[str, Any]) -> AnyArray:
+        """Map one manifest entry, checking its header against the manifest."""
+        path = self.directory / str(entry.get("file", f"{name}.npy"))
+        try:
+            array = np.load(path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise SnapshotCorruptError(
+                f"parameter store array {path} is unreadable: {exc}"
+            ) from exc
+        if str(array.dtype) != entry.get("dtype"):
+            raise SnapshotCorruptError(
+                f"{path} has dtype {array.dtype}, manifest says {entry.get('dtype')}"
+            )
+        if list(array.shape) != list(entry.get("shape", [])):
+            raise SnapshotCorruptError(
+                f"{path} has shape {array.shape}, manifest says {entry.get('shape')}"
+            )
+        if path.stat().st_size <= _EAGER_HASH_LIMIT:
+            digest = _file_sha256(path)
+            if digest != entry.get("sha256"):
+                raise SnapshotCorruptError(f"{path} failed its checksum")
+        return array
+
+    def _require(self, name: str) -> AnyArray:
+        array = self._arrays.get(name)
+        if array is None:
+            raise SnapshotCorruptError(
+                f"parameter store {self.directory} is missing array {name!r}"
+            )
+        return array
+
+    def _check_structure(self) -> None:
+        """Cross-array shape consistency (reads headers only, no paging)."""
+        theta = self._require("theta")
+        phi = self._require("phi")
+        lambda_u = self._require("lambda_u")
+        theta_time = self._require("theta_time")
+        if theta.ndim != 2 or phi.ndim != 2 or lambda_u.ndim != 1:
+            raise SnapshotCorruptError(f"{self.directory}: parameter ranks are wrong")
+        if theta.shape[1] != phi.shape[0]:
+            raise SnapshotCorruptError(
+                f"{self.directory}: theta / phi topic dimensions disagree"
+            )
+        if theta.shape[0] != lambda_u.shape[0]:
+            raise SnapshotCorruptError(
+                f"{self.directory}: theta / lambda_u user dimensions disagree"
+            )
+        num_items = int(phi.shape[1])
+        if self.variant == "ttcam":
+            phi_time = self._require("phi_time")
+            if theta_time.shape[1] != phi_time.shape[0]:
+                raise SnapshotCorruptError(
+                    f"{self.directory}: theta_time / phi_time dimensions disagree"
+                )
+            if phi_time.shape[1] != num_items:
+                raise SnapshotCorruptError(
+                    f"{self.directory}: phi / phi_time item dimensions disagree"
+                )
+            stacked_topics = int(phi.shape[0] + phi_time.shape[0])
+            item_topic = self._require("item_topic")
+            if tuple(item_topic.shape) != (num_items, stacked_topics):
+                raise SnapshotCorruptError(
+                    f"{self.directory}: item_topic shape {item_topic.shape} does not "
+                    f"match ({num_items}, {stacked_topics})"
+                )
+            for name in ("sorted_order", "sorted_values"):
+                lists_array = self._require(name)
+                if tuple(lists_array.shape) != (stacked_topics, num_items):
+                    raise SnapshotCorruptError(
+                        f"{self.directory}: {name} shape {lists_array.shape} does not "
+                        f"match ({stacked_topics}, {num_items})"
+                    )
+            context = self._require("context")
+            if tuple(context.shape) != (int(theta_time.shape[0]), num_items):
+                raise SnapshotCorruptError(
+                    f"{self.directory}: context shape {context.shape} is wrong"
+                )
+        else:
+            if theta_time.shape[1] != num_items:
+                raise SnapshotCorruptError(
+                    f"{self.directory}: phi / theta_time item dimensions disagree"
+                )
+        intervals = int(theta_time.shape[0])
+        context32 = self._require("context32")
+        if tuple(context32.shape) != (intervals, num_items):
+            raise SnapshotCorruptError(
+                f"{self.directory}: context32 shape {context32.shape} is wrong"
+            )
+        for name in ("context_delta", "context_absmax"):
+            stats = self._require(name)
+            if tuple(stats.shape) != (intervals,):
+                raise SnapshotCorruptError(
+                    f"{self.directory}: {name} shape {stats.shape} is wrong"
+                )
+
+    def _spot_check(self) -> None:
+        """Sampled invariant checks standing in for full validation.
+
+        Pages only a handful of rows: the first and last rows of the
+        stochastic matrices must be normalised, ``lambda_u`` samples must
+        lie in ``[0, 1]`` and the first sorted-values row must be
+        non-increasing. Full construction-time validation is skipped on
+        purpose — it would fault in every byte of the mapping.
+        """
+        for name in ("theta", "phi") + (
+            ("theta_time", "phi_time") if self.variant == "ttcam" else ("theta_time",)
+        ):
+            matrix = self._arrays[name]
+            for row in sorted({0, int(matrix.shape[0]) - 1}):
+                total = float(np.asarray(matrix[row], dtype=np.float64).sum())
+                if not np.isfinite(total) or abs(total - 1.0) > 1e-4:
+                    raise SnapshotCorruptError(
+                        f"{self.directory}: {name} row {row} sums to {total!r}"
+                    )
+        lambda_u = self._arrays["lambda_u"]
+        for row in sorted({0, int(lambda_u.shape[0]) - 1}):
+            value = float(lambda_u[row])
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise SnapshotCorruptError(
+                    f"{self.directory}: lambda_u[{row}] = {value!r} outside [0, 1]"
+                )
+        values = self._arrays.get("sorted_values")
+        if values is not None:
+            head = np.asarray(values[0, : min(1024, values.shape[1])])
+            if head.size > 1 and np.any(np.diff(head) > 0):
+                raise SnapshotCorruptError(
+                    f"{self.directory}: sorted_values row 0 is not non-increasing"
+                )
+
+    def verify(self) -> None:
+        """Full integrity check: re-hash every file against the manifest.
+
+        Reads (and therefore pages) the entire layout — use at publish
+        or audit time, not on the serving start-up path.
+        """
+        for name, entry in self._entries.items():
+            path = self.directory / str(entry.get("file", f"{name}.npy"))
+            digest = _file_sha256(path)
+            if digest != entry.get("sha256"):
+                raise SnapshotCorruptError(f"{path} failed its checksum")
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total mapped bytes (file-backed, not resident)."""
+        return sum(int(array.nbytes) for array in self._arrays.values())
+
+    def array(self, name: str) -> AnyArray | None:
+        """One named mmap array, or ``None`` when not persisted."""
+        return self._arrays.get(name)
+
+    def params(self) -> ITCAMParameters | TTCAMParameters:
+        """The parameter container over the mapped arrays (memoised).
+
+        Constructed *without* ``__post_init__`` validation — see the
+        module docstring's trust model. The container behaves exactly
+        like an eagerly loaded one, but its arrays page on demand.
+        """
+        if self._params is None:
+            if self.variant == "ttcam":
+                params: ITCAMParameters | TTCAMParameters = TTCAMParameters.__new__(
+                    TTCAMParameters
+                )
+                fields = _TTCAM_FIELDS
+            else:
+                params = ITCAMParameters.__new__(ITCAMParameters)
+                fields = _ITCAM_FIELDS
+            for name in fields:
+                setattr(params, name, self._require(name))
+            self._params = params
+        return self._params
+
+    def item_topic(self, key: Hashable) -> FloatArray | None:
+        """Persisted ``(V, K)`` rescore transpose for a matrix cache key.
+
+        Only the TTCAM layout persists one (its topic–item matrix is
+        query-independent, key ``"static"``); ITCAM callers get ``None``
+        and build their per-interval transpose as before.
+        """
+        if self.variant != "ttcam" or key != "static":
+            return None
+        result: FloatArray | None = self._arrays.get("item_topic")
+        return result
+
+    def sorted_lists(self, key: Hashable) -> SortedTopicLists | None:
+        """Persisted Threshold-Algorithm index for a matrix cache key.
+
+        Memoised so repeat callers share one
+        :class:`~repro.recommend.threshold.SortedTopicLists` instance
+        (and therefore its reused per-query scratch buffers).
+        """
+        if self.variant != "ttcam" or key != "static":
+            return None
+        if self._lists is None:
+            order = self._arrays.get("sorted_order")
+            values = self._arrays.get("sorted_values")
+            item_topic = self._arrays.get("item_topic")
+            if order is None or values is None or item_topic is None:
+                return None
+            self._lists = SortedTopicLists(
+                order=order, values=values, item_topic=item_topic
+            )
+        return self._lists
+
+    def quantized_selection(self, dtype: str) -> QuantizedMatrix | None:
+        """Persisted quantized form of Φ for one selection dtype."""
+        if dtype in self._quantized:
+            return self._quantized[dtype]
+        storage = self._arrays.get(f"qsel_{dtype}_storage")
+        delta = self._arrays.get(f"qsel_{dtype}_delta")
+        abs_max = self._arrays.get(f"qsel_{dtype}_absmax")
+        quantized: QuantizedMatrix | None = None
+        if storage is not None and delta is not None and abs_max is not None:
+            scale = self._arrays.get(f"qsel_{dtype}_scale")
+            # The per-topic statistics are tiny and consulted on every
+            # margin computation — copy them into resident memory.
+            quantized = QuantizedMatrix(
+                storage=storage,
+                scale=None if scale is None else np.asarray(scale, dtype=np.float32),
+                delta=np.asarray(delta, dtype=np.float64),
+                row_abs_max=np.asarray(abs_max, dtype=np.float64),
+            )
+        self._quantized[dtype] = quantized
+        return quantized
+
+    def context_row(self, interval: int, dtype: str) -> AnyArray | None:
+        """One interval's persisted context score vector ``θ′_t·Φ``."""
+        if dtype == "float32":
+            source = self._arrays.get("context32")
+        elif self.variant == "ttcam":
+            source = self._arrays.get("context")
+        else:
+            source = self._arrays.get("theta_time")
+        if source is None or not 0 <= interval < source.shape[0]:
+            return None
+        return source[interval]
+
+    def context_vector(self, interval: int) -> ContextVector | None:
+        """One interval's float32 context vector with its error bounds."""
+        values = self.context_row(interval, "float32")
+        delta = self._arrays.get("context_delta")
+        abs_max = self._arrays.get("context_absmax")
+        if values is None or delta is None or abs_max is None:
+            return None
+        if not 0 <= interval < delta.shape[0]:
+            return None
+        return ContextVector(
+            values=values,
+            delta=float(delta[interval]),
+            abs_max=float(abs_max[interval]),
+        )

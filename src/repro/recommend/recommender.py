@@ -66,6 +66,7 @@ from .serving import (
     BatchScorer,
     CacheStats,
     ServingCache,
+    ServingConfig,
     check_serve_dtype,
 )
 from .threshold import SortedTopicLists, batched_ta_topk, classic_ta_topk, ta_topk
@@ -182,12 +183,20 @@ class TemporalRecommender:
         :class:`~repro.baselines.popularity.GlobalPopularity`).
     serve_dtype:
         Default selection dtype for :meth:`recommend_batch` —
-        ``"float64"`` (exact, the default) or ``"float32"`` (converted
+        ``"float64"`` (exact, the default), ``"float32"`` (converted
         once at index build; see ``docs/performance.md`` for the
-        accuracy contract).
+        accuracy contract), or the proven-margin quantized modes
+        ``"float16"`` / ``"int8"`` (bitwise identical to float64, see
+        :mod:`repro.recommend.quantize`).
     cache:
         A :class:`~repro.recommend.serving.ServingCache` to use (e.g.
         with custom capacities); one with defaults is created otherwise.
+    config:
+        A :class:`~repro.recommend.serving.ServingConfig` bundling the
+        serving knobs. When given, it supplies the selection dtype, the
+        default GEMM row block, and — unless an explicit ``cache`` is
+        passed — builds the (optionally byte-budgeted) serving cache for
+        this and every hot-swapped generation.
     """
 
     _METHODS = ("ta", "batched-ta", "bf", "classic-ta")
@@ -200,6 +209,7 @@ class TemporalRecommender:
         unavailable_reason: str | None = None,
         serve_dtype: str = "float64",
         cache: ServingCache | None = None,
+        config: ServingConfig | None = None,
     ) -> None:
         if method not in self._METHODS:
             raise ValueError(f"method must be one of {self._METHODS}, got {method!r}")
@@ -208,7 +218,11 @@ class TemporalRecommender:
         self.method = method
         self.fallbacks = tuple(fallbacks)
         self.unavailable_reason = unavailable_reason
+        self.config = config
+        if config is not None:
+            serve_dtype = config.select_dtype
         self.serve_dtype = check_serve_dtype(serve_dtype)
+        self.row_block = config.row_block if config is not None else DEFAULT_ROW_BLOCK
         self.last_status: ServingStatus | None = None
         # Bounded serving state: sorted-list indexes keyed by the model's
         # matrix cache key (TTCAM's topic–item matrix is query-independent
@@ -218,13 +232,19 @@ class TemporalRecommender:
         # lives inside the generation so a hot swap retires it with the
         # model it indexed.
         self._generation = _Generation(
-            model, cache if cache is not None else ServingCache(), 0
+            model, cache if cache is not None else self._build_cache(), 0
         )
         self._swap_lock = threading.Lock()
         self._swaps = 0
         self._rollbacks = 0
         self._drift_events = 0
         self.last_rollback_reason: str | None = None
+
+    def _build_cache(self) -> ServingCache:
+        """A fresh serving cache honouring the configured byte budget."""
+        if self.config is not None:
+            return self.config.build_cache()
+        return ServingCache()
 
     # ------------------------------------------------------------------
     # generations (RCU hot swap)
@@ -281,7 +301,7 @@ class TemporalRecommender:
         with self._swap_lock:
             generation = _Generation(
                 model,
-                cache if cache is not None else ServingCache(),
+                cache if cache is not None else self._build_cache(),
                 self._generation.index + 1,
             )
             self._swaps += 1
@@ -326,6 +346,8 @@ class TemporalRecommender:
         path: str | Path,
         method: str = "ta",
         fallbacks: Sequence[object] = (),
+        mmap: bool = False,
+        config: ServingConfig | None = None,
     ) -> "TemporalRecommender":
         """Serve from a snapshot file, degrading instead of crashing.
 
@@ -335,17 +357,29 @@ class TemporalRecommender:
         serves every query from the chain, flagging the degradation in
         each :class:`ServingStatus`. Without fallbacks the error
         propagates.
+
+        ``mmap=True`` serves from the snapshot's sidecar store (see
+        :mod:`repro.recommend.paramstore`): parameters page in on
+        demand instead of being materialised, and a missing or damaged
+        sidecar falls back to the eager checksummed load with a
+        :class:`RuntimeWarning` rather than failing the start-up.
         """
         from ..core.serialize import LoadedModel
 
         try:
-            model: SupportsQuerySpace | None = LoadedModel.from_file(path)
+            model: SupportsQuerySpace | None = LoadedModel.from_file(path, mmap=mmap)
             reason = None
         except (ValueError, OSError) as exc:
             if not fallbacks:
                 raise
             model, reason = None, f"snapshot unusable: {exc}"
-        return cls(model, method=method, fallbacks=fallbacks, unavailable_reason=reason)
+        return cls(
+            model,
+            method=method,
+            fallbacks=fallbacks,
+            unavailable_reason=reason,
+            config=config,
+        )
 
     def recommend(
         self,
@@ -458,7 +492,7 @@ class TemporalRecommender:
         k: int = 10,
         exclude: IntArray | Mapping[int, IntArray] | None = None,
         dtype: str | None = None,
-        row_block: int = DEFAULT_ROW_BLOCK,
+        row_block: int | None = None,
     ) -> list[TopKResult]:
         """Top-k items for a batch of ``(user, interval)`` queries.
 
@@ -481,7 +515,7 @@ class TemporalRecommender:
         k: int = 10,
         exclude: IntArray | Mapping[int, IntArray] | None = None,
         dtype: str | None = None,
-        row_block: int = DEFAULT_ROW_BLOCK,
+        row_block: int | None = None,
     ) -> tuple[list[TopKResult], list[ServingStatus]]:
         """Batch top-k plus one :class:`ServingStatus` per query.
 
@@ -497,10 +531,12 @@ class TemporalRecommender:
             mapping ``user -> item ids`` (per-user masks are cached in
             the serving cache).
         dtype:
-            Selection dtype override, ``"float64"`` or ``"float32"``;
+            Selection dtype override — ``"float64"``, ``"float32"``, or
+            the proven-margin quantized modes ``"float16"`` / ``"int8"``;
             defaults to the recommender's ``serve_dtype``.
         row_block:
-            Queries scored per GEMM block.
+            Queries scored per GEMM block; defaults to the configured
+            (or package default) block size.
 
         Degradation is **per row**: a query that is out of the primary's
         range — or whose interval group fails at serve time — walks the
@@ -510,6 +546,7 @@ class TemporalRecommender:
         status carries the same end-of-batch cache counter snapshot.
         """
         serve_dtype = check_serve_dtype(dtype if dtype is not None else self.serve_dtype)
+        block = row_block if row_block is not None else self.row_block
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         # RCU read side: the whole batch serves from one captured
@@ -539,7 +576,7 @@ class TemporalRecommender:
             users = [pairs[i][0] for i in indices]
             try:
                 group_results = generation.scorer().serve_group(
-                    interval, users, k, exclude, serve_dtype, row_block
+                    interval, users, k, exclude, serve_dtype, block
                 )
             except Exception as exc:
                 for i in indices:
@@ -665,6 +702,13 @@ class TemporalRecommender:
         if key_fn is None:
             return SortedTopicLists.build(matrix)
         key = key_fn(interval)
+        store = getattr(generation.model, "param_store", None)
+        if store is not None:
+            stored = store.sorted_lists(key)
+            if stored is not None:
+                # mmap-backed and memoised by the store itself; kept out
+                # of the LRU so it never counts against a byte budget.
+                return stored  # type: ignore[no-any-return]
         lists = generation.cache.indexes.get(key)
         if lists is None:
             lists = SortedTopicLists.build(matrix)

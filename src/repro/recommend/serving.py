@@ -36,6 +36,15 @@ traffic. This module amortises per-query cost across batches:
   results still match the float64 path whenever the true top-k survives
   float32 candidate selection (asserted on the bench corpora — see
   ``docs/performance.md``).
+* **Quantized modes.** ``dtype="float16"`` / ``"int8"`` run selection
+  through :mod:`repro.recommend.quantize`: a compressed copy of the
+  selection matrix is staged block-by-block through a small float32
+  buffer, and candidates are taken by a *proven* per-row error margin
+  instead of a fixed count — so the exact float64 rescore returns
+  results **bitwise identical** to the float64 path at a fraction of
+  the selection bytes. With an mmap parameter store attached
+  (``model.param_store``), the quantized forms and context statistics
+  are paged from disk rather than rebuilt.
 """
 
 from __future__ import annotations
@@ -58,6 +67,15 @@ import numpy as np
 
 from ..tooling.sanitize import Sanitizer, check_topk_finite, sanitize_enabled
 from ..typing import AnyArray, BoolArray, FloatArray, IntArray, hot_path
+from .quantize import (
+    QUANTIZED_DTYPES,
+    STAGE_COLUMNS,
+    ContextVector,
+    QuantizedMatrix,
+    quantize_matrix,
+    selection_margins,
+    staged_select_gemm,
+)
 from .ranking import Recommendation, TopKResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -68,13 +86,15 @@ _V = TypeVar("_V")
 #: Candidate-selection margin beyond ``k`` per serving dtype. float64
 #: selection scores differ from the exact rescore by a few ULPs, so a
 #: handful of extra candidates is ample; float32 selection carries
-#: ~1e-7 relative noise and gets a wider net.
+#: ~1e-7 relative noise and gets a wider net. The quantized dtypes
+#: (float16 / int8) are absent on purpose: they use the *proven* per-row
+#: error margin of :mod:`repro.recommend.quantize`, not a fixed count.
 SELECTION_MARGIN = {"float64": 16, "float32": 64}
 
 #: Default number of queries scored per GEMM block.
 DEFAULT_ROW_BLOCK = 64
 
-_SERVE_DTYPES = ("float64", "float32")
+_SERVE_DTYPES = ("float64", "float32", "float16", "int8")
 
 
 @dataclass(frozen=True)
@@ -86,9 +106,14 @@ class CacheStats:
     hits, misses:
         Lookup outcomes since the cache was created.
     evictions:
-        Entries displaced by the LRU capacity bound.
+        Entries displaced by the LRU capacity or byte bounds.
     size, capacity:
         Current and maximum entry counts.
+    bytes, max_bytes:
+        Current accounted payload bytes (``ndarray.nbytes`` of the
+        cached values) and the byte budget (0 = entry-count bound only).
+    evicted_bytes:
+        Total payload bytes displaced by evictions so far.
     """
 
     hits: int = 0
@@ -96,6 +121,9 @@ class CacheStats:
     evictions: int = 0
     size: int = 0
     capacity: int = 0
+    bytes: int = 0
+    max_bytes: int = 0
+    evicted_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -104,14 +132,33 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
-        """Combine two regions' counters (capacities add)."""
+        """Combine two regions' counters (capacities and budgets add)."""
         return CacheStats(
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
             size=self.size + other.size,
             capacity=self.capacity + other.capacity,
+            bytes=self.bytes + other.bytes,
+            max_bytes=self.max_bytes + other.max_bytes,
+            evicted_bytes=self.evicted_bytes + other.evicted_bytes,
         )
+
+
+def value_nbytes(value: object) -> int:
+    """Accounted payload bytes of one cached value.
+
+    Arrays (and anything exposing ``nbytes``, e.g.
+    :class:`~repro.recommend.quantize.QuantizedMatrix` or
+    :class:`~repro.recommend.threshold.SortedTopicLists`) report their
+    buffer size; other values are accounted as zero bytes — the byte
+    budget is a guard against large array payloads, not a general
+    memory profiler.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    return 0
 
 
 class LRUCache(Generic[_V]):
@@ -129,15 +176,27 @@ class LRUCache(Generic[_V]):
     corrupt the recency order or lose counter increments. The uncounted
     read-only accessors (:meth:`peek`, ``cache[key]``, ``len``) stay
     lock-free: they never restructure the mapping.
+
+    ``max_bytes`` adds an optional byte budget on top of the entry
+    bound: payloads are accounted with :func:`value_nbytes` and the LRU
+    tail is evicted until the budget holds again. A single value larger
+    than the whole budget is evicted immediately (it is never worth the
+    entire cache). ``max_bytes=None`` (the default) keeps the original
+    entry-count-only behaviour.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, max_bytes: int | None = None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive or None, got {max_bytes}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.evicted_bytes = 0
+        self._bytes = 0
         self._lock = threading.RLock()
         self._data: OrderedDict[Hashable, _V] = OrderedDict()
 
@@ -172,19 +231,34 @@ class LRUCache(Generic[_V]):
         return self._data.get(key, default)
 
     def put(self, key: Hashable, value: _V) -> None:
-        """Insert (or refresh) an entry, evicting the LRU entry if full."""
+        """Insert (or refresh) an entry, evicting LRU entries while full.
+
+        Both bounds are enforced: the entry count, and — when
+        ``max_bytes`` is set — the accounted payload bytes.
+        """
         with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
+            previous = self._data.pop(key, None)
+            if previous is not None:
+                self._bytes -= value_nbytes(previous)
             self._data[key] = value
-            if len(self._data) > self.capacity:
-                self._data.popitem(last=False)
+            self._bytes += value_nbytes(value)
+            while len(self._data) > self.capacity or (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._data) > 0
+            ):
+                _, evicted = self._data.popitem(last=False)
                 self.evictions += 1
+                freed = value_nbytes(evicted)
+                self.evicted_bytes += freed
+                self._bytes -= freed
 
     def discard(self, key: Hashable) -> None:
         """Drop one entry if present (no counters touched)."""
         with self._lock:
-            self._data.pop(key, None)
+            dropped = self._data.pop(key, None)
+            if dropped is not None:
+                self._bytes -= value_nbytes(dropped)
 
     def keys(self) -> KeysView[Hashable]:
         """Current keys, least- to most-recently used."""
@@ -194,6 +268,12 @@ class LRUCache(Generic[_V]):
         """Drop every entry (counters are retained)."""
         with self._lock:
             self._data.clear()
+            self._bytes = 0
+
+    @property
+    def bytes(self) -> int:
+        """Accounted payload bytes currently held."""
+        return self._bytes
 
     def stats(self) -> CacheStats:
         """Snapshot of this region's counters."""
@@ -203,6 +283,9 @@ class LRUCache(Generic[_V]):
             evictions=self.evictions,
             size=len(self._data),
             capacity=self.capacity,
+            bytes=self._bytes,
+            max_bytes=self.max_bytes if self.max_bytes is not None else 0,
+            evicted_bytes=self.evicted_bytes,
         )
 
 
@@ -235,6 +318,12 @@ class ServingCache:
         sizing guidance (roughly: indexes/matrices ≈ working set of hot
         intervals; contexts ≈ intervals per serving window; masks ≈
         concurrently active users).
+    index_max_bytes, matrix_max_bytes, context_max_bytes, mask_max_bytes:
+        Optional per-region byte budgets (``None`` = entry count only,
+        the default — existing behaviour is unchanged). Payloads are
+        accounted via ``ndarray.nbytes``; evicted bytes are surfaced in
+        :class:`CacheStats`. Budgets matter at million-item scale, where
+        one ``(V, K)`` rescore transpose is hundreds of megabytes.
     """
 
     def __init__(
@@ -243,11 +332,23 @@ class ServingCache:
         matrix_capacity: int = 8,
         context_capacity: int = 256,
         mask_capacity: int = 4096,
+        index_max_bytes: int | None = None,
+        matrix_max_bytes: int | None = None,
+        context_max_bytes: int | None = None,
+        mask_max_bytes: int | None = None,
     ) -> None:
-        self.indexes: LRUCache[SortedTopicLists] = LRUCache(index_capacity)
-        self.matrices: LRUCache[AnyArray] = LRUCache(matrix_capacity)
-        self.contexts: LRUCache[AnyArray] = LRUCache(context_capacity)
-        self.masks: LRUCache[BoolArray] = LRUCache(mask_capacity)
+        self.indexes: LRUCache[SortedTopicLists] = LRUCache(
+            index_capacity, max_bytes=index_max_bytes
+        )
+        self.matrices: LRUCache[AnyArray | QuantizedMatrix] = LRUCache(
+            matrix_capacity, max_bytes=matrix_max_bytes
+        )
+        self.contexts: LRUCache[AnyArray | ContextVector] = LRUCache(
+            context_capacity, max_bytes=context_max_bytes
+        )
+        self.masks: LRUCache[BoolArray] = LRUCache(
+            mask_capacity, max_bytes=mask_max_bytes
+        )
 
     def regions(self) -> dict[str, LRUCache[Any]]:
         """The four named regions."""
@@ -315,6 +416,56 @@ def check_serve_dtype(dtype: str) -> str:
     return dtype
 
 
+@dataclass(frozen=True)
+class ServingConfig:
+    """Declarative serving knobs (the engine-config idiom, serving-side).
+
+    Bundles the levers of :class:`BatchScorer` / :class:`ServingCache`
+    the way :class:`~repro.core.engine.EMEngineConfig` bundles the EM
+    engine's, so deployments can pass one validated object instead of
+    loose keyword arguments::
+
+        config = ServingConfig(select_dtype="int8", cache_max_bytes=256 << 20)
+        recommender = TemporalRecommender(model, config=config)
+
+    Attributes
+    ----------
+    select_dtype:
+        Candidate-selection dtype: ``"float64"`` (exact), ``"float32"``
+        (fixed wider margin), or the proven-margin quantized modes
+        ``"float16"`` / ``"int8"``.
+    row_block:
+        Queries scored per GEMM block.
+    cache_max_bytes:
+        Optional total byte budget for the serving cache, split across
+        the two array-heavy regions (matrices and indexes get 3/8 each,
+        contexts 2/8); ``None`` keeps entry-count bounds only.
+    """
+
+    select_dtype: str = "float64"
+    row_block: int = DEFAULT_ROW_BLOCK
+    cache_max_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        check_serve_dtype(self.select_dtype)
+        if self.row_block <= 0:
+            raise ValueError(f"row_block must be positive, got {self.row_block}")
+        if self.cache_max_bytes is not None and self.cache_max_bytes <= 0:
+            raise ValueError(
+                f"cache_max_bytes must be positive or None, got {self.cache_max_bytes}"
+            )
+
+    def build_cache(self) -> ServingCache:
+        """A :class:`ServingCache` honouring the configured byte budget."""
+        if self.cache_max_bytes is None:
+            return ServingCache()
+        return ServingCache(
+            index_max_bytes=max(1, self.cache_max_bytes * 3 // 8),
+            matrix_max_bytes=max(1, self.cache_max_bytes * 3 // 8),
+            context_max_bytes=max(1, self.cache_max_bytes * 2 // 8),
+        )
+
+
 def exact_rescore(
     item_topic: FloatArray, weights: FloatArray, candidates: IntArray, k: int
 ) -> TopKResult:
@@ -339,6 +490,23 @@ def exact_rescore(
     )
 
 
+def _row_boundaries(scores: AnyArray, count: int) -> AnyArray:
+    """Each row's ``count``-th largest selection score.
+
+    One :func:`np.partition` per row instead of a single 2-D
+    ``argpartition``: the peak temporary is ``O(V)`` rather than
+    ``O(rows · V)`` int64 indexes, which is what keeps a
+    million-item row block from allocating hundreds of megabytes
+    per selection pass. The boundary values are identical.
+    """
+    rows, num_items = scores.shape
+    boundary = np.empty(rows, dtype=scores.dtype)
+    pivot = num_items - count
+    for r in range(rows):
+        boundary[r] = np.partition(scores[r], pivot)[pivot]
+    return boundary
+
+
 def select_candidates(scores: AnyArray, count: int) -> tuple[AnyArray, BoolArray]:
     """Per-row candidate supersets from a block of selection scores.
 
@@ -346,7 +514,7 @@ def select_candidates(scores: AnyArray, count: int) -> tuple[AnyArray, BoolArray
     candidate of row ``r``: every item whose selection score reaches the
     row's ``count``-th largest value. Ties at the boundary are *all*
     included, so the true top-k can never be lost to an arbitrary
-    ``argpartition`` tie split.
+    partition tie split.
     """
     rows, num_items = scores.shape
     if count >= num_items:
@@ -354,9 +522,38 @@ def select_candidates(scores: AnyArray, count: int) -> tuple[AnyArray, BoolArray
             np.full(rows, -np.inf),
             np.ones((rows, num_items), dtype=bool),
         )
-    part = np.argpartition(scores, num_items - count, axis=1)[:, num_items - count :]
-    boundary = np.take_along_axis(scores, part, axis=1).min(axis=1)
+    boundary = _row_boundaries(scores, count)
     return boundary, scores >= boundary[:, None]
+
+
+def select_candidates_margin(
+    scores: AnyArray, k: int, margins: FloatArray
+) -> BoolArray:
+    """Candidate mask for approximate scores with a proven error bound.
+
+    ``margins[r]`` must bound ``2·ε_r`` where
+    ``|scores[r, v] − exact_r(v)| ≤ ε_r`` for all ``v`` (see
+    :func:`~repro.recommend.quantize.selection_margins`). Every item
+    whose approximate score reaches the row's k-th largest value minus
+    its margin is a candidate; by the ``2ε`` argument in
+    :mod:`repro.recommend.quantize` this superset provably contains
+    every item of the exact top-k, tie order included. The cutoff is
+    rounded *down* (one ulp in float64, then one more in the score
+    dtype) so the floating-point evaluation of ``boundary − margin``
+    can never exclude an item the real-arithmetic cutoff would keep.
+    """
+    rows, num_items = scores.shape
+    mask: BoolArray
+    if k >= num_items:
+        mask = np.ones((rows, num_items), dtype=bool)
+        return mask
+    boundary = _row_boundaries(scores, k)
+    cutoff = np.nextafter(boundary.astype(np.float64) - margins, -np.inf)
+    cutoff_cast = np.nextafter(
+        cutoff.astype(scores.dtype), np.array(-np.inf, dtype=scores.dtype)
+    )
+    mask = scores >= cutoff_cast[:, None]
+    return mask
 
 
 class BatchScorer:
@@ -429,6 +626,11 @@ class BatchScorer:
         key = self._matrix_key(interval)
         if key is None:
             return np.ascontiguousarray(self._stacked_matrix(interval, users).T)
+        store = self._store()
+        if store is not None:
+            stored = store.item_topic(key)
+            if stored is not None:
+                return stored  # type: ignore[no-any-return]
         lists = self.cache.indexes.peek(key)
         if lists is not None:
             return lists.item_topic
@@ -470,6 +672,108 @@ class BatchScorer:
             self.cache.matrices.put(theta_key, converted)
         return converted
 
+    def _store(self) -> Any:
+        """The model's optional mmap parameter store (duck-typed).
+
+        A model loaded from an mmap snapshot layout (see
+        :mod:`repro.recommend.paramstore`) exposes ``param_store``; the
+        scorer then prefers the store's persisted derived arrays —
+        rescore transposes, quantized selection forms, context vectors —
+        over rebuilding them, so a million-item serving process pages
+        instead of materialising.
+        """
+        return getattr(self.model, "param_store", None)
+
+    def _quantized_selection(
+        self, matrix: FloatArray, key: Hashable, tag: str, dtype: str
+    ) -> QuantizedMatrix:
+        """Quantized selection matrix, store-backed or built once and cached.
+
+        Cold path of :meth:`serve_group`: quantization reads the full
+        float64 matrix, so it happens at most once per ``(key, dtype)``
+        and the compact result lives in the ``matrices`` cache region.
+        Store-backed forms are returned directly — the store memoises
+        its mmap-backed arrays and they should not count against the
+        cache byte budget (they are pageable, not resident).
+        """
+        store = self._store()
+        if store is not None and tag == "qsel":
+            from_store = store.quantized_selection(dtype)
+            if from_store is not None:
+                return from_store  # type: ignore[no-any-return]
+        if key is None:
+            return quantize_matrix(np.asarray(matrix, dtype=np.float64), dtype)
+        cache_key = (tag, key, dtype)
+        cached = self.cache.matrices.get(cache_key)
+        if isinstance(cached, QuantizedMatrix):
+            return cached
+        quantized = quantize_matrix(np.asarray(matrix, dtype=np.float64), dtype)
+        self.cache.matrices.put(cache_key, quantized)
+        return quantized
+
+    def _quantized_context(self, interval: int, kind: str, params: Any) -> ContextVector:
+        """Float32 context vector with measured error stats, per interval.
+
+        Wraps :meth:`_context_vector`'s exact float64 vector in a
+        :class:`~repro.recommend.quantize.ContextVector` so the margin
+        derivation can bound the context contribution; cached in the
+        ``contexts`` region (or served straight from the parameter
+        store's persisted per-interval stats).
+        """
+        store = self._store()
+        if store is not None:
+            from_store = store.context_vector(interval)
+            if from_store is not None:
+                return from_store  # type: ignore[no-any-return]
+        cache_key = ("qctx", interval)
+        cached = self.cache.contexts.get(cache_key)
+        if isinstance(cached, ContextVector):
+            return cached
+        exact = np.asarray(
+            self._context_vector(interval, kind, params, "float64"), dtype=np.float64
+        )
+        vector = ContextVector.from_exact(exact)
+        self.cache.contexts.put(cache_key, vector)
+        return vector
+
+    def _block_margins(
+        self,
+        kind: str,
+        params: Any,
+        block_users: Sequence[int],
+        weights_f64: Sequence[FloatArray],
+        qsel: QuantizedMatrix,
+        qcontext: ContextVector | None,
+    ) -> FloatArray:
+        """Per-row ``2·ε_r`` candidate margins of one quantized block.
+
+        Cold helper of :meth:`serve_group` — allocates only small
+        ``(rows,)`` / ``(rows, K)`` temporaries. The split path derives
+        the weight magnitudes from the parameter containers directly
+        (``λ_u·θ_u ≥ 0`` elementwise); the generic path takes absolute
+        values of the models' stacked query vectors.
+        """
+        if kind == "generic":
+            abs_weights = np.abs(np.asarray(weights_f64, dtype=np.float64))
+            eps = selection_margins(abs_weights, qsel)
+        else:
+            users_idx = np.asarray(block_users, dtype=np.int64)
+            lam = np.asarray(params.lambda_u[users_idx], dtype=np.float64)
+            abs_weights = np.abs(
+                lam[:, None] * np.asarray(params.theta[users_idx], dtype=np.float64)
+            )
+            if qcontext is None:  # pragma: no cover - split path always has one
+                raise RuntimeError("quantized split path requires a context vector")
+            eps = selection_margins(
+                abs_weights,
+                qsel,
+                context_weight=np.abs(1.0 - lam),
+                context_delta=qcontext.delta,
+                context_abs_max=qcontext.abs_max,
+            )
+        margins: FloatArray = 2.0 * eps
+        return margins
+
     def _context_vector(
         self, interval: int, kind: str, params: Any, dtype: str
     ) -> AnyArray:
@@ -481,6 +785,11 @@ class BatchScorer:
         repeat-interval query therefore only pays for the small
         user-interest GEMM.
         """
+        store = self._store()
+        if store is not None:
+            row = store.context_row(interval, dtype)
+            if row is not None:
+                return row  # type: ignore[no-any-return]
         cache_key = ("ctx", interval, dtype)
         context = self.cache.contexts.get(cache_key)
         if context is None:
@@ -569,42 +878,75 @@ class BatchScorer:
         key = self._matrix_key(interval)
         item_topic = self._item_topic(interval, users)
         num_items = item_topic.shape[0]
-        count = min(num_items, k + SELECTION_MARGIN[dtype])
+        quantized = dtype in QUANTIZED_DTYPES
+        compute = "float32" if quantized else dtype
+        count = 0 if quantized else min(num_items, k + SELECTION_MARGIN[dtype])
+        stage_cols = min(num_items, STAGE_COLUMNS)
 
+        qsel: QuantizedMatrix | None = None
+        qcontext: ContextVector | None = None
+        sel_matrix: AnyArray | None = None
+        context: AnyArray | None = None
         if kind == "generic":
-            sel_matrix = self._selection_matrix(
-                self._stacked_matrix(interval, users), key, "stack", dtype
-            )
+            if quantized:
+                qsel = self._quantized_selection(
+                    self._stacked_matrix(interval, users), key, "qstack", dtype
+                )
+                k_dim = qsel.shape[0]
+            else:
+                sel_matrix = self._selection_matrix(
+                    self._stacked_matrix(interval, users), key, "stack", dtype
+                )
+                k_dim = sel_matrix.shape[0]
         else:
-            sel_matrix = self._selection_matrix(params.phi, (key, "phi"), "sel", dtype)
-            context = self._context_vector(interval, kind, params, dtype)
+            if quantized:
+                qsel = self._quantized_selection(params.phi, (key, "phi"), "qsel", dtype)
+                qcontext = self._quantized_context(interval, kind, params)
+                k_dim = qsel.shape[0]
+            else:
+                sel_matrix = self._selection_matrix(
+                    params.phi, (key, "phi"), "sel", dtype
+                )
+                context = self._context_vector(interval, kind, params, dtype)
+                k_dim = sel_matrix.shape[0]
 
         results: list[TopKResult] = []
         for start in range(0, len(users), row_block):
             block_users = [int(u) for u in users[start : start + row_block]]
             rows = len(block_users)
-            scores = self.workspace.get("scores", (rows, num_items), dtype)
+            scores = self.workspace.get("scores", (rows, num_items), compute)
             weights_f64: list[FloatArray] = []
 
             if kind == "generic":
-                k_dim = sel_matrix.shape[0]
-                qweights = self.workspace.get("qweights", (rows, k_dim), dtype)
+                qweights = self.workspace.get("qweights", (rows, k_dim), compute)
                 for r, user in enumerate(block_users):
                     w, _ = self.model.query_space(user, interval)
                     weights_f64.append(w)
                     np.copyto(qweights[r], w, casting="same_kind")
-                np.matmul(qweights, sel_matrix, out=scores)
+                if qsel is not None:
+                    stage = self.workspace.get("stage", (k_dim, stage_cols), "float32")
+                    staged_select_gemm(qsel, qweights, scores, stage)
+                else:
+                    assert sel_matrix is not None  # set by the non-quantized setup
+                    np.matmul(qweights, sel_matrix, out=scores)
             else:
-                k_dim = sel_matrix.shape[0]
-                theta = self._interest_matrix(params.theta, key, dtype)
-                interest = self.workspace.get("interest", (rows, k_dim), dtype)
+                theta = self._interest_matrix(params.theta, key, compute)
+                interest = self.workspace.get("interest", (rows, k_dim), compute)
                 np.take(theta, block_users, axis=0, out=interest)
                 lam = params.lambda_u[block_users]
                 np.multiply(interest, lam[:, None], out=interest, casting="same_kind")
-                np.matmul(interest, sel_matrix, out=scores)
-                ctx_row = self.workspace.get("ctx_row", (num_items,), dtype)
+                if qsel is not None:
+                    stage = self.workspace.get("stage", (k_dim, stage_cols), "float32")
+                    staged_select_gemm(qsel, interest, scores, stage)
+                    ctx_values = qcontext.values if qcontext is not None else None
+                else:
+                    assert sel_matrix is not None  # set by the non-quantized setup
+                    np.matmul(interest, sel_matrix, out=scores)
+                    ctx_values = context
+                assert ctx_values is not None  # split path always has a context
+                ctx_row = self.workspace.get("ctx_row", (num_items,), compute)
                 for r, user in enumerate(block_users):
-                    np.multiply(context, 1 - lam[r], out=ctx_row, casting="same_kind")
+                    np.multiply(ctx_values, 1 - lam[r], out=ctx_row, casting="same_kind")
                     scores[r] += ctx_row
                 for user in block_users:
                     weights_f64.append(
@@ -618,7 +960,13 @@ class BatchScorer:
                 if mask is not None:
                     scores[r][mask] = -np.inf
 
-            _, cand_mask = select_candidates(scores, count)
+            if qsel is not None:
+                margins = self._block_margins(
+                    kind, params, block_users, weights_f64, qsel, qcontext
+                )
+                cand_mask = select_candidates_margin(scores, k, margins)
+            else:
+                _, cand_mask = select_candidates(scores, count)
             for r in range(rows):
                 candidates = np.flatnonzero(cand_mask[r])
                 if masks[r] is not None:

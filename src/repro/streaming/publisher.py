@@ -150,6 +150,7 @@ class SnapshotPublisher:
         self,
         params: ITCAMParameters | TTCAMParameters,
         drift: bool = False,
+        model: LoadedModel | None = None,
     ) -> PublishResult:
         """Gate and hot-swap one parameter snapshot.
 
@@ -163,24 +164,39 @@ class SnapshotPublisher:
         problem = self._validate(params)
         if problem is not None:
             return self._reject(problem)
-        model = LoadedModel(params)
+        if model is None:
+            model = LoadedModel(params)
         generation = self.recommender.swap_model(model, drift=drift)
         self._previous, self._current = self._current, model
         return PublishResult(published=True, generation=generation, drift=drift)
 
-    def publish_file(self, path: str | Path, drift: bool = False) -> PublishResult:
+    def publish_file(
+        self, path: str | Path, drift: bool = False, mmap: bool = False
+    ) -> PublishResult:
         """Load, gate and hot-swap a snapshot file.
 
         A corrupt archive (torn write, checksum mismatch, invalid
         parameters) is rejected and recorded as a rollback rather than
         raised — the serving path never goes down because a publish
         failed.
+
+        ``mmap=True`` publishes the snapshot's sidecar store (see
+        :mod:`repro.recommend.paramstore`) so the swapped-in generation
+        serves from memory-mapped parameters. The health gate still
+        reads every array once (in this publisher process); the resident
+        win applies to the serving side. A missing or damaged sidecar
+        degrades to the eager load with a :class:`RuntimeWarning`.
         """
         try:
-            params = load_params(path)
+            if mmap:
+                model: LoadedModel | None = LoadedModel.from_file(path, mmap=True)
+                params = model.params_
+            else:
+                model = None
+                params = load_params(path)
         except (SnapshotCorruptError, FileNotFoundError) as exc:
             return self._reject(f"snapshot rejected: {exc}")
-        return self.publish(params, drift=drift)
+        return self.publish(params, drift=drift, model=model)
 
     def revert(self) -> PublishResult:
         """Re-publish the previous healthy snapshot (counted as rollback).

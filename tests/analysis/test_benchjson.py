@@ -85,3 +85,14 @@ class TestDefaultContext:
         assert "numpy" in context
         assert "python" in context
         assert context["timestamp"].endswith("+00:00")
+
+    def test_peak_rss_recorded_on_posix(self):
+        from repro.analysis.benchjson import peak_rss_bytes
+
+        peak = peak_rss_bytes()
+        assert peak is not None  # POSIX CI: resource is available
+        # A running CPython interpreter holds at least a few MiB and
+        # (sanely) under a TiB; the bound catches unit mix-ups between
+        # kibibytes (Linux ru_maxrss) and bytes (macOS).
+        assert 4 * 2**20 < peak < 2**40
+        assert default_context()["peak_rss_bytes"] >= peak

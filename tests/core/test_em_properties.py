@@ -1,7 +1,7 @@
 """Property-based tests for EM helpers and the weighting scheme."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -34,6 +34,11 @@ class TestNormalizeRowsProperties:
     @settings(max_examples=100, deadline=None)
     @given(finite_matrix, st.floats(0.1, 10.0))
     def test_scale_invariance(self, matrix, scale):
+        # Rows whose mass is at the EPS threshold intentionally become
+        # uniform (the zero-mass fallback), and a scale factor can move
+        # such a row across the threshold — invariance is only promised
+        # for rows with non-negligible mass.
+        assume(bool(np.all(matrix.sum(axis=1) * min(scale, 1.0) > 1e-9)))
         base = normalize_rows(matrix.copy())
         scaled = normalize_rows(matrix.copy() * scale)
         np.testing.assert_allclose(base, scaled, atol=1e-9)

@@ -1,0 +1,184 @@
+"""Tests for the memory-mapped parameter store (``repro.recommend.paramstore``).
+
+The sidecar layout is a derived serving artifact: it must reproduce the
+snapshot's parameters and every persisted derived array *bitwise*, fail
+loudly (``SnapshotCorruptError``) on any tampering, and — through
+``LoadedModel.from_file(mmap=True)`` — serve results identical to the
+eager path while degrading gracefully when the sidecar is missing.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import LoadedModel, load_params, save_params
+from repro.recommend import TemporalRecommender
+from repro.recommend.paramstore import (
+    MANIFEST_NAME,
+    ParamStore,
+    store_dir,
+    write_store,
+)
+from repro.recommend.quantize import QUANTIZED_DTYPES, quantize_matrix
+from repro.recommend.threshold import SortedTopicLists
+from repro.robustness.errors import SnapshotCorruptError
+
+from .test_serving import make_itcam, make_ttcam
+
+
+@pytest.fixture(scope="module", params=["ttcam", "itcam"])
+def snapshot(request, tmp_path_factory):
+    rng = np.random.default_rng(11)
+    maker = make_ttcam if request.param == "ttcam" else make_itcam
+    model = maker(rng, num_users=10, num_items=70, num_intervals=4)
+    path = tmp_path_factory.mktemp("store") / "model.npz"
+    return save_params(model.params_, path, mmap_layout=True)
+
+
+class TestRoundTrip:
+    def test_sidecar_written_next_to_snapshot(self, snapshot):
+        directory = store_dir(snapshot)
+        assert directory.is_dir()
+        assert (directory / MANIFEST_NAME).exists()
+
+    def test_params_bitwise_equal_to_eager_load(self, snapshot):
+        eager = load_params(snapshot)
+        store = ParamStore.for_snapshot(snapshot)
+        restored = store.params()
+        assert type(restored) is type(eager)
+        for name in ("theta", "phi", "theta_time", "lambda_u"):
+            assert np.array_equal(getattr(restored, name), getattr(eager, name)), name
+        if hasattr(eager, "phi_time"):
+            assert np.array_equal(restored.phi_time, eager.phi_time)
+
+    def test_derived_arrays_match_online_construction(self, snapshot):
+        eager = load_params(snapshot)
+        store = ParamStore.for_snapshot(snapshot)
+        if hasattr(eager, "phi_time"):  # TTCAM: one static matrix
+            lists = SortedTopicLists.build(eager.topic_item_matrix())
+            stored = store.sorted_lists("static")
+            assert stored is not None
+            assert np.array_equal(stored.order, lists.order)
+            assert np.array_equal(stored.values, lists.values)
+            assert np.array_equal(stored.item_topic, lists.item_topic)
+            assert np.array_equal(store.item_topic("static"), lists.item_topic)
+        else:  # ITCAM: per-interval matrices are not persisted
+            assert store.sorted_lists(0) is None
+            assert store.item_topic(0) is None
+        for dtype in QUANTIZED_DTYPES:
+            stored_q = store.quantized_selection(dtype)
+            fresh = quantize_matrix(np.asarray(eager.phi), dtype)
+            assert stored_q is not None
+            assert np.array_equal(stored_q.storage, fresh.storage)
+            assert np.array_equal(stored_q.delta, fresh.delta)
+            assert np.array_equal(stored_q.row_abs_max, fresh.row_abs_max)
+            if fresh.scale is not None:
+                assert np.array_equal(stored_q.scale, fresh.scale)
+
+    def test_context_rows_bitwise_match_online_expression(self, snapshot):
+        eager = load_params(snapshot)
+        store = ParamStore.for_snapshot(snapshot)
+        for interval in range(eager.num_intervals):
+            row = store.context_row(interval, "float64")
+            if hasattr(eager, "phi_time"):
+                expected = eager.theta_time[interval] @ eager.phi_time
+            else:
+                expected = eager.theta_time[interval]
+            assert np.array_equal(row, expected), interval
+            ctx = store.context_vector(interval)
+            assert np.array_equal(ctx.values, expected.astype(np.float32))
+
+    def test_verify_passes_and_nbytes_positive(self, snapshot):
+        store = ParamStore.for_snapshot(snapshot)
+        store.verify()
+        assert store.nbytes > 0
+
+
+class TestCorruption:
+    def _copy_store(self, snapshot, tmp_path):
+        import shutil
+
+        copy = tmp_path / "model.npz"
+        shutil.copy(snapshot, copy)
+        shutil.copytree(store_dir(snapshot), store_dir(copy))
+        return copy
+
+    def test_missing_sidecar_raises(self, tmp_path):
+        with pytest.raises(SnapshotCorruptError, match="sidecar"):
+            ParamStore.for_snapshot(tmp_path / "absent.npz")
+
+    def test_flipped_bytes_fail_verify(self, snapshot, tmp_path):
+        copy = self._copy_store(snapshot, tmp_path)
+        target = sorted(store_dir(copy).glob("*.npy"))[0]
+        raw = bytearray(target.read_bytes())
+        raw[-1] ^= 0xFF
+        target.write_bytes(bytes(raw))
+        # Small arrays are hashed eagerly at open; large ones only by
+        # verify(). Either way the corruption must surface as the typed
+        # error, never as garbage parameters.
+        with pytest.raises(SnapshotCorruptError):
+            ParamStore.for_snapshot(copy).verify()
+
+    def test_truncated_manifest_rejected(self, snapshot, tmp_path):
+        copy = self._copy_store(snapshot, tmp_path)
+        manifest = store_dir(copy) / MANIFEST_NAME
+        manifest.write_text(manifest.read_text()[:40])
+        with pytest.raises(SnapshotCorruptError):
+            ParamStore.for_snapshot(copy)
+
+    def test_missing_array_rejected(self, snapshot, tmp_path):
+        copy = self._copy_store(snapshot, tmp_path)
+        sorted(store_dir(copy).glob("*.npy"))[0].unlink()
+        with pytest.raises(SnapshotCorruptError):
+            ParamStore.for_snapshot(copy)
+
+    def test_tampered_parameters_fail_spot_check(self, snapshot, tmp_path):
+        copy = self._copy_store(snapshot, tmp_path)
+        theta_file = store_dir(copy) / "theta.npy"
+        theta = np.load(theta_file)
+        theta[0] = 9.0  # no longer row-stochastic
+        np.save(theta_file, theta)
+        manifest_file = store_dir(copy) / MANIFEST_NAME
+        manifest = json.loads(manifest_file.read_text())
+        from repro.recommend.paramstore import _file_sha256
+
+        manifest["arrays"]["theta"]["sha256"] = _file_sha256(theta_file)
+        manifest_file.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotCorruptError):
+            ParamStore.for_snapshot(copy)
+
+
+class TestMmapServing:
+    def test_mmap_batch_identical_to_eager(self, snapshot):
+        eager = TemporalRecommender(LoadedModel.from_file(snapshot))
+        queries = [(u % 10, u % 4) for u in range(16)] + [(0, 0)]
+        expected = eager.recommend_batch(queries, k=6)
+        mapped_model = LoadedModel.from_file(snapshot, mmap=True)
+        assert mapped_model.param_store is not None
+        for dtype in ("float64", "float32", "float16", "int8"):
+            mapped = TemporalRecommender(mapped_model)
+            batch = mapped.recommend_batch(queries, k=6, dtype=dtype)
+            for r_eager, r_mmap in zip(expected, batch):
+                assert r_mmap.items == r_eager.items, dtype
+                if dtype != "float32":
+                    assert r_mmap.scores == r_eager.scores, dtype
+
+    def test_mmap_single_query_identical_to_eager(self, snapshot):
+        eager = TemporalRecommender(LoadedModel.from_file(snapshot))
+        mapped = TemporalRecommender(LoadedModel.from_file(snapshot, mmap=True))
+        for user, interval in [(0, 0), (3, 2), (9, 3)]:
+            r_eager = eager.recommend(user, interval, k=5)
+            r_mmap = mapped.recommend(user, interval, k=5)
+            assert r_mmap.items == r_eager.items
+            assert r_mmap.scores == r_eager.scores
+
+    def test_missing_sidecar_degrades_with_warning(self, tmp_path):
+        rng = np.random.default_rng(23)
+        model = make_ttcam(rng)
+        path = save_params(model.params_, tmp_path / "plain.npz")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            loaded = LoadedModel.from_file(path, mmap=True)
+        assert loaded.param_store is None
+        rec = TemporalRecommender(loaded)
+        assert rec.recommend(0, 0, k=3).items

@@ -24,8 +24,10 @@ from repro.recommend.serving import (
     CacheStats,
     LRUCache,
     ServingCache,
+    ServingConfig,
     check_serve_dtype,
     select_candidates,
+    value_nbytes,
 )
 from repro.recommend.threshold import SortedTopicLists, batched_ta_topk, ta_topk
 from repro.robustness.errors import ServingUnavailableError
@@ -139,11 +141,14 @@ class TestBatchExactness:
         with pytest.raises(ValueError):
             rec.recommend_batch([(0, 0)], k=0)
         with pytest.raises(ValueError):
-            rec.recommend_batch([(0, 0)], k=5, dtype="float16")
+            rec.recommend_batch([(0, 0)], k=5, dtype="int4")
         with pytest.raises(ValueError):
-            check_serve_dtype("int8")
+            check_serve_dtype("bfloat16")
         with pytest.raises(ValueError):
             TemporalRecommender(rec.model, serve_dtype="bfloat16")
+        # The quantized selection dtypes are valid serving modes now.
+        assert check_serve_dtype("float16") == "float16"
+        assert check_serve_dtype("int8") == "int8"
 
 
 class TestFloat32Mode:
@@ -390,3 +395,98 @@ class TestWallClockCeiling:
         rec.recommend_batch(queries, k=10)
         elapsed = time.perf_counter() - start
         assert elapsed < 2.0, f"batch serving took {elapsed:.2f}s on a tiny model"
+
+
+class TestLRUCacheByteBudget:
+    def test_byte_eviction_order_and_counters(self):
+        cache = LRUCache(capacity=10, max_bytes=100)
+        cache.put("a", np.zeros(5))  # 40 bytes
+        cache.put("b", np.zeros(5))  # 80 bytes total
+        assert cache.bytes == 80
+        cache.put("c", np.zeros(5))  # 120 → evict LRU "a"
+        assert cache.peek("a") is None
+        assert cache.peek("b") is not None
+        stats = cache.stats()
+        assert stats.bytes == 80
+        assert stats.max_bytes == 100
+        assert stats.evictions == 1
+        assert stats.evicted_bytes == 40
+
+    def test_replacement_reaccounts_bytes(self):
+        cache = LRUCache(capacity=4, max_bytes=1000)
+        cache.put("k", np.zeros(10))
+        cache.put("k", np.zeros(5))
+        assert cache.bytes == 40
+        cache.discard("k")
+        assert cache.bytes == 0
+
+    def test_oversize_value_never_worth_the_cache(self):
+        cache = LRUCache(capacity=4, max_bytes=64)
+        cache.put("small", np.zeros(4))  # 32 bytes, fits
+        cache.put("big", np.zeros(100))  # 800 bytes, over the whole budget
+        assert cache.peek("big") is None
+        stats = cache.stats()
+        assert stats.bytes <= 64
+        assert stats.evicted_bytes >= 800
+
+    def test_clear_resets_bytes(self):
+        cache = LRUCache(capacity=4, max_bytes=1000)
+        cache.put("a", np.zeros(10))
+        cache.clear()
+        assert cache.bytes == 0
+        assert len(cache) == 0
+
+    def test_default_stays_entry_count_only(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", np.zeros(1_000))
+        cache.put("b", np.zeros(1_000))
+        assert len(cache) == 2  # far over any plausible byte budget
+        assert cache.stats().max_bytes == 0
+        cache.put("c", np.zeros(1_000))
+        assert len(cache) == 2  # the entry bound still evicts
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            LRUCache(capacity=2, max_bytes=0)
+
+    def test_value_nbytes_accounting(self):
+        assert value_nbytes(np.zeros(8)) == 64
+        assert value_nbytes("not an array") == 0
+
+    def test_serving_cache_budgets_bound_resident_arrays(self):
+        cache = ServingCache(context_capacity=64, context_max_bytes=200)
+        for interval in range(16):
+            cache.contexts.put(("ctx", interval), np.zeros(5))
+        assert cache.contexts.bytes <= 200
+        assert cache.stats().evicted_bytes > 0
+
+
+class TestServingConfig:
+    def test_build_cache_splits_budget(self):
+        cache = ServingConfig(cache_max_bytes=8_000).build_cache()
+        assert cache.indexes.max_bytes == 3_000
+        assert cache.matrices.max_bytes == 3_000
+        assert cache.contexts.max_bytes == 2_000
+        assert ServingConfig().build_cache().matrices.max_bytes is None
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="dtype"):
+            ServingConfig(select_dtype="int4")
+        with pytest.raises(ValueError, match="cache_max_bytes"):
+            ServingConfig(cache_max_bytes=0)
+        with pytest.raises(ValueError, match="row_block"):
+            ServingConfig(row_block=0)
+
+    def test_recommender_honours_config(self):
+        rng = np.random.default_rng(13)
+        model = make_ttcam(rng)
+        config = ServingConfig(select_dtype="int8", cache_max_bytes=1 << 20)
+        rec = TemporalRecommender(model, config=config)
+        reference = TemporalRecommender(model)
+        queries = [(u, u % 5) for u in range(12)]
+        batch = rec.recommend_batch(queries, k=5)  # int8 via config default
+        expected = reference.recommend_batch(queries, k=5)
+        for got, want in zip(batch, expected):
+            assert got.items == want.items
+            assert got.scores == want.scores
+        assert rec.serving_cache.contexts.max_bytes is not None

@@ -78,6 +78,18 @@ class TestGate:
         assert result.published
         assert recommender.generation == 1
 
+    def test_mmap_snapshot_publishes_store_backed_model(
+        self, stream_base, recommender, tmp_path
+    ):
+        candidate = perturbed(stream_base, 6)
+        path = save_params(candidate, tmp_path / "snap.npz", mmap_layout=True)
+        result = SnapshotPublisher(recommender).publish_file(path, mmap=True)
+        assert result.published
+        model = recommender.model
+        assert model.param_store is not None
+        np.testing.assert_array_equal(model.params_.theta, candidate.theta)
+        assert recommender.recommend(0, 0, k=3).recommendations
+
     def test_drift_escalation_is_counted(self, stream_base, recommender):
         publisher = SnapshotPublisher(recommender)
         publisher.publish(perturbed(stream_base, 5), drift=True)

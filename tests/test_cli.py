@@ -211,6 +211,125 @@ class TestRecommend:
         assert code == 2
 
 
+class TestRecommendMmapQuantized:
+    @pytest.fixture(scope="class")
+    def mmap_snapshot(self, dataset_csv, tmp_path_factory, request):
+        path = tmp_path_factory.mktemp("cli-mmap") / "model.npz"
+        code = main(
+            [
+                "fit",
+                "--input", str(dataset_csv),
+                "--model", "ttcam",
+                "--k1", "6",
+                "--k2", "6",
+                "--iters", "15",
+                "--output", str(path),
+                "--mmap-layout",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_fit_writes_sidecar(self, mmap_snapshot, capsys):
+        sidecar = mmap_snapshot.parent / (mmap_snapshot.name + ".arrays")
+        assert (sidecar / "manifest.json").exists()
+
+    @pytest.mark.parametrize("dtype", ["float16", "int8"])
+    def test_quantized_batch_rows_identical_to_float64(
+        self, mmap_snapshot, tmp_path, capsys, dtype
+    ):
+        batch = tmp_path / "queries.csv"
+        batch.write_text("0,3\n1,3\n2,0\n0,3\n")
+        outputs = {}
+        for mode in ("float64", dtype):
+            code = main(
+                [
+                    "recommend",
+                    "--model", str(mmap_snapshot),
+                    "--mmap",
+                    "--batch-file", str(batch),
+                    "-k", "5",
+                    "--select-dtype", mode,
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            outputs[mode] = [l for l in out.splitlines() if l.startswith("(")]
+            assert f"dtype {mode}" in out
+        assert outputs[dtype] == outputs["float64"]
+
+    def test_malformed_batch_line_refused_clearly(self, mmap_snapshot, tmp_path, capsys):
+        batch = tmp_path / "queries.csv"
+        batch.write_text("user,interval\n0,0\n")
+        code = main(
+            [
+                "recommend",
+                "--model", str(mmap_snapshot),
+                "--batch-file", str(batch),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "queries.csv:1" in err
+        assert "'user,interval'" in err
+        assert "Traceback" not in err
+
+    def test_quantized_single_query_refused_clearly(self, mmap_snapshot, capsys):
+        code = main(
+            [
+                "recommend",
+                "--model", str(mmap_snapshot),
+                "--user", "0",
+                "--interval", "0",
+                "--select-dtype", "int8",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--batch-file" in err
+        assert "Traceback" not in err
+
+    def test_unknown_dtype_refused_by_parser(self, mmap_snapshot, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "recommend",
+                    "--model", str(mmap_snapshot),
+                    "--user", "0",
+                    "--interval", "0",
+                    "--select-dtype", "int4",
+                ]
+            )
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_mmap_single_query_serves(self, mmap_snapshot, capsys):
+        code = main(
+            [
+                "recommend",
+                "--model", str(mmap_snapshot),
+                "--mmap",
+                "--user", "0",
+                "--interval", "3",
+                "-k", "5",
+            ]
+        )
+        assert code == 0
+        assert "fully scored" in capsys.readouterr().out
+
+    def test_mmap_without_sidecar_warns_and_degrades(self, snapshot, capsys):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            code = main(
+                [
+                    "recommend",
+                    "--model", str(snapshot),  # fitted without --mmap-layout
+                    "--mmap",
+                    "--user", "0",
+                    "--interval", "3",
+                ]
+            )
+        assert code == 0
+
+
 class TestEvaluate:
     def test_metrics_table(self, dataset_csv, capsys):
         code = main(
