@@ -1,6 +1,6 @@
 # Convenience targets for the TCAM reproduction.
 
-.PHONY: install test test-robustness test-sanitize test-stream-faults lint analyze typecheck check bench bench-perf bench-serve bench-stream bench-smoke examples all
+.PHONY: install test test-robustness test-sanitize test-stream-faults test-service service-smoke lint analyze typecheck check bench bench-perf bench-serve bench-service bench-stream bench-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -49,19 +49,37 @@ test-sanitize:
 test-stream-faults:
 	TCAM_SANITIZE=1 pytest -q tests/streaming -m faults
 
+# Multi-process serving-service suite: spawns real worker processes and
+# concurrent client processes (hot swap under load, drain semantics).
+test-service:
+	pytest -q tests/serving_service
+
+# End-to-end service smoke (seconds): starts a real `tcam serve`
+# subprocess, bursts concurrent clients against it, hot-swaps a
+# candidate snapshot once, and requires a clean SIGTERM drain.
+service-smoke:
+	PYTHONPATH=src python benchmarks/perf/bench_service.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-service-smoke
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
 # Full-scale perf regression run; appends to BENCH_em.json / BENCH_topk.json
-# / BENCH_serve.json at the repo root (see docs/performance.md).
+# / BENCH_serve.json / BENCH_service.json at the repo root (see
+# docs/performance.md).
 bench-perf:
 	PYTHONPATH=src python benchmarks/perf/bench_em.py
 	PYTHONPATH=src python benchmarks/perf/bench_topk.py
 	PYTHONPATH=src python benchmarks/perf/bench_serve.py
+	PYTHONPATH=src python benchmarks/perf/bench_service.py
 
 # Batch-serving benchmark alone; appends to BENCH_serve.json.
 bench-serve:
 	PYTHONPATH=src python benchmarks/perf/bench_serve.py
+
+# Process-parallel serving-service benchmark (tcam serve end to end);
+# appends to BENCH_service.json.
+bench-service:
+	PYTHONPATH=src python benchmarks/perf/bench_service.py
 
 # Streaming ingestion benchmark: WAL append rate, fold-in rate, and
 # sustained ingest-while-serving; appends to BENCH_stream.json.
@@ -77,6 +95,7 @@ bench-smoke:
 	PYTHONPATH=src python benchmarks/perf/bench_topk.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 	PYTHONPATH=src python benchmarks/perf/bench_serve.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 	PYTHONPATH=src python benchmarks/perf/bench_stream.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
+	PYTHONPATH=src python benchmarks/perf/bench_service.py --smoke --output-dir $${TMPDIR:-/tmp}/tcam-bench-smoke
 
 examples:
 	@for script in examples/*.py; do \

@@ -20,6 +20,11 @@ variants must return bitwise-identical top-k to eager float64, and
 mmap+int8 must peak materially below eager loading. ``--smoke`` runs the
 same tier at V=2000.
 
+A **page-in tier** records the cold-start cost the serving service's
+workers pay: a spawned process evicts the sidecar from the page cache
+(``posix_fadvise(DONTNEED)``), maps a fresh ParamStore and reports
+first-touch per-query p50/p99 latency against a warm second pass.
+
 Run ``python benchmarks/perf/bench_serve.py`` (with ``src`` on
 ``PYTHONPATH``), or ``make bench-serve``.
 """
@@ -255,6 +260,103 @@ def million_tier(args, smoke: bool, context: dict) -> list[BenchEntry]:
     return entries
 
 
+def _pagein_child(snapshot, queries, k, queue) -> None:
+    """Cold-vs-warm first-touch latency on a fresh mmap ParamStore.
+
+    Runs in its own spawned process so no parent mapping keeps the store
+    warm. Evicts the sidecar's page-cache residency with
+    ``posix_fadvise(DONTNEED)`` (best-effort; clean pages drop without
+    privileges), then times every query of a first pass over the freshly
+    mapped store — the early queries pay the page-in cost — and a second
+    warm pass over the same queries for contrast.
+    """
+    import os
+    import time
+
+    from repro.recommend.paramstore import store_dir
+
+    sidecar = store_dir(snapshot)
+    for path in sorted(sidecar.glob("*")):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.posix_fadvise(fd, 0, 0, os.POSIX_FADV_DONTNEED)
+        finally:
+            os.close(fd)
+    model = LoadedModel.from_file(snapshot, mmap=True)
+    rec = TemporalRecommender(model)
+
+    def timed_pass():
+        samples = []
+        for query in queries:
+            start = time.perf_counter()
+            rec.recommend_batch([query], k=k, row_block=MILLION_ROW_BLOCK)
+            samples.append(time.perf_counter() - start)
+        return samples
+
+    cold = timed_pass()
+    warm = timed_pass()
+    queue.put({"cold": cold, "warm": warm})
+
+
+def pagein_tier(args, smoke: bool, context: dict) -> list[BenchEntry]:
+    """Record cold-snapshot page-in first-touch p50/p99 latency.
+
+    The serving service spawns workers against snapshots nothing has
+    mapped yet, so the first queries after a cold start pay mmap
+    page-in; this tier pins that cost in the trajectory.
+    """
+    num_topics, num_items, k, num_queries = (
+        SMOKE_MILLION_SCALE if smoke else MILLION_SCALE
+    )
+    queries = make_queries(num_queries, seed=53)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-serve-pagein-"))
+    entries = []
+    try:
+        model = make_model(num_topics, num_items, seed=17)
+        snapshot = save_params(model.params_, workdir / "model.npz", mmap_layout=True)
+        del model
+        spawn = multiprocessing.get_context("spawn")
+        queue = spawn.SimpleQueue()
+        proc = spawn.Process(
+            target=_pagein_child, args=(str(snapshot), queries, k, queue)
+        )
+        proc.start()
+        proc.join()
+        if proc.exitcode != 0 or queue.empty():
+            raise RuntimeError(f"page-in child failed (exit {proc.exitcode})")
+        payload = queue.get()
+        for phase in ("cold", "warm"):
+            samples = np.sort(np.asarray(payload[phase]))
+            p50 = float(np.percentile(samples, 50) * 1e3)
+            p99 = float(np.percentile(samples, 99) * 1e3)
+            name = f"serve/v{num_items}-z{num_topics}-k{k}/pagein-{phase}"
+            entries.append(
+                BenchEntry(
+                    name=name,
+                    value=round(p50, 4),
+                    unit="ms",
+                    params={
+                        "num_items": num_items,
+                        "num_topics": num_topics,
+                        "k": k,
+                        "num_queries": num_queries,
+                        "phase": phase,
+                        "p50_ms": round(p50, 4),
+                        "p99_ms": round(p99, 4),
+                        "max_ms": round(float(samples[-1]) * 1e3, 4),
+                    },
+                    context=context,
+                )
+            )
+            print(
+                f"{name:45s} p50 {p50:8.3f} ms  p99 {p99:8.3f} ms  "
+                f"(max {samples[-1] * 1e3:.3f} ms)"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return entries
+
+
 def main(argv=None) -> int:
     parser = make_parser(__doc__.splitlines()[0])
     args = parser.parse_args(argv)
@@ -315,6 +417,7 @@ def main(argv=None) -> int:
             print(f"{name:45s} {rate:10.1f} queries/sec  (cache hit-rate {hit_rate:.2f})")
 
     entries.extend(million_tier(args, args.smoke, context))
+    entries.extend(pagein_tier(args, args.smoke, context))
 
     if not args.smoke:
         largest = max(s[1] for s in scales)

@@ -94,6 +94,47 @@ def peak_rss_bytes() -> int | None:
     return int(peak) * 1024  # pragma: no cover - non-Linux Unix
 
 
+def rss_bytes() -> int | None:
+    """This process's *current* resident set size, in bytes (Linux).
+
+    Reads ``VmRSS`` from ``/proc/self/status``. Unlike the high-water
+    mark this goes down when pages are reclaimed, so it is the right
+    number for "what is this worker holding right now". Returns ``None``
+    off Linux.
+    """
+    if sys.platform == "linux":
+        try:
+            with open("/proc/self/status") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        return int(line.split()[1]) * 1024
+        except (OSError, ValueError, IndexError):  # pragma: no cover
+            pass
+    return None
+
+
+def pss_bytes() -> int | None:
+    """This process's proportional set size, in bytes (Linux).
+
+    RSS counts every resident shared page fully in *every* process that
+    maps it, so N workers serving one mmap snapshot look N× as expensive
+    as they are. PSS (``/proc/self/smaps_rollup``) divides each shared
+    page's cost among its mappers — the honest per-worker memory number
+    for the multi-process serving service, and the one its bench uses to
+    demonstrate sub-linear memory growth. Returns ``None`` where the
+    kernel does not expose a rollup.
+    """
+    if sys.platform == "linux":
+        try:
+            with open("/proc/self/smaps_rollup") as handle:
+                for line in handle:
+                    if line.startswith("Pss:"):
+                        return int(line.split()[1]) * 1024
+        except (OSError, ValueError, IndexError):  # pragma: no cover
+            pass
+    return None
+
+
 def default_context() -> dict:
     """Environment fingerprint stamped into every entry.
 

@@ -214,8 +214,12 @@ def _recommend_batch_file(recommender: TemporalRecommender, args: argparse.Names
     """Serve a file of ``user,interval`` queries as one batch."""
     from .robustness import ServingUnavailableError
 
+    if args.batch_file == "-":
+        source, text = "<stdin>", sys.stdin.read()
+    else:
+        source, text = args.batch_file, Path(args.batch_file).read_text()
     queries: list[tuple[int, int]] = []
-    for lineno, line in enumerate(Path(args.batch_file).read_text().splitlines(), start=1):
+    for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
@@ -224,13 +228,13 @@ def _recommend_batch_file(recommender: TemporalRecommender, args: argparse.Names
             queries.append((int(user), int(interval)))
         except ValueError:
             print(
-                f"{args.batch_file}:{lineno}: expected 'user,interval' with "
+                f"{source}:{lineno}: expected 'user,interval' with "
                 f"integer fields, got {line!r}",
                 file=sys.stderr,
             )
             return 2
     if not queries:
-        print(f"no queries in {args.batch_file}", file=sys.stderr)
+        print(f"no queries in {source}", file=sys.stderr)
         return 2
     try:
         results, statuses = recommender.recommend_batch_with_status(
@@ -256,6 +260,30 @@ def _recommend_batch_file(recommender: TemporalRecommender, args: argparse.Names
         f"dtype {args.serve_dtype}, cache hit-rate {cache.hit_rate:.2f}]"
     )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the process-parallel serving service until SIGTERM/SIGINT."""
+    from .serving_service import ServiceConfig, run_service
+
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.batch_deadline < 0:
+        print("--batch-deadline must be >= 0 (milliseconds)", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        snapshot=args.model,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        mmap=args.mmap,
+        serve_dtype=args.serve_dtype,
+        max_batch=args.max_batch,
+        batch_deadline_s=args.batch_deadline / 1000.0,
+        generation_file=args.generation_file,
+    )
+    return run_service(config)
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -517,7 +545,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument(
         "--batch-file",
         default=None,
-        help="CSV of user,interval pairs served as one batch via the GEMM engine",
+        help="CSV of user,interval pairs served as one batch via the GEMM "
+        "engine; '-' reads the queries from stdin",
     )
     p_rec.add_argument(
         "--batch-size",
@@ -543,6 +572,52 @@ def build_parser() -> argparse.ArgumentParser:
         "demand instead of loading eagerly",
     )
     p_rec.set_defaults(func=cmd_recommend)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the process-parallel TCP serving service on a snapshot",
+    )
+    p_serve.add_argument("--model", required=True, help="snapshot every worker opens")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7315, help="TCP port (0 picks a free port)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="worker process count (= user shards)"
+    )
+    p_serve.add_argument(
+        "--batch-deadline",
+        type=float,
+        default=2.0,
+        help="micro-batch flush deadline in milliseconds",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="micro-batch flush size in queries, per worker",
+    )
+    p_serve.add_argument(
+        "--select-dtype",
+        "--serve-dtype",
+        dest="serve_dtype",
+        choices=("float64", "float32", "float16", "int8"),
+        default="float64",
+        help="candidate-selection dtype workers score with",
+    )
+    p_serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="serve through the snapshot's memory-mapped sidecar layout; "
+        "workers then share one kernel page cache instead of per-process "
+        "parameter copies",
+    )
+    p_serve.add_argument(
+        "--generation-file",
+        default=None,
+        help="durable hot-swap record (default: <snapshot>.generation.json)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_eval = sub.add_parser("evaluate", help="run the evaluation protocol")
     p_eval.add_argument("--input", required=True)

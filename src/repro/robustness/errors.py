@@ -73,3 +73,13 @@ class ShardFailedError(RetryExhaustedError):
 
 class ServingUnavailableError(RobustnessError):
     """Neither the primary model nor any fallback could answer a query."""
+
+
+class ServiceDrainingError(RobustnessError):
+    """The serving service is draining and refuses new work.
+
+    Raised (and surfaced over the wire as a structured refusal) when a
+    query arrives after graceful shutdown began: in-flight micro-batches
+    finish, but the admission queue is closed. Clients should retry
+    against another replica rather than wait.
+    """

@@ -1,0 +1,49 @@
+"""Process-parallel serving service with zero-copy shared snapshots.
+
+The single-process serving stack (:mod:`repro.recommend`) answers a
+batch of queries quickly; this package turns it into a *service*:
+
+* :mod:`.batching` — adaptive micro-batching (size/deadline flush) that
+  coalesces concurrent requests into :meth:`recommend_batch` calls
+  without ever splitting one request across flushes;
+* :mod:`.shared` — zero-copy snapshot sharing across worker processes
+  (mmap sidecar page cache, or one ``multiprocessing.shared_memory``
+  segment of derived serving arrays);
+* :mod:`.worker` — the spawned worker process: its own recommender +
+  publish gate, driven over a strict request/response pipe;
+* :mod:`.service` — the asyncio TCP front-end: user-sharded routing,
+  fleet-wide RCU hot swaps with rollback, graceful SIGTERM drain;
+* :mod:`.client` / :mod:`.protocol` — the newline-JSON wire protocol
+  and a minimal blocking client.
+
+``tcam serve`` (see :mod:`repro.cli`) is the operational entry point;
+``benchmarks/perf/bench_service.py`` measures p50/p99 latency, qps and
+per-worker PSS across worker counts.
+"""
+
+from .batching import BatchAccumulator, BatchRequest, MicroBatchQueue
+from .client import ServiceClient, ServiceError
+from .protocol import MAX_LINE_BYTES, decode_line, encode_line, error_response
+from .service import ServiceConfig, ServingService, run_service
+from .shared import SharedDerivedStore, SharedSnapshot
+from .worker import WorkerConfig, serve_requests, worker_main
+
+__all__ = [
+    "BatchAccumulator",
+    "BatchRequest",
+    "MicroBatchQueue",
+    "ServiceClient",
+    "ServiceError",
+    "MAX_LINE_BYTES",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "ServiceConfig",
+    "ServingService",
+    "run_service",
+    "SharedDerivedStore",
+    "SharedSnapshot",
+    "WorkerConfig",
+    "serve_requests",
+    "worker_main",
+]

@@ -1,0 +1,190 @@
+"""Adaptive micro-batching for the serving front-end.
+
+The GEMM batch engine (:mod:`repro.recommend.serving`) amortises
+per-query cost across rows, but online traffic arrives one small request
+at a time. This module coalesces concurrent requests into micro-batches
+with the standard two-trigger policy:
+
+* **size** — the pending batch reaches ``max_batch`` queries, or one
+  oversized request alone exceeds it (it then flushes immediately as its
+  own batch);
+* **deadline** — ``deadline_s`` elapsed since the first pending query
+  arrived, so a lone query is never parked waiting for company longer
+  than the configured latency budget.
+
+The core policy lives in :class:`BatchAccumulator`, a pure object driven
+by explicit timestamps — the Hypothesis property tests partition
+arbitrary query streams through it and assert the served results are
+**bitwise identical** to one big :meth:`recommend_batch` call, which
+holds because the batch engine's per-row results are split-invariant
+(candidate selection is per-row and the exact rescore is per-item).
+:class:`MicroBatchQueue` is the thin asyncio wrapper that owns the
+deadline timer and the pending futures.
+
+**Batch integrity.** A request's queries are never split across two
+flushes: whatever batch a request lands in, all of its rows are served
+by the same downstream call and therefore by the same serving
+generation. A hot swap can land between micro-batches, never inside
+one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["BatchAccumulator", "BatchRequest", "MicroBatchQueue"]
+
+
+@dataclass
+class BatchRequest:
+    """One admitted request: a list of queries plus its completion token.
+
+    ``token`` is opaque to the accumulator — the asyncio layer stores the
+    request's future there, tests store indexes.
+    """
+
+    queries: list[tuple[int, int]]
+    k: int
+    token: Any = None
+
+
+@dataclass
+class BatchAccumulator:
+    """Pure size/deadline micro-batch policy (no clocks, no I/O).
+
+    Driven with explicit ``now`` timestamps so tests can partition a
+    query stream deterministically. Single-writer contract: an
+    accumulator belongs to one event loop (or one test) and is never
+    shared across threads.
+    """
+
+    max_batch: int = 64
+    deadline_s: float = 0.002
+    _pending: list[BatchRequest] = field(default_factory=list)
+    _pending_queries: int = 0
+    _deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.deadline_s < 0:
+            raise ValueError(f"deadline_s must be >= 0, got {self.deadline_s}")
+
+    @property
+    def pending_queries(self) -> int:
+        """Queries currently waiting for a flush trigger."""
+        return self._pending_queries
+
+    def deadline(self) -> float | None:
+        """Absolute time of the pending deadline (``None`` when empty)."""
+        return self._deadline
+
+    def add(self, request: BatchRequest, now: float) -> list[BatchRequest] | None:
+        """Admit one request; return a flushed batch when size-triggered.
+
+        The request that crosses the size boundary flushes *with* the
+        batch it completed — its caller is the one whose arrival made
+        the batch worth scoring.
+        """
+        if not request.queries:
+            raise ValueError("a batch request needs at least one query")
+        if self._deadline is None:
+            self._deadline = now + self.deadline_s
+        self._pending.append(request)
+        self._pending_queries += len(request.queries)
+        if self._pending_queries >= self.max_batch:
+            return self.flush()
+        return None
+
+    def due(self, now: float) -> bool:
+        """True when the pending batch's deadline has passed."""
+        return self._deadline is not None and now >= self._deadline
+
+    def flush(self) -> list[BatchRequest]:
+        """Take every pending request (possibly empty) and reset."""
+        batch, self._pending = self._pending, []
+        self._pending_queries = 0
+        self._deadline = None
+        return batch
+
+
+class MicroBatchQueue:
+    """Asyncio front of one worker's :class:`BatchAccumulator`.
+
+    ``flush_cb`` receives each flushed batch (a non-empty list of
+    :class:`BatchRequest` whose tokens are :class:`asyncio.Future`
+    objects) and is responsible for resolving every future. The queue
+    itself never touches request results.
+
+    Single-writer contract: all methods run on the owning event loop
+    thread; the deadline timer is a ``call_later`` handle on the same
+    loop, so no cross-thread state exists.
+    """
+
+    def __init__(
+        self,
+        flush_cb: Callable[[list[BatchRequest]], None],
+        max_batch: int = 64,
+        deadline_s: float = 0.002,
+    ) -> None:
+        self._accumulator = BatchAccumulator(max_batch=max_batch, deadline_s=deadline_s)
+        self._flush_cb = flush_cb
+        self._timer: asyncio.TimerHandle | None = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; closed queues refuse admission."""
+        return self._closed
+
+    def submit(
+        self, queries: Sequence[tuple[int, int]], k: int
+    ) -> "asyncio.Future[dict[str, Any]]":
+        """Admit one request; the returned future resolves with its rows.
+
+        Raises :class:`RuntimeError` when the queue is closed (the
+        service maps this to the draining refusal before it ever gets
+        here, so the error is a programming-bug backstop, not a client
+        surface).
+        """
+        if self._closed:
+            raise RuntimeError("micro-batch queue is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[dict[str, Any]] = loop.create_future()
+        request = BatchRequest(
+            queries=[(int(u), int(t)) for u, t in queries], k=int(k), token=future
+        )
+        flushed = self._accumulator.add(request, loop.time())
+        if flushed is not None:
+            self._cancel_timer()
+            self._flush_cb(flushed)
+        elif self._timer is None:
+            deadline = self._accumulator.deadline()
+            assert deadline is not None  # add() always arms a deadline
+            self._timer = loop.call_at(deadline, self._on_deadline)
+        return future
+
+    def _on_deadline(self) -> None:
+        self._timer = None
+        batch = self._accumulator.flush()
+        if batch:
+            self._flush_cb(batch)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def flush_now(self) -> None:
+        """Flush whatever is pending immediately (drain path)."""
+        self._cancel_timer()
+        batch = self._accumulator.flush()
+        if batch:
+            self._flush_cb(batch)
+
+    def close(self) -> None:
+        """Flush pending work and refuse all further admission."""
+        self._closed = True
+        self.flush_now()

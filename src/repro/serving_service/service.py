@@ -1,0 +1,611 @@
+"""Process-parallel serving front-end with zero-copy shared snapshots.
+
+:class:`ServingService` is the tentpole of the serving stack: an asyncio
+TCP front-end (newline-delimited JSON, :mod:`.protocol`) that coalesces
+concurrent queries into micro-batches (:mod:`.batching`), routes them to
+``N`` worker *processes* by user shard, and hot-swaps snapshots across
+the whole fleet without dropping or tearing a single request.
+
+Architecture
+------------
+
+* **One event loop** owns all front-end state: connections, per-worker
+  :class:`~repro.serving_service.batching.MicroBatchQueue` instances and
+  the in-flight bookkeeping. Single-writer contract — nothing below is
+  touched off-loop.
+* **One pipe + I/O thread per worker.** Each spawned worker serves a
+  strict request/response loop; the parent-side
+  :class:`_WorkerHandle` thread performs the blocking ``send``/``recv``
+  and resolves an :class:`asyncio.Future` per exchange via
+  ``call_soon_threadsafe``. The per-worker FIFO makes a ``publish``
+  command a serialization point between micro-batches.
+* **User-sharded routing**: query ``(user, interval)`` lands on worker
+  ``user % num_workers`` — the same deterministic modulo sharding
+  :class:`~repro.core.parallel.PartitionedTTCAM` uses for its E-step
+  rows, so a user's repeat queries always hit the worker whose serving
+  caches (exclusion masks, interval contexts) are already warm for
+  them.
+* **Zero-copy snapshots**: with an mmap sidecar
+  (:mod:`repro.recommend.paramstore`) every worker maps the same files
+  and the kernel keeps one shared page cache; without one, the parent
+  packs the derived serving arrays into a
+  :class:`~repro.serving_service.shared.SharedSnapshot` segment that
+  workers attach. Either way per-worker *proportional* memory (PSS)
+  grows sub-linearly with the worker count.
+* **Cross-process hot swap**: :meth:`ServingService.publish` fans a
+  ``publish`` command to every worker; each gates the candidate through
+  its own :class:`~repro.streaming.publisher.SnapshotPublisher` and
+  RCU-swaps on success. If *any* worker rejects (health gate, corrupt
+  file), the workers that accepted are reverted so the fleet never
+  serves mixed snapshots, and the attempt is reported as a rollback.
+  Fleet-wide success is recorded in a
+  :class:`~repro.streaming.publisher.GenerationFile` so late-starting
+  workers catch up.
+* **Graceful drain**: :meth:`ServingService.drain` refuses new
+  admissions (clients get ``{"error": "draining"}``), flushes every
+  micro-batch queue, awaits all in-flight exchanges, then shuts workers
+  down — SIGTERM maps to exactly this in :func:`run_service`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import queue
+import signal
+import threading
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.serialize import load_params
+from ..recommend.paramstore import MANIFEST_NAME, store_dir
+from ..robustness.errors import ServiceDrainingError
+from ..streaming.publisher import GenerationFile
+from .batching import BatchRequest, MicroBatchQueue
+from .protocol import MAX_LINE_BYTES, decode_line, encode_line, error_response
+from .shared import SharedSnapshot
+from .worker import WorkerConfig, worker_main
+
+__all__ = ["ServiceConfig", "ServingService", "run_service"]
+
+#: How long to wait for a worker's ready message before giving up.
+_READY_TIMEOUT_S = 60.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Launch-time knobs of one :class:`ServingService`.
+
+    Attributes
+    ----------
+    snapshot:
+        Snapshot file every worker opens.
+    host / port:
+        TCP bind address; port 0 picks a free port (read it back from
+        :attr:`ServingService.port` after :meth:`~ServingService.start`).
+    workers:
+        Worker process count (= user shards).
+    mmap:
+        Serve through the snapshot's mmap sidecar store.
+    serve_dtype:
+        Selection dtype workers score with.
+    max_batch / batch_deadline_s:
+        Micro-batch flush triggers, per worker queue.
+    generation_file:
+        Durable hot-swap record path; defaults to
+        ``<snapshot>.generation.json``.
+    probes:
+        Health-probe queries each worker's publish gate runs.
+    default_k:
+        ``k`` used when a request omits it.
+    """
+
+    snapshot: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    mmap: bool = False
+    serve_dtype: str = "float64"
+    max_batch: int = 64
+    batch_deadline_s: float = 0.002
+    generation_file: str | None = None
+    probes: tuple[tuple[int, int], ...] = ((0, 0),)
+    default_k: int = 10
+
+    def generation_path(self) -> str:
+        """The resolved generation-file path."""
+        if self.generation_file is not None:
+            return self.generation_file
+        return str(Path(self.snapshot).with_name(Path(self.snapshot).name + ".generation.json"))
+
+
+class _WorkerHandle:
+    """Parent-side handle of one worker process.
+
+    Owns the pipe and a dedicated I/O thread running the blocking
+    request/response exchange; :meth:`request` is called from the event
+    loop and returns a future the thread resolves. The FIFO queue
+    preserves submission order, which is what serializes publishes
+    against micro-batches.
+    """
+
+    def __init__(self, index: int, config: WorkerConfig) -> None:
+        ctx = get_context("spawn")
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=worker_main, args=(config, child_conn), name=f"tcam-worker-{index}"
+        )
+        self.process.start()
+        child_conn.close()
+        self.ready: dict[str, Any] | None = None
+        self.alive = True
+        self._requests: "queue.SimpleQueue[tuple[dict[str, Any], asyncio.Future[dict[str, Any]]] | None]" = (
+            queue.SimpleQueue()
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def wait_ready(self) -> dict[str, Any]:
+        """Block for the worker's start-up message (ready or error)."""
+        if not self.conn.poll(_READY_TIMEOUT_S):
+            raise RuntimeError(f"worker {self.index} did not come up in time")
+        message = self.conn.recv()
+        if message.get("type") != "ready":
+            raise RuntimeError(
+                f"worker {self.index} failed: {message.get('error', message)}"
+            )
+        self.ready = message
+        return message
+
+    def start_io(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Start the blocking I/O thread once the worker is ready."""
+        self._loop = loop
+        self._thread = threading.Thread(
+            target=self._io_loop, name=f"tcam-worker-io-{self.index}", daemon=True
+        )
+        self._thread.start()
+
+    def request(self, message: dict[str, Any]) -> "asyncio.Future[dict[str, Any]]":
+        """Enqueue one exchange; resolves with the worker's reply."""
+        assert self._loop is not None, "start_io() must run before request()"
+        future: asyncio.Future[dict[str, Any]] = self._loop.create_future()
+        self._requests.put((message, future))
+        return future
+
+    def _resolve(self, future: "asyncio.Future[dict[str, Any]]", reply: dict[str, Any]) -> None:
+        if not future.done():
+            future.set_result(reply)
+
+    def _io_loop(self) -> None:
+        assert self._loop is not None
+        while True:
+            item = self._requests.get()
+            if item is None:
+                break
+            message, future = item
+            if not self.alive:
+                self._loop.call_soon_threadsafe(
+                    self._resolve,
+                    future,
+                    {"type": "error", "error": f"worker {self.index} is down"},
+                )
+                continue
+            try:
+                self.conn.send(message)
+                reply = self.conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                self.alive = False
+                reply = {"type": "error", "error": f"worker {self.index} pipe: {exc}"}
+            self._loop.call_soon_threadsafe(self._resolve, future, reply)
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop the I/O thread and reap the worker process."""
+        if self._thread is not None:
+            self._requests.put(None)
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        with contextlib.suppress(OSError):
+            self.conn.close()
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        self.alive = False
+
+
+@dataclass
+class _ServiceState:
+    """Counters the status endpoint reports for the front-end itself."""
+
+    connections: int = 0
+    requests: int = 0
+    queries: int = 0
+    refused: int = 0
+    publishes: int = 0
+    rollbacks: int = 0
+
+
+class ServingService:
+    """The multi-process serving front-end (see module docstring).
+
+    Single-writer contract: every attribute is owned by the event loop
+    that ran :meth:`start`; worker I/O threads only touch their handle's
+    queue and ``call_soon_threadsafe``.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.handles: list[_WorkerHandle] = []
+        self.queues: list[MicroBatchQueue] = []
+        self.stats = _ServiceState()
+        self.draining = False
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._shared: SharedSnapshot | None = None
+        self._inflight: set["asyncio.Future[dict[str, Any]]"] = set()
+        self._publish_lock = asyncio.Lock()
+        self._generation_file = GenerationFile(config.generation_path())
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _needs_shared_segment(self) -> bool:
+        """Shared derived arrays are only needed without an mmap sidecar."""
+        if self.config.mmap:
+            sidecar = store_dir(self.config.snapshot)
+            if (sidecar / MANIFEST_NAME).is_file():
+                return False
+        return True
+
+    async def start(self) -> None:
+        """Spawn workers, wait for readiness, bind the TCP server."""
+        config = self.config
+        shared_manifest: Mapping[str, Any] | None = None
+        if self._needs_shared_segment():
+            params = await asyncio.to_thread(load_params, config.snapshot)
+            self._shared = SharedSnapshot(params)
+            shared_manifest = self._shared.manifest
+            del params
+        loop = asyncio.get_running_loop()
+        for index in range(config.workers):
+            handle = _WorkerHandle(
+                index,
+                WorkerConfig(
+                    index=index,
+                    num_workers=config.workers,
+                    snapshot=config.snapshot,
+                    mmap=config.mmap,
+                    serve_dtype=config.serve_dtype,
+                    generation_file=config.generation_path(),
+                    shared_manifest=shared_manifest,
+                    probes=config.probes,
+                ),
+            )
+            self.handles.append(handle)
+        try:
+            await asyncio.gather(
+                *(asyncio.to_thread(handle.wait_ready) for handle in self.handles)
+            )
+        except Exception:
+            await self._stop_workers()
+            raise
+        for handle in self.handles:
+            handle.start_io(loop)
+            worker_index = handle.index
+            self.queues.append(
+                MicroBatchQueue(
+                    lambda batch, w=worker_index: self._flush(w, batch),
+                    max_batch=config.max_batch,
+                    deadline_s=config.batch_deadline_s,
+                )
+            )
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=config.host, port=config.port
+        )
+        sockets = self._server.sockets or []
+        self.port = sockets[0].getsockname()[1] if sockets else None
+
+    async def _stop_workers(self) -> None:
+        for handle in self.handles:
+            await asyncio.to_thread(handle.shutdown)
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse, flush, await in-flight, stop workers.
+
+        Admission closes first (new requests get the draining refusal),
+        pending micro-batches flush immediately rather than waiting out
+        their deadlines, every in-flight worker exchange completes, and
+        only then are workers asked to shut down — no admitted query is
+        ever dropped.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for micro_queue in self.queues:
+            micro_queue.close()
+        if self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+        for handle in self.handles:
+            if handle.alive:
+                with contextlib.suppress(Exception):
+                    await handle.request({"type": "shutdown"})
+        await self._stop_workers()
+
+    # ------------------------------------------------------------------
+    # routing + micro-batching
+    # ------------------------------------------------------------------
+
+    def shard(self, user: int) -> int:
+        """The worker index serving this user's shard."""
+        return int(user) % len(self.handles)
+
+    def _flush(self, worker_index: int, batch: list[BatchRequest]) -> None:
+        """Ship one flushed micro-batch to its worker (event-loop side)."""
+        message = {
+            "type": "batch",
+            "requests": [
+                {"queries": request.queries, "k": request.k} for request in batch
+            ],
+        }
+        exchange = self.handles[worker_index].request(message)
+        self._inflight.add(exchange)
+        exchange.add_done_callback(
+            lambda done, b=batch: self._settle_batch(b, done)
+        )
+
+    def _settle_batch(
+        self, batch: list[BatchRequest], done: "asyncio.Future[dict[str, Any]]"
+    ) -> None:
+        self._inflight.discard(done)
+        reply = done.result() if not done.cancelled() else {"type": "error", "error": "cancelled"}
+        if reply.get("type") != "result":
+            error = str(reply.get("error", "worker exchange failed"))
+            for request in batch:
+                if not request.token.done():
+                    request.token.set_result({"error": error})
+            return
+        responses = reply.get("responses", [])
+        for request, response in zip(batch, responses):
+            if not request.token.done():
+                request.token.set_result(response)
+
+    async def _handle_query(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Route one client query request through the worker fleet."""
+        request_id = message.get("id")
+        raw = message.get("queries")
+        if not isinstance(raw, list) or not raw:
+            return error_response(request_id, "queries must be a non-empty list")
+        try:
+            queries = [(int(pair[0]), int(pair[1])) for pair in raw]
+        except (TypeError, ValueError, IndexError):
+            return error_response(request_id, "queries must be [user, interval] pairs")
+        k = int(message.get("k", self.config.default_k))
+        if k <= 0:
+            return error_response(request_id, "k must be positive")
+        self.stats.requests += 1
+        self.stats.queries += len(queries)
+        shards: dict[int, list[int]] = {}
+        for position, (user, _) in enumerate(queries):
+            shards.setdefault(self.shard(user), []).append(position)
+        slices = [
+            (worker_index, positions, self.queues[worker_index].submit(
+                [queries[p] for p in positions], k
+            ))
+            for worker_index, positions in shards.items()
+        ]
+        responses = await asyncio.gather(*(entry[2] for entry in slices))
+        rows: list[dict[str, Any] | None] = [None] * len(queries)
+        generation: list[int | None] = [None] * len(queries)
+        worker: list[int | None] = [None] * len(queries)
+        degraded: list[bool | None] = [None] * len(queries)
+        for (worker_index, positions, _), response in zip(slices, responses):
+            if "error" in response:
+                return error_response(request_id, str(response["error"]))
+            for offset, position in enumerate(positions):
+                rows[position] = response["results"][offset]
+                generation[position] = response["generation"][offset]
+                degraded[position] = response["degraded"][offset]
+                worker[position] = worker_index
+        return {
+            "id": request_id,
+            "results": rows,
+            "generation": generation,
+            "worker": worker,
+            "degraded": degraded,
+        }
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+
+    async def publish(
+        self, path: str, mmap: bool | None = None, drift: bool = False
+    ) -> dict[str, Any]:
+        """Hot-swap a snapshot across the fleet, or roll it back whole.
+
+        Every worker gates the candidate independently; a fleet where
+        some workers accepted and some rejected would serve mixed
+        snapshots, so any rejection reverts the workers that accepted.
+        Fleet-wide success is durably recorded in the generation file.
+        """
+        mmap_flag = self.config.mmap if mmap is None else bool(mmap)
+        async with self._publish_lock:
+            command = {
+                "type": "publish",
+                "path": str(path),
+                "mmap": mmap_flag,
+                "drift": bool(drift),
+            }
+            replies = await asyncio.gather(
+                *(handle.request(dict(command)) for handle in self.handles)
+            )
+            accepted = [
+                handle.index
+                for handle, reply in zip(self.handles, replies)
+                if reply.get("type") == "published" and reply.get("published")
+            ]
+            rejected = {
+                handle.index: str(reply.get("reason") or reply.get("error", "unknown"))
+                for handle, reply in zip(self.handles, replies)
+                if not (reply.get("type") == "published" and reply.get("published"))
+            }
+            if not rejected:
+                self.stats.publishes += 1
+                generations = [int(reply["generation"]) for reply in replies]
+                await asyncio.to_thread(
+                    self._generation_file.write, max(generations), str(path), bool(drift)
+                )
+                return {
+                    "published": True,
+                    "generation": generations,
+                    "rejected": {},
+                    "reverted": [],
+                }
+            self.stats.rollbacks += 1
+            reverted: list[int] = []
+            if accepted:
+                revert_replies = await asyncio.gather(
+                    *(
+                        self.handles[index].request({"type": "revert"})
+                        for index in accepted
+                    )
+                )
+                reverted = [
+                    index
+                    for index, reply in zip(accepted, revert_replies)
+                    if reply.get("type") == "published" and reply.get("published")
+                ]
+            return {
+                "published": False,
+                "generation": [int(reply.get("generation", -1)) for reply in replies],
+                "rejected": rejected,
+                "reverted": reverted,
+            }
+
+    async def status(self) -> dict[str, Any]:
+        """Aggregate front-end counters plus every worker's status."""
+        replies = await asyncio.gather(
+            *(handle.request({"type": "status"}) for handle in self.handles if handle.alive)
+        )
+        return {
+            "draining": self.draining,
+            "workers": list(replies),
+            "service": {
+                "connections": self.stats.connections,
+                "requests": self.stats.requests,
+                "queries": self.stats.queries,
+                "refused": self.stats.refused,
+                "publishes": self.stats.publishes,
+                "rollbacks": self.stats.rollbacks,
+                "max_batch": self.config.max_batch,
+                "batch_deadline_s": self.config.batch_deadline_s,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        request_id = message.get("id")
+        if self.draining:
+            self.stats.refused += 1
+            return error_response(request_id, "draining")
+        op = message.get("op")
+        if op is None:
+            return await self._handle_query(message)
+        if op == "status":
+            reply = await self.status()
+            reply["id"] = request_id
+            return reply
+        if op == "publish":
+            path = message.get("path")
+            if not isinstance(path, str) or not path:
+                return error_response(request_id, "publish needs a snapshot path")
+            reply = await self.publish(
+                path,
+                mmap=message.get("mmap"),
+                drift=bool(message.get("drift", False)),
+            )
+            reply["id"] = request_id
+            return reply
+        return error_response(request_id, f"unknown op {op!r}")
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    writer.write(encode_line(error_response(None, "line too long")))
+                    await writer.drain()
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line)
+                except ValueError as exc:
+                    writer.write(encode_line(error_response(None, str(exc))))
+                    await writer.drain()
+                    continue
+                try:
+                    reply = await self._dispatch(message)
+                except ServiceDrainingError:
+                    self.stats.refused += 1
+                    reply = error_response(message.get("id"), "draining")
+                except Exception as exc:  # noqa: BLE001 - keep the connection up
+                    reply = error_response(
+                        message.get("id"), f"{type(exc).__name__}: {exc}"
+                    )
+                writer.write(encode_line(reply))
+                await writer.drain()
+                if reply.get("error") == "draining":
+                    break
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+
+async def _run_until_signal(service: ServingService) -> None:
+    """Serve until SIGTERM/SIGINT, then drain gracefully."""
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+    await service.start()
+    print(
+        f"tcam serve: {service.config.workers} workers on "
+        f"{service.config.host}:{service.port} (snapshot {service.config.snapshot})",
+        flush=True,
+    )
+    await stop.wait()
+    print("tcam serve: draining", flush=True)
+    await service.drain()
+    print("tcam serve: drained cleanly", flush=True)
+
+
+def run_service(config: ServiceConfig) -> int:
+    """Blocking entry point used by ``tcam serve``; returns exit code 0."""
+    service = ServingService(config)
+    asyncio.run(_run_until_signal(service))
+    return 0

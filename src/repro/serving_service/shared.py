@@ -1,0 +1,292 @@
+"""Zero-copy sharing of derived serving arrays across worker processes.
+
+Worker processes opened on a snapshot *with* an mmap sidecar
+(:mod:`repro.recommend.paramstore`) already share physical memory for
+free: every worker maps the same files and the kernel keeps one page
+cache. This module covers the other half of the tentpole — snapshots
+*without* a sidecar, whose derived serving arrays (the ``(V, K)``
+rescore transpose, the Threshold-Algorithm sorted lists, the
+per-interval context vectors and their float32 images with error
+bounds) would otherwise be recomputed and held **per worker**.
+
+The parent computes those arrays once (:func:`derived_arrays`), packs
+them into a single :class:`multiprocessing.shared_memory.SharedMemory`
+segment (:class:`SharedSnapshot`) and ships workers a small picklable
+manifest of ``(name, dtype, shape, offset)`` entries. Each worker
+attaches the segment read-only-by-convention and wraps it in a
+:class:`SharedDerivedStore`, which duck-types the
+:class:`~repro.recommend.paramstore.ParamStore` accessor surface the
+serving layer consults (``item_topic`` / ``sorted_lists`` /
+``quantized_selection`` / ``context_row`` / ``context_vector``), so
+``model.param_store = store`` is all the wiring a worker needs.
+
+Single-writer contract: the parent writes the segment once, before any
+worker attaches; after that every view is read-only by convention and
+never mutated, so cross-process access needs no lock.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Any, Hashable, Mapping
+
+import numpy as np
+
+from ..core.params import ITCAMParameters, TTCAMParameters
+from ..recommend.quantize import ContextVector
+from ..recommend.threshold import SortedTopicLists
+from ..typing import AnyArray, FloatArray
+
+__all__ = [
+    "SharedDerivedStore",
+    "SharedSnapshot",
+    "attach_arrays",
+    "derived_arrays",
+    "pack_arrays",
+]
+
+#: Per-array alignment inside the segment; keeps every view on a cache
+#: line boundary so vectorised kernels see the layout they expect.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def derived_arrays(params: ITCAMParameters | TTCAMParameters) -> dict[str, AnyArray]:
+    """Compute the derived serving arrays worth sharing for ``params``.
+
+    Mirrors what :func:`repro.recommend.paramstore.write_store` persists
+    (minus the quantized selection forms, which are cheap enough to
+    build lazily per worker): for TTCAM the static rescore transpose,
+    sorted topic lists and exact per-interval context block; for both
+    variants the float32 context image plus its per-interval error
+    statistics. Context rows are built with the same row-by-row GEMV as
+    the online path so shared rows are bit-identical to freshly
+    computed ones.
+    """
+    arrays: dict[str, AnyArray] = {}
+    if isinstance(params, TTCAMParameters):
+        lists = SortedTopicLists.build(params.topic_item_matrix())
+        arrays["item_topic"] = lists.item_topic
+        arrays["sorted_order"] = lists.order
+        arrays["sorted_values"] = lists.values
+        intervals = int(params.theta_time.shape[0])
+        context = np.empty((intervals, params.num_items), dtype=np.float64)
+        for t in range(intervals):
+            context[t] = params.theta_time[t] @ params.phi_time
+        arrays["context"] = context
+    elif isinstance(params, ITCAMParameters):
+        context = np.asarray(params.theta_time, dtype=np.float64)
+    else:
+        raise TypeError(f"unsupported parameter type: {type(params).__name__}")
+
+    intervals = int(context.shape[0])
+    context32 = context.astype(np.float32)
+    delta = np.empty(intervals, dtype=np.float64)
+    abs_max = np.empty(intervals, dtype=np.float64)
+    for t in range(intervals):
+        vector = ContextVector.from_exact(context[t])
+        delta[t] = vector.delta
+        abs_max[t] = vector.abs_max
+    arrays["context32"] = context32
+    arrays["context_delta"] = delta
+    arrays["context_absmax"] = abs_max
+    return arrays
+
+
+def pack_arrays(
+    arrays: Mapping[str, AnyArray], variant: str
+) -> tuple[shared_memory.SharedMemory, dict[str, Any]]:
+    """Pack named arrays into one fresh shared-memory segment.
+
+    Returns the owning segment and a picklable manifest: segment name,
+    variant tag and per-array ``(dtype, shape, offset)``. The caller
+    owns the segment's lifetime (close + unlink).
+    """
+    specs: dict[str, dict[str, Any]] = {}
+    offset = 0
+    contiguous = {
+        name: np.ascontiguousarray(array) for name, array in arrays.items()
+    }
+    for name, array in contiguous.items():
+        offset = _aligned(offset)
+        specs[name] = {
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "offset": offset,
+        }
+        offset += int(array.nbytes)
+    segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for name, array in contiguous.items():
+        spec = specs[name]
+        view: AnyArray = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf, offset=spec["offset"]
+        )
+        view[...] = array
+    manifest = {"segment": segment.name, "variant": variant, "arrays": specs}
+    return segment, manifest
+
+
+def attach_arrays(
+    manifest: Mapping[str, Any],
+) -> tuple[shared_memory.SharedMemory, dict[str, AnyArray]]:
+    """Attach a packed segment and rebuild its array views (zero-copy).
+
+    The returned arrays alias the segment buffer directly; the caller
+    must keep the segment object alive as long as the views are used,
+    and close (never unlink) it afterwards — the packing parent owns
+    the segment's lifetime.
+    """
+    # Attaching would register the segment with the resource tracker,
+    # which (a) unlinks the parent-owned segment when the *worker*
+    # exits, destroying it under every sibling, and (b) unbalances the
+    # tracker's name set when several workers attach the same segment.
+    # Python 3.13 grows ``track=False``; until then, suppress the
+    # registration for the duration of the attach.
+    try:  # pragma: no cover - platform-specific resource tracking
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _register_except_shm(name: str, rtype: str) -> None:
+            if rtype != "shared_memory":
+                original_register(name, rtype)
+
+        resource_tracker.register = _register_except_shm  # type: ignore[assignment]
+    except ImportError:
+        original_register = None  # type: ignore[assignment]
+        resource_tracker = None  # type: ignore[assignment]
+    try:
+        segment = shared_memory.SharedMemory(name=str(manifest["segment"]))
+    finally:
+        if resource_tracker is not None and original_register is not None:
+            resource_tracker.register = original_register  # type: ignore[assignment]
+    arrays: dict[str, AnyArray] = {}
+    for name, spec in dict(manifest["arrays"]).items():
+        arrays[str(name)] = np.ndarray(
+            tuple(spec["shape"]),
+            dtype=np.dtype(str(spec["dtype"])),
+            buffer=segment.buf,
+            offset=int(spec["offset"]),
+        )
+    return segment, arrays
+
+
+class SharedSnapshot:
+    """Parent-side owner of one packed derived-array segment.
+
+    Create it from fitted parameters, hand :attr:`manifest` to each
+    worker (it is small and picklable), and :meth:`close` when the
+    service shuts down — closing unlinks the segment, so it must outlive
+    every worker.
+    """
+
+    def __init__(self, params: ITCAMParameters | TTCAMParameters) -> None:
+        variant = "ttcam" if isinstance(params, TTCAMParameters) else "itcam"
+        self._segment, self.manifest = pack_arrays(derived_arrays(params), variant)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared segment in bytes."""
+        return int(self._segment.size)
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        try:
+            self._segment.close()
+            self._segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - double close
+            pass
+
+
+class SharedDerivedStore:
+    """Worker-side :class:`ParamStore`-shaped view of a packed segment.
+
+    Exposes exactly the accessor surface the serving layer consults on
+    ``model.param_store``. Arrays are read-only views into shared
+    memory; ``sorted_lists`` is memoised so one worker's queries share a
+    single :class:`SortedTopicLists` (and its per-query scratch
+    buffers), mirroring the mmap store.
+    """
+
+    def __init__(
+        self, segment: shared_memory.SharedMemory, arrays: dict[str, AnyArray], variant: str
+    ) -> None:
+        self._segment = segment
+        self._arrays = arrays
+        self.variant = variant
+        self._lists: SortedTopicLists | None = None
+
+    @classmethod
+    def attach(cls, manifest: Mapping[str, Any]) -> "SharedDerivedStore":
+        """Attach the segment named by a parent's manifest."""
+        segment, arrays = attach_arrays(manifest)
+        return cls(segment, arrays, str(manifest.get("variant", "ttcam")))
+
+    def close(self) -> None:
+        """Drop the views and close this process's mapping."""
+        self._arrays = {}
+        self._lists = None
+        try:
+            self._segment.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    # -- ParamStore accessor surface --------------------------------------
+
+    def item_topic(self, key: Hashable) -> FloatArray | None:
+        """Shared ``(V, K)`` rescore transpose (TTCAM static key only)."""
+        if self.variant != "ttcam" or key != "static":
+            return None
+        result: FloatArray | None = self._arrays.get("item_topic")
+        return result
+
+    def sorted_lists(self, key: Hashable) -> SortedTopicLists | None:
+        """Shared Threshold-Algorithm index (TTCAM static key only)."""
+        if self.variant != "ttcam" or key != "static":
+            return None
+        if self._lists is None:
+            order = self._arrays.get("sorted_order")
+            values = self._arrays.get("sorted_values")
+            item_topic = self._arrays.get("item_topic")
+            if order is None or values is None or item_topic is None:
+                return None
+            self._lists = SortedTopicLists(
+                order=order, values=values, item_topic=item_topic
+            )
+        return self._lists
+
+    def quantized_selection(self, dtype: str) -> None:
+        """Quantized Φ is not shared — workers build it lazily."""
+        return None
+
+    def context_row(self, interval: int, dtype: str) -> AnyArray | None:
+        """One interval's shared context score vector."""
+        if dtype == "float32":
+            source = self._arrays.get("context32")
+        elif self.variant == "ttcam":
+            source = self._arrays.get("context")
+        else:
+            # ITCAM's float64 context is theta_time itself, which the
+            # worker's own parameter container already holds.
+            return None
+        if source is None or not 0 <= interval < source.shape[0]:
+            return None
+        return source[interval]
+
+    def context_vector(self, interval: int) -> ContextVector | None:
+        """One interval's shared float32 context vector with bounds."""
+        values = self.context_row(interval, "float32")
+        delta = self._arrays.get("context_delta")
+        abs_max = self._arrays.get("context_absmax")
+        if values is None or delta is None or abs_max is None:
+            return None
+        if not 0 <= interval < delta.shape[0]:
+            return None
+        return ContextVector(
+            values=values,
+            delta=float(delta[interval]),
+            abs_max=float(abs_max[interval]),
+        )

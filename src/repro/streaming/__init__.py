@@ -27,7 +27,7 @@ format and the end-to-end crash-safety argument.
 
 from .drift import DriftTracker, DriftUpdate, unit_norm
 from .ingestor import IngestReport, StreamIngestor
-from .publisher import PublishResult, SnapshotPublisher
+from .publisher import GenerationFile, PublishResult, SnapshotPublisher
 from .wal import EventLog, StreamEvent
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "unit_norm",
     "IngestReport",
     "StreamIngestor",
+    "GenerationFile",
     "PublishResult",
     "SnapshotPublisher",
     "EventLog",

@@ -30,6 +30,8 @@ previous healthy snapshot if a bad one ever got through the gate.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -213,3 +215,59 @@ class SnapshotPublisher:
         generation = self.recommender.swap_model(model)
         self._previous, self._current = None, model
         return PublishResult(published=True, generation=generation)
+
+
+class GenerationFile:
+    """Durable record of the latest published snapshot generation.
+
+    The cross-process serving service coordinates hot swaps over two
+    channels: a control message down each worker's pipe (the fast
+    notification) and this small atomically-replaced JSON file (the
+    durable record). A worker that starts — or restarts — after a swap
+    reads the file and comes up on the current snapshot instead of the
+    one the service was launched with; an operator can inspect it to see
+    what is actually serving.
+
+    The file is written with the same write-temp-then-``os.replace``
+    discipline as every snapshot in this repository, so readers never
+    observe a torn record.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def write(self, generation: int, snapshot: str | Path, drift: bool = False) -> None:
+        """Atomically record ``snapshot`` as generation ``generation``."""
+        payload = {
+            "generation": int(generation),
+            "snapshot": str(snapshot),
+            "drift": bool(drift),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def read(self) -> dict | None:
+        """The latest record, or ``None`` when nothing was published yet.
+
+        A missing or undecodable file is treated as "no record" — the
+        generation file is a coordination aid, not a source of truth,
+        and a half-provisioned run directory must not stop a worker from
+        serving its launch snapshot.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(raw, dict) or "snapshot" not in raw:
+            return None
+        return {
+            "generation": int(raw.get("generation", 0)),
+            "snapshot": str(raw["snapshot"]),
+            "drift": bool(raw.get("drift", False)),
+        }

@@ -11,20 +11,24 @@ a thread pool, classifies how each value a worker can reach is shared
 (worker-local, unique-per-worker index, per-worker slot of a shared
 container, or fully shared), and follows calls to module-local functions
 and methods so writes buried one or more frames below the submitted
-callable are still attributed to the worker.
+callable are still attributed to the worker. PR 8's serving service adds
+a second root kind: ``Process(target=...)`` worker entrypoints (their
+``args=`` / ``kwargs=`` packs classify exactly like submit arguments),
+and widens the serving-layer scope to the ``serving_service`` package.
 
 ========  ==================================================================
-TCAM010   Write to shared mutable state from a pooled worker without
-          block-disjoint indexing (``self.total += x`` or
-          ``shared[key] = v`` inside a worker; ``buffer[worker]`` slots
-          are exempt).
+TCAM010   Write to shared mutable state from a pooled worker or a
+          spawned process entrypoint without block-disjoint indexing
+          (``self.total += x`` or ``shared[key] = v`` inside a worker;
+          ``buffer[worker]`` slots are exempt).
 TCAM011   Two workers handed aliasing workspace/stat buffers — a write
           through an argument every worker receives, or buffer-list
           construction that replicates one object (``[buf] * n``,
           ``[buf for _ in range(n)]``).
 TCAM012   Cache/dict mutation reachable from the concurrent serving layer
           without a lock or a documented single-writer contract (scoped
-          to ``recommend/serving.py`` / ``recommend/recommender.py``).
+          to ``recommend/serving.py`` / ``recommend/recommender.py`` and
+          the ``serving_service`` package).
 TCAM013   Reduction over worker results whose order is not statically
           fixed (``for f in as_completed(...)`` accumulation), breaking
           the fixed-order-reduce bit-determinism guarantee.
@@ -107,8 +111,18 @@ _DICT_MUTATORS = frozenset(
     {"pop", "popitem", "update", "setdefault", "move_to_end", "clear", "append", "extend"}
 )
 
-#: Files whose classes serve concurrent ``recommend_batch`` traffic.
-_SERVING_PATH_SUFFIXES = ("recommend/serving.py", "recommend/recommender.py")
+#: Files whose classes serve concurrent traffic: the recommend layer's
+#: ``recommend_batch`` engine plus the multi-process serving service's
+#: front-end, batching, worker and shared-memory modules.
+_SERVING_PATH_SUFFIXES = (
+    "recommend/serving.py",
+    "recommend/recommender.py",
+    "serving_service/service.py",
+    "serving_service/batching.py",
+    "serving_service/worker.py",
+    "serving_service/shared.py",
+    "serving_service/client.py",
+)
 
 #: Docstring phrases accepted as a documented concurrency contract.
 _CONTRACT_RE = re.compile(
@@ -283,10 +297,58 @@ def _submit_loop_bindings(
     return bindings
 
 
-def _iter_submits(
+def _spawn_target(call: ast.Call) -> ast.expr | None:
+    """The ``target=`` callable of a ``Process(...)`` construction.
+
+    Matches both the bare name (``Process(target=fn, ...)``) and the
+    context-object form (``ctx.Process(target=fn, ...)``). Returns
+    ``None`` for anything that is not a process spawn with a target.
+    """
+    callee = call.func
+    if isinstance(callee, ast.Name):
+        name = callee.id
+    elif isinstance(callee, ast.Attribute):
+        name = callee.attr
+    else:
+        return None
+    if name != "Process":
+        return None
+    for kw in call.keywords:
+        if kw.arg == "target":
+            return kw.value
+    return None
+
+
+def _spawn_arg_exprs(
+    call: ast.Call,
+) -> tuple[list[ast.expr], dict[str, ast.expr]]:
+    """The entrypoint's argument expressions from ``args=`` / ``kwargs=``.
+
+    Only literal tuple/list (and literal dict with string keys) forms
+    are unpacked; a dynamically built argument pack cannot be classified
+    statically and contributes nothing.
+    """
+    positional: list[ast.expr] = []
+    keywords: dict[str, ast.expr] = {}
+    for kw in call.keywords:
+        if kw.arg == "args" and isinstance(kw.value, (ast.Tuple, ast.List)):
+            positional = list(kw.value.elts)
+        elif kw.arg == "kwargs" and isinstance(kw.value, ast.Dict):
+            for key, value in zip(kw.value.keys, kw.value.values):
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keywords[key.value] = value
+    return positional, keywords
+
+
+def _iter_worker_roots(
     tree: ast.Module,
 ) -> Iterator[tuple[ast.Call, dict[str, _Share]]]:
-    """Yield every ``pool.submit(...)`` call with its loop-variable env."""
+    """Yield every worker root call with its loop-variable env.
+
+    A root is either a ``pool.submit(...)`` call or a
+    ``Process(target=...)`` spawn — the two ways this codebase hands a
+    callable to a concurrent worker.
+    """
 
     def scan(
         node: ast.AST, loopvars: dict[str, _Share]
@@ -311,10 +373,9 @@ def _iter_submits(
             else:
                 yield from scan(node.elt, inner)
             return
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "submit"
+        if isinstance(node, ast.Call) and (
+            (isinstance(node.func, ast.Attribute) and node.func.attr == "submit")
+            or _spawn_target(node) is not None
         ):
             yield node, dict(loopvars)
         for child in ast.iter_child_nodes(node):
@@ -604,12 +665,21 @@ def _process_stmt(stmt: ast.stmt, env: dict[str, _Binding], ctx: _Ctx) -> None:
 
 
 def _check_workers(tree: ast.Module, emit: _Emitter) -> None:
-    """TCAM010/TCAM011: analyze every callable submitted to a pool."""
+    """TCAM010/TCAM011: analyze every pooled callable or process entrypoint."""
     index = _FunctionIndex(tree)
-    for call, loopvars in _iter_submits(tree):
-        if not call.args:
+    for call, loopvars in _iter_worker_roots(tree):
+        spawn_callable = _spawn_target(call)
+        if spawn_callable is not None:
+            callable_expr = spawn_callable
+            arg_exprs, kw_exprs = _spawn_arg_exprs(call)
+        elif call.args:
+            callable_expr = call.args[0]
+            arg_exprs = list(call.args[1:])
+            kw_exprs = {
+                kw.arg: kw.value for kw in call.keywords if kw.arg is not None
+            }
+        else:
             continue
-        callable_expr = call.args[0]
         leaf = _call_leaf(callable_expr)
         if not leaf:
             continue  # lambdas/partials: not descended into (see module doc)
@@ -617,12 +687,11 @@ def _check_workers(tree: ast.Module, emit: _Emitter) -> None:
         if not defs:
             continue
         arg_bindings = [
-            _classify_submit_arg(arg, loopvars) for arg in call.args[1:]
+            _classify_submit_arg(arg, loopvars) for arg in arg_exprs
         ]
         kw_bindings = {
-            kw.arg: _classify_submit_arg(kw.value, loopvars)
-            for kw in call.keywords
-            if kw.arg is not None
+            name: _classify_submit_arg(value, loopvars)
+            for name, value in kw_exprs.items()
         }
         self_binding: _Binding | None = None
         if isinstance(callable_expr, ast.Attribute):
@@ -643,9 +712,12 @@ def _module_uses_pool(tree: ast.Module) -> bool:
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
             if node.func.attr == "submit":
                 return True
-        if isinstance(node, ast.Name) and node.id == "ThreadPoolExecutor":
+        if isinstance(node, ast.Name) and node.id in ("ThreadPoolExecutor", "Process"):
             return True
-        if isinstance(node, ast.Attribute) and node.attr == "ThreadPoolExecutor":
+        if isinstance(node, ast.Attribute) and node.attr in (
+            "ThreadPoolExecutor",
+            "Process",
+        ):
             return True
     return False
 

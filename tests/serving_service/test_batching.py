@@ -1,0 +1,144 @@
+"""Micro-batching: flush policy units + the split-invariance property."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialize import LoadedModel
+from repro.recommend.recommender import TemporalRecommender
+from repro.serving_service.batching import BatchAccumulator, BatchRequest
+from repro.serving_service.worker import serve_requests
+
+from .conftest import NUM_INTERVALS, NUM_USERS
+
+
+def request(queries, k=5, token=None):
+    return BatchRequest(queries=list(queries), k=k, token=token)
+
+
+class TestAccumulator:
+    def test_size_trigger_flushes_with_the_crossing_request(self):
+        acc = BatchAccumulator(max_batch=3, deadline_s=1.0)
+        assert acc.add(request([(0, 0)]), now=0.0) is None
+        assert acc.add(request([(1, 0)]), now=0.1) is None
+        batch = acc.add(request([(2, 0)]), now=0.2)
+        assert batch is not None and len(batch) == 3
+        assert acc.pending_queries == 0
+        assert acc.deadline() is None
+
+    def test_oversized_request_flushes_alone_immediately(self):
+        acc = BatchAccumulator(max_batch=2, deadline_s=1.0)
+        batch = acc.add(request([(0, 0), (1, 0), (2, 0)]), now=0.0)
+        assert batch is not None and len(batch) == 1
+        assert len(batch[0].queries) == 3
+
+    def test_requests_are_never_split_across_flushes(self):
+        acc = BatchAccumulator(max_batch=4, deadline_s=1.0)
+        assert acc.add(request([(0, 0), (1, 0), (2, 0)]), now=0.0) is None
+        batch = acc.add(request([(3, 0), (4, 0)]), now=0.1)
+        # the second request crosses the boundary but flushes whole
+        assert batch is not None
+        assert [len(r.queries) for r in batch] == [3, 2]
+
+    def test_deadline_arms_on_first_request_only(self):
+        acc = BatchAccumulator(max_batch=100, deadline_s=0.5)
+        acc.add(request([(0, 0)]), now=10.0)
+        acc.add(request([(1, 0)]), now=10.4)
+        assert acc.deadline() == pytest.approx(10.5)
+        assert not acc.due(10.49)
+        assert acc.due(10.5)
+        assert len(acc.flush()) == 2
+        assert not acc.due(99.0)  # empty accumulator is never due
+
+    def test_rejects_empty_requests_and_bad_knobs(self):
+        acc = BatchAccumulator(max_batch=4)
+        with pytest.raises(ValueError):
+            acc.add(request([]), now=0.0)
+        with pytest.raises(ValueError):
+            BatchAccumulator(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchAccumulator(deadline_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Property: micro-batch boundaries never change results (bitwise)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def recommender(service_params):
+    return TemporalRecommender(LoadedModel(service_params))
+
+
+queries_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_USERS - 1),
+        st.integers(min_value=0, max_value=NUM_INTERVALS - 1),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@given(
+    queries=queries_strategy,
+    cuts=st.lists(st.integers(min_value=1, max_value=23), max_size=6),
+    max_batch=st.integers(min_value=1, max_value=12),
+    k=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_micro_batch_split_never_changes_results(
+    recommender, queries, cuts, max_batch, k
+):
+    """Service answers are bitwise identical to one big recommend_batch.
+
+    The query stream is partitioned into client requests at arbitrary
+    cut points, pushed through the accumulator with an arbitrary flush
+    size, and each flushed micro-batch is served by the exact worker
+    code path (`serve_requests`). Every row must reproduce the single
+    big-batch call exactly: same items, same score bits, same tie
+    order.
+    """
+    # partition the stream into requests at the (deduplicated) cut points
+    bounds = sorted({c for c in cuts if c < len(queries)} | {0, len(queries)})
+    requests = [
+        {"queries": queries[lo:hi], "k": k}
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+
+    # drive the pure flush policy; deadline very large so only size flushes
+    acc = BatchAccumulator(max_batch=max_batch, deadline_s=1e9)
+    batches = []
+    for index, req in enumerate(requests):
+        flushed = acc.add(
+            BatchRequest(queries=list(req["queries"]), k=req["k"], token=index),
+            now=0.0,
+        )
+        if flushed is not None:
+            batches.append(flushed)
+    tail = acc.flush()
+    if tail:
+        batches.append(tail)
+
+    # every request lands in exactly one micro-batch, in order
+    assert [r.token for batch in batches for r in batch] == list(range(len(requests)))
+
+    reference = recommender.recommend_batch(queries, k=k)
+    served: list[dict] = []
+    for batch in batches:
+        worker_requests = [{"queries": r.queries, "k": r.k} for r in batch]
+        responses = serve_requests(recommender, worker_requests, "float64")
+        for response in responses:
+            assert "error" not in response
+            served.extend(response["results"])
+
+    assert len(served) == len(reference)
+    for row, expected in zip(served, reference):
+        assert row["items"] == [int(i) for i in expected.items]
+        assert [np.float64(s).tobytes() for s in row["scores"]] == [
+            np.float64(s).tobytes() for s in expected.scores
+        ]

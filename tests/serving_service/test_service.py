@@ -1,0 +1,261 @@
+"""End-to-end serving service: bitwise parity, routing, hot swap, drain."""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing as mp
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import LoadedModel, load_params
+from repro.recommend.recommender import TemporalRecommender
+from repro.serving_service import ServiceClient, ServiceConfig, ServiceError
+
+from .conftest import NUM_INTERVALS, NUM_USERS, dirichlet_params, running_service
+
+pytestmark = pytest.mark.service
+
+
+def _config(snapshot_path, tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        snapshot=str(snapshot_path),
+        workers=2,
+        max_batch=16,
+        batch_deadline_s=0.005,
+        generation_file=str(tmp_path / "generation.json"),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+class TestReadPath:
+    @pytest.fixture(scope="class")
+    def service(self, snapshot_path, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("read-path")
+        with running_service(_config(snapshot_path, tmp)) as service:
+            yield service
+
+    def test_responses_are_bitwise_identical_to_direct_batch(
+        self, service, service_params
+    ):
+        rng = np.random.default_rng(3)
+        queries = [
+            (int(u), int(t))
+            for u, t in zip(
+                rng.integers(0, NUM_USERS, 24), rng.integers(0, NUM_INTERVALS, 24)
+            )
+        ]
+        direct = TemporalRecommender(LoadedModel(service_params)).recommend_batch(
+            queries, k=7
+        )
+        with ServiceClient("127.0.0.1", service.port) as client:
+            reply = client.recommend(queries, k=7)
+        assert len(reply["results"]) == len(queries)
+        for row, expected in zip(reply["results"], direct):
+            assert row["items"] == [int(i) for i in expected.items]
+            assert [float(s).hex() for s in row["scores"]] == [
+                float(s).hex() for s in expected.scores
+            ]
+
+    def test_queries_route_to_the_user_shard(self, service):
+        queries = [(user, 0) for user in range(8)]
+        with ServiceClient("127.0.0.1", service.port) as client:
+            reply = client.recommend(queries, k=3)
+        assert reply["worker"] == [user % 2 for user in range(8)]
+
+    def test_status_reports_every_worker(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            status = client.status()
+        assert not status["draining"]
+        workers = {entry["worker"] for entry in status["workers"]}
+        assert workers == {0, 1}
+        for entry in status["workers"]:
+            assert entry["generation"] == 0
+            assert entry["shared"] is True  # no sidecar -> shared segment
+            assert entry["rss_bytes"] is None or entry["rss_bytes"] > 0
+
+    def test_malformed_requests_get_structured_errors(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            with pytest.raises(ServiceError, match="non-empty"):
+                client.request({"queries": []})
+            with pytest.raises(ServiceError, match="pairs"):
+                client.request({"queries": ["nope"]})
+            with pytest.raises(ServiceError, match="k must be positive"):
+                client.request({"queries": [[0, 0]], "k": 0})
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.request({"op": "frobnicate"})
+            # the connection survives every error above
+            assert client.recommend([(1, 1)], k=2)["results"]
+
+
+# ---------------------------------------------------------------------------
+# Hot swap under load with concurrent client processes (the ISSUE scenario)
+# ---------------------------------------------------------------------------
+
+
+def _client_burst(host, port, seed, rounds, ready, results):
+    """Spawned client process: a burst of recommend requests.
+
+    Reports ``(worker, generation)`` per row of every response so the
+    parent can check tearing and monotonicity; any error string aborts
+    the burst and is reported instead.
+    """
+    rng = np.random.default_rng(seed)
+    observed = []
+    try:
+        with ServiceClient(host, port, timeout=120) as client:
+            ready.put(seed)
+            for _ in range(rounds):
+                queries = [
+                    (int(u), int(t))
+                    for u, t in zip(
+                        rng.integers(0, NUM_USERS, 6),
+                        rng.integers(0, NUM_INTERVALS, 6),
+                    )
+                ]
+                reply = client.recommend(queries, k=4)
+                assert all(row is not None for row in reply["results"])
+                observed.append(
+                    list(zip(reply["worker"], reply["generation"]))
+                )
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        results.put({"seed": seed, "error": f"{type(exc).__name__}: {exc}"})
+        return
+    results.put({"seed": seed, "error": None, "responses": observed})
+
+
+class TestHotSwap:
+    def test_fleet_swap_under_concurrent_client_processes(
+        self, snapshot_path, candidate_path, service_params, tmp_path
+    ):
+        clients, rounds = 3, 30
+        ctx = mp.get_context("spawn")
+        ready: mp.SimpleQueue = ctx.SimpleQueue()
+        results: mp.SimpleQueue = ctx.SimpleQueue()
+        with running_service(_config(snapshot_path, tmp_path)) as service:
+            procs = [
+                ctx.Process(
+                    target=_client_burst,
+                    args=("127.0.0.1", service.port, seed, rounds, ready, results),
+                )
+                for seed in range(clients)
+            ]
+            for proc in procs:
+                proc.start()
+            for _ in procs:
+                ready.get()  # all clients connected and bursting
+            time.sleep(0.05)  # let the burst overlap the swap
+            with ServiceClient("127.0.0.1", service.port, timeout=120) as control:
+                swap = control.publish(str(candidate_path))
+                reports = [results.get() for _ in procs]
+                for proc in procs:
+                    proc.join(timeout=120)
+                status = control.status()
+                # post-swap responses are bitwise the candidate snapshot
+                queries = [(u, u % NUM_INTERVALS) for u in range(10)]
+                after = control.recommend(queries, k=5)
+
+        assert swap["published"] is True
+        assert swap["rejected"] == {}
+        assert all(generation >= 1 for generation in swap["generation"])
+
+        # zero dropped queries: every client completed every round
+        assert [report["error"] for report in reports] == [None] * clients
+        for report in reports:
+            assert len(report["responses"]) == rounds
+            for response in report["responses"]:
+                # no torn batches: rows served by one worker in one
+                # response share a single generation
+                by_worker: dict[int, set[int]] = {}
+                for worker, generation in response:
+                    by_worker.setdefault(worker, set()).add(generation)
+                for generations in by_worker.values():
+                    assert len(generations) == 1
+            # generations are monotonic per worker across the burst
+            last: dict[int, int] = {}
+            for response in report["responses"]:
+                for worker, generation in response:
+                    assert generation >= last.get(worker, 0)
+                    last[worker] = generation
+
+        for entry in status["workers"]:
+            assert entry["generation"] >= 1
+            assert entry["swaps"] == 1
+            assert entry["snapshot"] == str(candidate_path)
+
+        candidate = dirichlet_params(1)
+        direct = TemporalRecommender(LoadedModel(candidate)).recommend_batch(
+            [(u, u % NUM_INTERVALS) for u in range(10)], k=5
+        )
+        for row, expected in zip(after["results"], direct):
+            assert row["items"] == [int(i) for i in expected.items]
+            assert [float(s).hex() for s in row["scores"]] == [
+                float(s).hex() for s in expected.scores
+            ]
+        assert load_params(str(candidate_path)) is not None  # sanity: file intact
+
+    def test_unhealthy_candidate_rolls_back_on_every_worker(
+        self, snapshot_path, service_params, tmp_path
+    ):
+        from repro.core.serialize import save_params
+
+        bad = tmp_path / "bad.npz"
+        save_params(dirichlet_params(2), bad)
+        bad.write_bytes(bad.read_bytes()[:120])  # torn write: fails the gate
+        queries = [(u, 0) for u in range(6)]
+        direct = TemporalRecommender(LoadedModel(service_params)).recommend_batch(
+            queries, k=4
+        )
+        with running_service(_config(snapshot_path, tmp_path)) as service:
+            with ServiceClient("127.0.0.1", service.port, timeout=120) as client:
+                reply = client.publish(str(bad))
+                status = client.status()
+                after = client.recommend(queries, k=4)
+        assert reply["published"] is False
+        assert set(reply["rejected"]) == {"0", "1"} or set(reply["rejected"]) == {0, 1}
+        assert reply["reverted"] == []  # nobody accepted, nothing to revert
+        for entry in status["workers"]:
+            # every worker recorded the rollback and kept its generation
+            assert entry["rollbacks"] == 1
+            assert entry["generation"] == 0
+            assert entry["snapshot"] == str(snapshot_path)
+        for row, expected in zip(after["results"], direct):
+            assert row["items"] == [int(i) for i in expected.items]
+            assert [float(s).hex() for s in row["scores"]] == [
+                float(s).hex() for s in expected.scores
+            ]
+
+
+class TestDrain:
+    def test_drain_refuses_new_requests_and_completes_admitted_ones(
+        self, snapshot_path, tmp_path
+    ):
+        config = _config(
+            snapshot_path, tmp_path, workers=1, batch_deadline_s=0.5
+        )
+        with running_service(config) as service:
+            # the running_service loop lives on a background thread; grab it
+            # through the server object the service bound
+            assert service._server is not None
+            service_loop = service._server.get_loop()
+            with ServiceClient("127.0.0.1", service.port) as client:
+                assert client.recommend([(0, 0)], k=2)["results"]
+                # admit one query (it will sit in the 0.5 s micro-batch
+                # window), then drain: the admitted query must complete
+                admitted = asyncio.run_coroutine_threadsafe(
+                    service._dispatch({"id": 99, "queries": [[1, 0]], "k": 2}),
+                    service_loop,
+                )
+                time.sleep(0.05)  # the dispatch passed the admission check
+                draining = asyncio.run_coroutine_threadsafe(
+                    service.drain(), service_loop
+                )
+                reply = admitted.result(timeout=60)
+                assert "error" not in reply
+                assert reply["results"] and reply["results"][0] is not None
+                draining.result(timeout=60)
+                # the still-open connection is refused while draining
+                with pytest.raises(ServiceError, match="draining"):
+                    client.recommend([(2, 0)], k=2)

@@ -1,0 +1,133 @@
+"""Shared derived arrays: pack/attach round-trip and serving equivalence."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import LoadedModel
+from repro.recommend.recommender import TemporalRecommender
+from repro.serving_service.shared import (
+    SharedDerivedStore,
+    SharedSnapshot,
+    attach_arrays,
+    derived_arrays,
+    pack_arrays,
+)
+
+
+@pytest.fixture(scope="module")
+def shared_snapshot(service_params):
+    snapshot = SharedSnapshot(service_params)
+    yield snapshot
+    snapshot.close()
+
+
+class TestPackAttach:
+    def test_round_trip_is_bitwise(self, service_params):
+        arrays = derived_arrays(service_params)
+        segment, manifest = pack_arrays(arrays, "ttcam")
+        try:
+            attached_segment, attached = attach_arrays(manifest)
+            try:
+                assert set(attached) == set(arrays)
+                for name, original in arrays.items():
+                    view = attached[name]
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    assert np.asarray(view).tobytes() == np.ascontiguousarray(
+                        original
+                    ).tobytes()
+            finally:
+                attached_segment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_derived_context_rows_match_online_expression(self, service_params):
+        arrays = derived_arrays(service_params)
+        for t in range(service_params.theta_time.shape[0]):
+            exact = service_params.theta_time[t] @ service_params.phi_time
+            assert arrays["context"][t].tobytes() == exact.tobytes()
+
+
+class TestSharedDerivedStore:
+    def test_accessor_surface_matches_paramstore_semantics(self, shared_snapshot):
+        store = SharedDerivedStore.attach(shared_snapshot.manifest)
+        try:
+            assert store.item_topic("static") is not None
+            assert store.item_topic(("interval", 3)) is None
+            lists = store.sorted_lists("static")
+            assert lists is not None
+            assert store.sorted_lists("static") is lists  # memoised
+            assert store.quantized_selection("int8") is None
+            assert store.context_row(0, "float64") is not None
+            assert store.context_row(0, "float32") is not None
+            assert store.context_row(999, "float64") is None
+            vector = store.context_vector(1)
+            assert vector is not None and vector.delta >= 0.0
+        finally:
+            store.close()
+
+    def test_serving_through_shared_store_is_bitwise_identical(
+        self, service_params, shared_snapshot
+    ):
+        rng = np.random.default_rng(7)
+        queries = [
+            (int(u), int(t))
+            for u, t in zip(
+                rng.integers(0, service_params.num_users, 16),
+                rng.integers(0, service_params.theta_time.shape[0], 16),
+            )
+        ]
+        plain = TemporalRecommender(LoadedModel(service_params)).recommend_batch(
+            queries, k=6
+        )
+        model = LoadedModel(service_params)
+        store = SharedDerivedStore.attach(shared_snapshot.manifest)
+        model.param_store = store
+        try:
+            shared = TemporalRecommender(model).recommend_batch(queries, k=6)
+            for a, b in zip(plain, shared):
+                assert list(a.items) == list(b.items)
+                assert [float(x).hex() for x in a.scores] == [
+                    float(x).hex() for x in b.scores
+                ]
+        finally:
+            store.close()
+
+
+def _child_checksum(manifest, name, queue):
+    """Spawned child: attach the segment and report one array's bytes."""
+    segment, arrays = attach_arrays(manifest)
+    try:
+        queue.put(bytes(np.asarray(arrays[name]).tobytes()[:64]))
+    finally:
+        segment.close()
+
+
+class TestCrossProcess:
+    def test_spawned_child_sees_identical_bytes(self, shared_snapshot, service_params):
+        ctx = mp.get_context("spawn")
+        queue = ctx.SimpleQueue()
+        child = ctx.Process(
+            target=_child_checksum,
+            args=(shared_snapshot.manifest, "context", queue),
+        )
+        child.start()
+        head = queue.get()
+        child.join(timeout=60)
+        assert child.exitcode == 0
+        expected = derived_arrays(service_params)["context"].tobytes()[:64]
+        assert head == expected
+
+    def test_parent_segment_survives_child_exit(self, shared_snapshot):
+        # the child in the previous test must not have unlinked the
+        # parent-owned segment (the resource-tracker workaround)
+        store = SharedDerivedStore.attach(shared_snapshot.manifest)
+        try:
+            assert store.context_row(0, "float64") is not None
+        finally:
+            store.close()

@@ -1,5 +1,7 @@
 """Tests for the ``tcam`` command-line interface."""
 
+import io
+
 import numpy as np
 import pytest
 
@@ -201,6 +203,23 @@ class TestRecommend:
         assert lines[0] == lines[3]  # duplicate queries → identical rows
         assert "4 queries (0 degraded)" in out
         assert "cache hit-rate" in out
+
+    def test_batch_file_stdin(self, snapshot, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("# user,interval\n0,3\n1,0\n"))
+        code = main(
+            ["recommend", "--model", str(snapshot), "--batch-file", "-", "-k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("(")]
+        assert len(lines) == 2
+        assert "2 queries (0 degraded)" in out
+
+    def test_batch_file_stdin_errors_name_stdin(self, snapshot, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("bogus line\n"))
+        code = main(["recommend", "--model", str(snapshot), "--batch-file", "-"])
+        assert code == 2
+        assert "<stdin>:1:" in capsys.readouterr().err
 
     def test_batch_file_empty_rejected(self, snapshot, tmp_path, capsys):
         batch = tmp_path / "queries.csv"

@@ -523,6 +523,109 @@ def test_main_list_rules(capsys):
 
 
 # ---------------------------------------------------------------------------
+# Process(target=...) entrypoints are worker roots (PR 8 serving service)
+# ---------------------------------------------------------------------------
+
+
+SPAWN_FLAGGED = [
+    # entrypoint writes through an argument every spawned worker receives
+    """
+    from multiprocessing import get_context
+
+    def worker_entry(shared, conn):
+        shared["count"] = 1
+
+    def launch(shared):
+        ctx = get_context("spawn")
+        for index in range(4):
+            ctx.Process(target=worker_entry, args=(shared, None)).start()
+    """,
+    # bare Process name, shared object via a kwargs= pack
+    """
+    from multiprocessing import Process
+
+    def entry(stats=None):
+        stats["events"] += 1
+
+    def launch(shared):
+        for index in range(3):
+            Process(target=entry, kwargs={"stats": shared}).start()
+    """,
+]
+
+SPAWN_CLEAN = [
+    # per-worker slot of a shared list is disjoint across processes
+    """
+    from multiprocessing import get_context
+
+    def worker_entry(slot):
+        slot["count"] = 1
+
+    def launch(slots):
+        ctx = get_context("spawn")
+        for index in range(4):
+            ctx.Process(target=worker_entry, args=(slots[index],)).start()
+    """,
+    # a dynamically built argument pack cannot be classified — no finding
+    """
+    from multiprocessing import Process
+
+    def entry(shared):
+        shared["count"] = 1
+
+    def launch(shared, pack):
+        Process(target=entry, args=pack).start()
+    """,
+]
+
+
+@pytest.mark.parametrize("source", SPAWN_FLAGGED)
+def test_spawn_entrypoints_are_worker_roots(source):
+    rules = rules_of(source)
+    assert "TCAM010" in rules or "TCAM011" in rules
+
+
+@pytest.mark.parametrize("source", SPAWN_CLEAN)
+def test_spawn_entrypoints_accept_disjoint_or_opaque_args(source):
+    assert rules_of(source) == []
+
+
+def test_spawn_module_counts_as_pool_for_replicated_buffers():
+    # [buf] * n in a module that spawns processes is the same aliasing
+    # hazard as in a threaded module.
+    source = """
+    from multiprocessing import Process
+    import numpy as np
+
+    def run(n, fn):
+        buf = np.zeros(4)
+        buffers = [buf] * n
+        for index in range(n):
+            Process(target=fn, args=(buffers[index],)).start()
+    """
+    assert "TCAM011" in rules_of(source)
+
+
+def test_tcam012_covers_the_serving_service_package():
+    source = """
+    class Router:
+        \"\"\"Maps users to workers.\"\"\"
+
+        def route(self, user, worker):
+            self.table[user] = worker
+    """
+    assert "TCAM012" in rules_of(source, "src/repro/serving_service/service.py")
+    # a documented single-writer contract opts out, as in the recommend layer
+    documented = source.replace(
+        "Maps users to workers.",
+        "Maps users to workers. Single-writer: event-loop only.",
+    )
+    assert "TCAM012" not in rules_of(
+        documented, "src/repro/serving_service/service.py"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Meta-test: the real tree must be race-clean
 # ---------------------------------------------------------------------------
 
