@@ -1,6 +1,6 @@
 # Convenience targets for the TCAM reproduction.
 
-.PHONY: install test test-robustness test-sanitize test-stream-faults test-service service-smoke lint analyze typecheck check bench bench-perf bench-serve bench-service bench-stream bench-smoke examples all
+.PHONY: install test test-robustness test-sanitize test-stream-faults test-service service-smoke lint analyze audit typecheck check bench bench-perf bench-serve bench-service bench-stream bench-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,11 @@ lint:
 analyze:
 	PYTHONPATH=src python -m repro.tooling.races src/repro
 
+# Resource-lifecycle & crash-consistency auditor (rules TCAM020-TCAM025);
+# also covers the bench harnesses, which spawn real server processes.
+audit:
+	PYTHONPATH=src python -m repro.tooling.lifecycle src/repro benchmarks/perf
+
 # mypy --strict over src/repro, configured in pyproject.toml. Skipped
 # with a notice when mypy is not installed locally; CI always runs it.
 typecheck:
@@ -33,7 +38,7 @@ typecheck:
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi
 
-check: lint analyze typecheck test
+check: lint analyze audit typecheck test
 
 test-robustness:
 	pytest tests/robustness/

@@ -130,6 +130,9 @@ class ServeProcess:
             if match:
                 return int(match.group(1))
         self.proc.kill()
+        # Reap the killed process (and close its stdout pipe) before
+        # raising, or it lingers as a zombie for the rest of the run.
+        self.proc.communicate()
         raise RuntimeError(f"tcam serve never reported a port; output: {lines!r}")
 
     def drain(self, timeout_s: float = 120.0) -> str:

@@ -196,7 +196,10 @@ def append_entries(
     trajectory.extend(entries)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps([asdict(entry) for entry in trajectory], indent=2) + "\n")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps([asdict(entry) for entry in trajectory], indent=2) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
     return trajectory
 

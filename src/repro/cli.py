@@ -13,6 +13,8 @@ Covers the full offline/online loop from a shell:
   TCAM001–TCAM005, see ``docs/static-analysis.md``);
 * ``tcam analyze``  — run the static concurrency-race analyzer (rules
   TCAM010–TCAM013, see ``docs/static-analysis.md``);
+* ``tcam audit``    — run the resource-lifecycle and crash-consistency
+  auditor (rules TCAM020–TCAM025, see ``docs/static-analysis.md``);
 * ``tcam stream``   — the crash-safe streaming loop
   (``docs/robustness.md``): ``append`` dense events to the durable
   event log, ``run`` the incremental ingestor against a snapshot, and
@@ -345,24 +347,39 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tool_argv(args: argparse.Namespace) -> list[str]:
+    """Re-assemble the shared static-analysis flags into a tool argv."""
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.format != "text":
+        argv.extend(["--format", args.format])
+    if args.select:
+        argv.extend(["--select", args.select])
+    if args.ignore:
+        argv.extend(["--ignore", args.ignore])
+    return argv
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the domain-aware linter (rules TCAM001–TCAM005)."""
     from .tooling.lint import main as lint_main
 
-    argv = list(args.paths)
-    if args.list_rules:
-        argv.append("--list-rules")
-    return lint_main(argv)
+    return lint_main(_tool_argv(args))
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Run the static concurrency-race analyzer (rules TCAM010–TCAM013)."""
     from .tooling.races import main as analyze_main
 
-    argv = list(args.paths)
-    if args.list_rules:
-        argv.append("--list-rules")
-    return analyze_main(argv)
+    return analyze_main(_tool_argv(args))
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Run the resource-lifecycle auditor (rules TCAM020–TCAM025)."""
+    from .tooling.lifecycle import main as audit_main
+
+    return audit_main(_tool_argv(args))
 
 
 def _read_dense_events(path: Path) -> list[tuple[int, int, int, float]]:
@@ -636,27 +653,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--max-topics", type=int, default=None)
     p_report.set_defaults(func=cmd_report)
 
-    p_lint = sub.add_parser(
-        "lint", help="domain-aware lint (determinism/numerical-safety rules)"
-    )
-    p_lint.add_argument(
-        "paths", nargs="*", default=[], help="files or directories (default: src/repro)"
-    )
-    p_lint.add_argument(
-        "--list-rules", action="store_true", help="print the rule catalogue and exit"
-    )
-    p_lint.set_defaults(func=cmd_lint)
+    def _add_tool_parser(name: str, help_text: str, func) -> None:
+        tool = sub.add_parser(name, help=help_text)
+        tool.add_argument(
+            "paths",
+            nargs="*",
+            default=[],
+            help="files or directories (default: src/repro)",
+        )
+        tool.add_argument(
+            "--list-rules",
+            action="store_true",
+            help="print the rule catalogue and exit",
+        )
+        tool.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="output format (json is stable-sorted for CI annotation)",
+        )
+        tool.add_argument(
+            "--select", default="", help="comma-separated rule codes to keep"
+        )
+        tool.add_argument(
+            "--ignore", default="", help="comma-separated rule codes to drop"
+        )
+        tool.set_defaults(func=func)
 
-    p_analyze = sub.add_parser(
-        "analyze", help="static concurrency-race analysis of the threaded layers"
+    _add_tool_parser(
+        "lint", "domain-aware lint (determinism/numerical-safety rules)", cmd_lint
     )
-    p_analyze.add_argument(
-        "paths", nargs="*", default=[], help="files or directories (default: src/repro)"
+    _add_tool_parser(
+        "analyze", "static concurrency-race analysis of the threaded layers", cmd_analyze
     )
-    p_analyze.add_argument(
-        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    _add_tool_parser(
+        "audit",
+        "static resource-lifecycle and crash-consistency audit",
+        cmd_audit,
     )
-    p_analyze.set_defaults(func=cmd_analyze)
 
     p_stream = sub.add_parser(
         "stream", help="crash-safe streaming ingestion (see docs/robustness.md)"

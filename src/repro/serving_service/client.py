@@ -26,7 +26,13 @@ class ServiceClient:
 
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rb")
+        try:
+            self._file = self._sock.makefile("rb")
+        except Exception:
+            # A failed __init__ never returns the object, so close() could
+            # never run — release the connected socket here or it leaks.
+            self._sock.close()
+            raise
         self._next_id = 0
 
     def close(self) -> None:

@@ -136,10 +136,17 @@ class _WorkerHandle:
         self.index = index
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
-        self.process = ctx.Process(
-            target=worker_main, args=(config, child_conn), name=f"tcam-worker-{index}"
-        )
-        self.process.start()
+        try:
+            self.process = ctx.Process(
+                target=worker_main, args=(config, child_conn), name=f"tcam-worker-{index}"
+            )
+            self.process.start()
+        except Exception:
+            # A failed __init__ never returns the handle, so shutdown()
+            # could never run — close both pipe ends here or they leak.
+            parent_conn.close()
+            child_conn.close()
+            raise
         child_conn.close()
         self.ready: dict[str, Any] | None = None
         self.alive = True
@@ -291,22 +298,24 @@ class ServingService:
             await asyncio.gather(
                 *(asyncio.to_thread(handle.wait_ready) for handle in self.handles)
             )
+            for handle in self.handles:
+                handle.start_io(loop)
+                worker_index = handle.index
+                self.queues.append(
+                    MicroBatchQueue(
+                        lambda batch, w=worker_index: self._flush(w, batch),
+                        max_batch=config.max_batch,
+                        deadline_s=config.batch_deadline_s,
+                    )
+                )
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=config.host, port=config.port
+            )
         except Exception:
+            # Cover the TCP bind too: a failed start_server used to leave
+            # the already-spawned worker fleet running with no owner.
             await self._stop_workers()
             raise
-        for handle in self.handles:
-            handle.start_io(loop)
-            worker_index = handle.index
-            self.queues.append(
-                MicroBatchQueue(
-                    lambda batch, w=worker_index: self._flush(w, batch),
-                    max_batch=config.max_batch,
-                    deadline_s=config.batch_deadline_s,
-                )
-            )
-        self._server = await asyncio.start_server(
-            self._serve_connection, host=config.host, port=config.port
-        )
         sockets = self._server.sockets or []
         self.port = sockets[0].getsockname()[1] if sockets else None
 

@@ -1,10 +1,14 @@
 """Developer tooling for the TCAM reproduction.
 
 Home to the domain-aware linter (:mod:`repro.tooling.lint`), the static
-concurrency-race analyzer (:mod:`repro.tooling.races`) and the opt-in
-runtime sanitizer (:mod:`repro.tooling.sanitize`) — together they encode
-the determinism, numerical-safety and data-race invariants the test
-suite otherwise only catches after the fact.
+concurrency-race analyzer (:mod:`repro.tooling.races`), the resource-
+lifecycle and crash-consistency auditor (:mod:`repro.tooling.lifecycle`)
+and the opt-in runtime sanitizer (:mod:`repro.tooling.sanitize`) —
+together they encode the determinism, numerical-safety, data-race and
+durability invariants the test suite otherwise only catches after the
+fact. All three static tools share one CLI surface
+(:mod:`repro.tooling.output`): ``--format json`` emits the same
+stable-sorted schema from each, which CI turns into GitHub annotations.
 
 The submodules are loaded lazily so that ``python -m repro.tooling.lint``
 (or ``...races``) does not import them twice (once as a package
@@ -15,6 +19,7 @@ attribute, once as ``__main__``), which would trigger a runpy
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lifecycle import audit_paths, audit_source
     from .lint import Finding, lint_paths, lint_source, main
     from .races import analyze_paths, analyze_source
     from .sanitize import Sanitizer, SanitizerError, sanitize_enabled
@@ -27,6 +32,8 @@ _SUBMODULE_EXPORTS = {
     "main": "lint",
     "analyze_paths": "races",
     "analyze_source": "races",
+    "audit_paths": "lifecycle",
+    "audit_source": "lifecycle",
     "Sanitizer": "sanitize",
     "SanitizerError": "sanitize",
     "sanitize_enabled": "sanitize",
@@ -39,6 +46,8 @@ __all__ = [
     "main",
     "analyze_paths",
     "analyze_source",
+    "audit_paths",
+    "audit_source",
     "Sanitizer",
     "SanitizerError",
     "sanitize_enabled",

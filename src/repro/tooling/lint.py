@@ -35,10 +35,8 @@ Run as ``tcam lint [paths...]`` or ``python -m repro.tooling.lint``.
 
 from __future__ import annotations
 
-import argparse
 import ast
 import re
-import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -664,36 +662,16 @@ def lint_paths(paths: Sequence[str]) -> list[Finding]:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a shell exit status (0 clean, 1 findings)."""
 
-    parser = argparse.ArgumentParser(
+    from .output import run_cli
+
+    return run_cli(
         prog="tcam lint",
         description="Domain-aware linter enforcing TCAM determinism and "
         "numerical-safety invariants (rules TCAM001-TCAM005).",
+        rules=RULES,
+        collect=lint_paths,
+        argv=argv,
     )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
-    )
-    parser.add_argument(
-        "--list-rules",
-        action="store_true",
-        help="print the rule catalogue and exit",
-    )
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for code, summary in sorted(RULES.items()):
-            print(f"{code}  {summary}")
-        return 0
-
-    findings = lint_paths(args.paths)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"tcam lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

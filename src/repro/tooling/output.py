@@ -1,0 +1,147 @@
+"""Shared CLI surface for the tcam static-analysis tools.
+
+``tcam lint`` (TCAM001–005), ``tcam analyze`` (TCAM010–013) and
+``tcam audit`` (TCAM020–025) are three independent rule engines with one
+reporting contract: the same ``Finding`` record, the same suppression
+comment, and — through this module — the same command line.  Every tool
+accepts::
+
+    <tool> [paths...] [--list-rules] [--format {text,json}]
+           [--select CODES] [--ignore CODES]
+
+``--format json`` emits a stable-sorted JSON array (sorted by path,
+line, rule, message; fields ``path``/``line``/``col``/``rule``/
+``message``) so CI can turn any tool's findings into GitHub annotations
+from one schema.  ``--select``/``--ignore`` take comma-separated rule
+codes and filter the findings before rendering (``--select`` keeps only
+the listed rules; ``--ignore`` then drops its rules).
+
+The module deliberately imports nothing from the rule engines at
+runtime — each engine passes its own collector callable into
+:func:`run_cli` — so the three tools stay independently importable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lint import Finding
+
+__all__ = [
+    "filter_findings",
+    "parse_codes",
+    "render_json",
+    "run_cli",
+]
+
+
+def parse_codes(raw: str) -> frozenset[str]:
+    """Parse a comma-separated ``--select``/``--ignore`` code list."""
+
+    return frozenset(code.strip().upper() for code in raw.split(",") if code.strip())
+
+
+def filter_findings(
+    findings: Sequence["Finding"], select: str = "", ignore: str = ""
+) -> list["Finding"]:
+    """Apply ``--select`` (keep only) then ``--ignore`` (drop) filters."""
+
+    keep = parse_codes(select)
+    drop = parse_codes(ignore)
+    return [
+        finding
+        for finding in findings
+        if (not keep or finding.rule in keep) and finding.rule not in drop
+    ]
+
+
+def render_json(findings: Sequence["Finding"]) -> str:
+    """Render findings as the shared JSON schema, stable-sorted.
+
+    The sort key is ``(path, line, rule, message)`` so two runs over the
+    same tree always serialize identically, which lets CI diff or cache
+    the output.
+    """
+
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+    return json.dumps(
+        [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in ordered
+        ],
+        indent=2,
+    )
+
+
+def run_cli(
+    prog: str,
+    description: str,
+    rules: Mapping[str, str],
+    collect: Callable[[Sequence[str]], list["Finding"]],
+    argv: Sequence[str] | None = None,
+    default_paths: Sequence[str] = ("src/repro",),
+) -> int:
+    """Run one analysis tool's CLI; returns the shell exit status.
+
+    ``collect`` maps the positional paths to a findings list; everything
+    else (rule listing, filtering, text/JSON rendering, exit status) is
+    identical across the three tools and lives here.
+    """
+
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(default_paths),
+        help=f"files or directories (default: {' '.join(default_paths)})",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format_",
+        help="findings output: compiler-style text (default) or the "
+        "shared stable-sorted JSON schema",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule codes to keep (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        help="comma-separated rule codes to drop",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, summary in sorted(rules.items()):
+            print(f"{code}  {summary}")
+        return 0
+
+    findings = filter_findings(collect(args.paths), args.select, args.ignore)
+    if args.format_ == "json":
+        print(render_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+    if findings:
+        print(f"{prog}: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

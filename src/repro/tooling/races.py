@@ -45,10 +45,8 @@ Run as ``tcam analyze [paths...]`` or ``python -m repro.tooling.races``.
 
 from __future__ import annotations
 
-import argparse
 import ast
 import re
-import sys
 from dataclasses import dataclass, replace
 from enum import IntEnum
 from typing import Iterator, Sequence
@@ -951,36 +949,16 @@ def analyze_paths(paths: Sequence[str]) -> list[Finding]:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a shell exit status (0 clean, 1 findings)."""
-    parser = argparse.ArgumentParser(
+    from .output import run_cli
+
+    return run_cli(
         prog="tcam analyze",
         description="Static concurrency-race analyzer for the threaded EM "
         "engine and serving layer (rules TCAM010-TCAM013).",
+        rules=RULES,
+        collect=analyze_paths,
+        argv=argv,
     )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        default=["src/repro"],
-        help="files or directories to analyze (default: src/repro)",
-    )
-    parser.add_argument(
-        "--list-rules",
-        action="store_true",
-        help="print the rule catalogue and exit",
-    )
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for code, summary in sorted(RULES.items()):
-            print(f"{code}  {summary}")
-        return 0
-
-    findings = analyze_paths(args.paths)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"tcam analyze: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -520,6 +520,22 @@ def test_main_list_rules(capsys):
         assert code in out
 
 
+def test_main_json_and_filters(tmp_path, capsys):
+    """The shared CLI surface: --format json schema and --select/--ignore."""
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import numpy as np\nx = np.random.rand()\n", encoding="utf-8")
+    assert main([str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload] == ["TCAM001"]
+    assert sorted(payload[0]) == ["col", "line", "message", "path", "rule"]
+    # filtered to nothing -> clean exit
+    assert main([str(dirty), "--ignore", "TCAM001"]) == 0
+    assert main([str(dirty), "--select", "TCAM002"]) == 0
+    assert main([str(dirty), "--select", "TCAM001"]) == 1
+
+
 # ---------------------------------------------------------------------------
 # Meta-test: the real tree must be lint-clean
 # ---------------------------------------------------------------------------

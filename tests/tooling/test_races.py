@@ -625,6 +625,36 @@ def test_tcam012_covers_the_serving_service_package():
     )
 
 
+def test_main_json_and_filters(tmp_path, capsys):
+    """The shared CLI surface: --format json schema and --select/--ignore."""
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        textwrap.dedent(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Engine:
+                def run(self, chunks):
+                    with ThreadPoolExecutor() as pool:
+                        for chunk in chunks:
+                            pool.submit(self.work, chunk)
+
+                def work(self, chunk):
+                    self.total = chunk.sum()
+            """
+        ).lstrip(),
+        encoding="utf-8",
+    )
+    assert main([str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload] == ["TCAM010"]
+    assert sorted(payload[0]) == ["col", "line", "message", "path", "rule"]
+    assert main([str(dirty), "--ignore", "TCAM010"]) == 0
+    assert main([str(dirty), "--select", "TCAM010"]) == 1
+
+
 # ---------------------------------------------------------------------------
 # Meta-test: the real tree must be race-clean
 # ---------------------------------------------------------------------------
