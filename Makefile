@@ -1,6 +1,6 @@
 # Convenience targets for the TCAM reproduction.
 
-.PHONY: install test test-robustness test-sanitize test-stream-faults test-service service-smoke lint analyze audit typecheck check bench bench-perf bench-serve bench-service bench-stream bench-smoke examples all
+.PHONY: install test test-robustness test-sanitize test-stream-faults test-service service-smoke lint analyze audit prove typecheck check bench bench-perf bench-serve bench-service bench-stream bench-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,12 @@ analyze:
 audit:
 	PYTHONPATH=src python -m repro.tooling.lifecycle src/repro benchmarks/perf
 
+# Determinism & dtype-flow verifier for the bitwise contracts (rules
+# TCAM030-TCAM035), rooted at @bit_deterministic markers; see
+# docs/static-analysis.md.
+prove:
+	PYTHONPATH=src python -m repro.tooling.determinism src/repro
+
 # mypy --strict over src/repro, configured in pyproject.toml. Skipped
 # with a notice when mypy is not installed locally; CI always runs it.
 typecheck:
@@ -38,7 +44,7 @@ typecheck:
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi
 
-check: lint analyze audit typecheck test
+check: lint analyze audit prove typecheck test
 
 test-robustness:
 	pytest tests/robustness/

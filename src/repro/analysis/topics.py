@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.cuboid import RatingCuboid
+from ..typing import bit_deterministic
 
 
 @dataclass(frozen=True)
@@ -111,6 +112,7 @@ def spikiness(profile: np.ndarray) -> float:
     return float(profile.max() / mean)
 
 
+@bit_deterministic
 def match_topics(
     estimated: np.ndarray, reference: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -134,7 +136,7 @@ def match_topics(
     best = np.zeros(est.shape[0])
     available = set(range(ref.shape[0]))
     # Repeatedly take the globally best remaining (estimated, reference) pair.
-    flat_order = np.argsort(similarity, axis=None)[::-1]
+    flat_order = np.argsort(similarity, axis=None, kind="stable")[::-1]
     for flat in flat_order:
         i, j = divmod(int(flat), ref.shape[0])
         if assignment[i] == -1 and j in available:

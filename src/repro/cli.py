@@ -15,6 +15,9 @@ Covers the full offline/online loop from a shell:
   TCAM010–TCAM013, see ``docs/static-analysis.md``);
 * ``tcam audit``    — run the resource-lifecycle and crash-consistency
   auditor (rules TCAM020–TCAM025, see ``docs/static-analysis.md``);
+* ``tcam prove``    — run the static determinism & dtype-flow verifier
+  for the bitwise contracts (rules TCAM030–TCAM035, see
+  ``docs/static-analysis.md``);
 * ``tcam stream``   — the crash-safe streaming loop
   (``docs/robustness.md``): ``append`` dense events to the durable
   event log, ``run`` the incremental ingestor against a snapshot, and
@@ -358,6 +361,10 @@ def _tool_argv(args: argparse.Namespace) -> list[str]:
         argv.extend(["--select", args.select])
     if args.ignore:
         argv.extend(["--ignore", args.ignore])
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.write_baseline:
+        argv.extend(["--write-baseline", args.write_baseline])
     return argv
 
 
@@ -380,6 +387,13 @@ def cmd_audit(args: argparse.Namespace) -> int:
     from .tooling.lifecycle import main as audit_main
 
     return audit_main(_tool_argv(args))
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    """Run the determinism & dtype-flow verifier (rules TCAM030–TCAM035)."""
+    from .tooling.determinism import main as prove_main
+
+    return prove_main(_tool_argv(args))
 
 
 def _read_dense_events(path: Path) -> list[tuple[int, int, int, float]]:
@@ -668,15 +682,28 @@ def build_parser() -> argparse.ArgumentParser:
         )
         tool.add_argument(
             "--format",
-            choices=("text", "json"),
+            choices=("text", "json", "sarif"),
             default="text",
-            help="output format (json is stable-sorted for CI annotation)",
+            help="output format (json is stable-sorted for CI annotation; "
+            "sarif is a 2.1.0 log for code-scanning upload)",
         )
         tool.add_argument(
             "--select", default="", help="comma-separated rule codes to keep"
         )
         tool.add_argument(
             "--ignore", default="", help="comma-separated rule codes to drop"
+        )
+        tool.add_argument(
+            "--baseline",
+            default="",
+            metavar="FILE",
+            help="recorded-findings file; only findings not in it are reported",
+        )
+        tool.add_argument(
+            "--write-baseline",
+            default="",
+            metavar="FILE",
+            help="record the current findings to FILE and exit 0",
         )
         tool.set_defaults(func=func)
 
@@ -690,6 +717,11 @@ def build_parser() -> argparse.ArgumentParser:
         "audit",
         "static resource-lifecycle and crash-consistency audit",
         cmd_audit,
+    )
+    _add_tool_parser(
+        "prove",
+        "static determinism & dtype-flow verification of the bitwise contracts",
+        cmd_prove,
     )
 
     p_stream = sub.add_parser(

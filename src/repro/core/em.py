@@ -20,7 +20,7 @@ from ..robustness.checkpoint import Checkpoint, CheckpointManager
 from ..robustness.errors import HealthViolation
 from ..robustness.faults import fault_point, maybe_poison
 from ..robustness.health import HealthMonitor
-from ..typing import AnyArray, ArrayState, FloatArray, IntArray
+from ..typing import AnyArray, ArrayState, FloatArray, IntArray, bit_deterministic
 
 EPS = 1e-12
 
@@ -223,6 +223,7 @@ def _copy_state(state: ArrayState) -> ArrayState:
     return {name: np.array(value, copy=True) for name, value in state.items()}
 
 
+@bit_deterministic
 def run_em(
     state: ArrayState,
     step: EMStep,

@@ -54,7 +54,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..tooling.sanitize import Sanitizer, sanitize_enabled
-from ..typing import AnyArray, ArrayState, FloatArray, IntArray, Workspace, hot_path
+from ..typing import (
+    AnyArray,
+    ArrayState,
+    FloatArray,
+    IntArray,
+    Workspace,
+    bit_deterministic,
+    hot_path,
+)
 from .em import EPS, ScatterPlan, scatter_sum, scatter_sum_1d
 
 #: Default block length when the config leaves ``block_size`` unset.
@@ -531,6 +539,7 @@ class BlockedEStep:
             self._sanitizer.record_completion(worker)
         return log_likelihood
 
+    @bit_deterministic
     def compute(self, state: ArrayState) -> tuple[ArrayState, float]:
         """One E-step over the full dataset.
 

@@ -32,6 +32,7 @@ import numpy as np
 from ..core.em import EPS
 from ..core.params import TTCAMParameters
 from ..core.ttcam import TTCAM
+from ..typing import bit_deterministic
 
 
 def _coalesce_duplicates(
@@ -103,6 +104,7 @@ class OnlineTTCAM:
         self.params = params
         self.fold_iterations = fold_iterations
 
+    @bit_deterministic
     def fold_in_user(
         self,
         items: np.ndarray,
@@ -165,6 +167,7 @@ class OnlineTTCAM:
             lam = float(np.clip(np.dot(c, ps1) / c.sum(), 0.0, 1.0))
         return theta_u, lam
 
+    @bit_deterministic
     def fold_in_interval(
         self,
         users: np.ndarray,

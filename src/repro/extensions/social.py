@@ -29,8 +29,10 @@ import numpy as np
 from ..core.em import EPS, EMTrace, normalize_rows, random_stochastic, scatter_sum, scatter_sum_1d
 from ..data.cuboid import RatingCuboid
 from ..data.synthetic import GroundTruth, sample_rows
+from ..typing import bit_deterministic
 
 
+@bit_deterministic
 def build_homophilous_graph(
     theta: np.ndarray,
     avg_degree: int = 8,
@@ -64,7 +66,7 @@ def build_homophilous_graph(
         if rng.random() < homophily:
             graph.remove_edge(a, b)
             # Reconnect "a" to one of its 10 most similar non-neighbours.
-            candidates = np.argsort(-similarity[a])[:10]
+            candidates = np.argsort(-similarity[a], kind="stable")[:10]
             choices = [c for c in candidates if c != a and not graph.has_edge(a, int(c))]
             if choices:
                 graph.add_edge(a, int(rng.choice(choices)))

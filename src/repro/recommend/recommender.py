@@ -58,7 +58,7 @@ from typing import Any, Mapping, Protocol, Sequence
 import numpy as np
 
 from ..robustness.errors import ServingUnavailableError
-from ..typing import FloatArray, IntArray
+from ..typing import FloatArray, IntArray, bit_deterministic
 from .bruteforce import bruteforce_topk
 from .ranking import QuerySpace, Recommendation, TopKResult, rank_order
 from .serving import (
@@ -509,6 +509,7 @@ class TemporalRecommender:
         )
         return results
 
+    @bit_deterministic
     def recommend_batch_with_status(
         self,
         queries: Sequence[tuple[int, int]] | IntArray,

@@ -33,6 +33,7 @@ from typing import Any, Mapping, Sequence
 
 from ..analysis.benchjson import pss_bytes, rss_bytes
 from ..recommend.recommender import TemporalRecommender
+from ..typing import bit_deterministic
 from ..streaming.publisher import GenerationFile, SnapshotPublisher
 from .shared import SharedDerivedStore
 
@@ -91,6 +92,7 @@ class _WorkerState:
     extra: dict[str, Any] = field(default_factory=dict)
 
 
+@bit_deterministic
 def serve_requests(
     recommender: TemporalRecommender,
     requests: Sequence[Mapping[str, Any]],

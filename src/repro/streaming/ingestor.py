@@ -42,6 +42,7 @@ import numpy as np
 from ..core.params import TTCAMParameters
 from ..extensions.online import OnlineTTCAM
 from ..robustness.checkpoint import CheckpointManager
+from ..typing import bit_deterministic
 from ..robustness.errors import CheckpointError
 from ..robustness.faults import fault_point
 from .drift import DriftTracker
@@ -213,6 +214,7 @@ class StreamIngestor:
         }
         return self.manager.save(arrays, iteration=self.batches)
 
+    @bit_deterministic
     def _try_resume(self) -> None:
         """Restore the newest valid checkpoint, if one exists."""
         checkpoint = self.manager.latest()
@@ -375,6 +377,7 @@ class StreamIngestor:
     # consumption loop
     # ------------------------------------------------------------------
 
+    @bit_deterministic
     def run(self, max_batches: int | None = None) -> IngestReport:
         """Consume durable events from the current offset, in micro-batches.
 

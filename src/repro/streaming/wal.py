@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import IO, Iterable, Iterator
 
 from ..robustness.errors import EventLogCorruptError
+from ..typing import bit_deterministic
 from ..robustness.faults import faulty_write
 
 _MAGIC = b"TCAMWAL1"
@@ -362,6 +363,7 @@ class EventLog:
             yield StreamEvent.unpack(payload)
             pos += _FRAME.size + length
 
+    @bit_deterministic
     def read(self, start: int = 0, count: int | None = None) -> list[StreamEvent]:
         """Events ``[start, start + count)`` in append order.
 

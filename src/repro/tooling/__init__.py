@@ -2,13 +2,16 @@
 
 Home to the domain-aware linter (:mod:`repro.tooling.lint`), the static
 concurrency-race analyzer (:mod:`repro.tooling.races`), the resource-
-lifecycle and crash-consistency auditor (:mod:`repro.tooling.lifecycle`)
+lifecycle and crash-consistency auditor (:mod:`repro.tooling.lifecycle`),
+the determinism & dtype-flow verifier (:mod:`repro.tooling.determinism`)
 and the opt-in runtime sanitizer (:mod:`repro.tooling.sanitize`) —
 together they encode the determinism, numerical-safety, data-race and
 durability invariants the test suite otherwise only catches after the
-fact. All three static tools share one CLI surface
+fact. All four static tools share one CLI surface
 (:mod:`repro.tooling.output`): ``--format json`` emits the same
-stable-sorted schema from each, which CI turns into GitHub annotations.
+stable-sorted schema from each (``--format sarif`` the same SARIF 2.1.0
+log), which CI turns into GitHub annotations and code-scanning uploads,
+and every rule code is declared once in :mod:`repro.tooling.registry`.
 
 The submodules are loaded lazily so that ``python -m repro.tooling.lint``
 (or ``...races``) does not import them twice (once as a package
@@ -19,9 +22,11 @@ attribute, once as ``__main__``), which would trigger a runpy
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .determinism import prove_paths, prove_source
     from .lifecycle import audit_paths, audit_source
     from .lint import Finding, lint_paths, lint_source, main
     from .races import analyze_paths, analyze_source
+    from .registry import REGISTRY, RuleSpec, rules_for_tool
     from .sanitize import Sanitizer, SanitizerError, sanitize_enabled
 
 #: Lazily exported name -> owning submodule.
@@ -34,6 +39,11 @@ _SUBMODULE_EXPORTS = {
     "analyze_source": "races",
     "audit_paths": "lifecycle",
     "audit_source": "lifecycle",
+    "prove_paths": "determinism",
+    "prove_source": "determinism",
+    "REGISTRY": "registry",
+    "RuleSpec": "registry",
+    "rules_for_tool": "registry",
     "Sanitizer": "sanitize",
     "SanitizerError": "sanitize",
     "sanitize_enabled": "sanitize",
@@ -48,6 +58,11 @@ __all__ = [
     "analyze_source",
     "audit_paths",
     "audit_source",
+    "prove_paths",
+    "prove_source",
+    "REGISTRY",
+    "RuleSpec",
+    "rules_for_tool",
     "Sanitizer",
     "SanitizerError",
     "sanitize_enabled",

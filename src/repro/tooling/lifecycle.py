@@ -83,6 +83,7 @@ from .lint import (
     _keyword,
     _target_names,
 )
+from .registry import rules_for_tool
 
 __all__ = [
     "RULES",
@@ -91,15 +92,9 @@ __all__ = [
     "main",
 ]
 
-#: Rule code -> one-line summary, used by ``--list-rules`` and the docs.
-RULES: dict[str, str] = {
-    "TCAM020": "acquired resource never released or handed to an owner",
-    "TCAM021": "os.replace/rename publish without fsync (atomic-publish protocol)",
-    "TCAM022": "manifest/checksum/generation write precedes payload fsync",
-    "TCAM023": "shared-memory unlink from the attaching (non-owning) side",
-    "TCAM024": "spawned process not joined/reaped on every exit",
-    "TCAM025": "mmap-backed array used or returned past its store's close",
-}
+#: Rule code -> one-line summary, derived from the shared registry
+#: (:mod:`repro.tooling.registry`).
+RULES: dict[str, str] = rules_for_tool("audit")
 
 # -- rule configuration ------------------------------------------------------
 

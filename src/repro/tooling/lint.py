@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from .registry import rules_for_tool
+
 __all__ = [
     "RULES",
     "Finding",
@@ -49,14 +51,10 @@ __all__ = [
     "main",
 ]
 
-#: Rule code -> one-line summary, used by ``--list-rules`` and the docs.
-RULES: dict[str, str] = {
-    "TCAM001": "legacy/unseeded RNG (np.random.* module calls, RandomState)",
-    "TCAM002": "unguarded np.log / np.divide on probability arrays",
-    "TCAM003": "array allocation inside @hot_path functions or hot kernels",
-    "TCAM004": "__all__ out of sync with public module definitions",
-    "TCAM005": "nondeterministic iteration over a bare set",
-}
+#: Rule code -> one-line summary, derived from the shared registry
+#: (:mod:`repro.tooling.registry`) so ``--list-rules``, the docs and the
+#: SARIF rule metadata all agree on one catalogue.
+RULES: dict[str, str] = rules_for_tool("lint")
 
 # -- rule configuration ------------------------------------------------------
 

@@ -60,6 +60,7 @@ from .lint import (
     _keyword,
     _target_names,
 )
+from .registry import rules_for_tool
 
 __all__ = [
     "RULES",
@@ -68,13 +69,9 @@ __all__ = [
     "main",
 ]
 
-#: Rule code -> one-line summary, used by ``--list-rules`` and the docs.
-RULES: dict[str, str] = {
-    "TCAM010": "write to shared mutable state from a pooled worker",
-    "TCAM011": "pooled workers handed aliasing workspace/stat buffers",
-    "TCAM012": "unlocked cache mutation in the concurrent serving layer",
-    "TCAM013": "reduction over worker results in completion (unfixed) order",
-}
+#: Rule code -> one-line summary, derived from the shared registry
+#: (:mod:`repro.tooling.registry`).
+RULES: dict[str, str] = rules_for_tool("analyze")
 
 #: Interprocedural descent budget below the submitted callable.
 _MAX_DEPTH = 4

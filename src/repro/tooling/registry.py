@@ -1,0 +1,265 @@
+"""Single source of truth for every TCAM rule ID.
+
+Four independent rule engines share the ``TCAMxxx`` namespace: the
+domain linter (``tcam lint``, TCAM001–005), the concurrency-race
+analyzer (``tcam analyze``, TCAM010–013), the resource-lifecycle auditor
+(``tcam audit``, TCAM020–025) and the determinism & dtype-flow verifier
+(``tcam prove``, TCAM030–035).  Before this registry each tool kept its
+own ``RULES`` dict, and nothing stopped two tools from claiming the same
+code or a tool from inventing an unregistered one.
+
+Every rule is declared *here* as a :class:`RuleSpec` — code, owning
+tool, rule class (the invariant family it protects), one-line summary,
+and the ``docs/static-analysis.md`` anchor — and each tool's ``RULES``
+mapping is derived via :func:`rules_for_tool`.  The registry test
+(``tests/tooling/test_registry.py``) fails on duplicate codes, on a tool
+shipping a rule that is not registered to it, and on a registered rule
+the tool no longer implements.
+
+``TCAM000`` (syntax error while parsing a file) is shared by all four
+tools and registered to the pseudo-tool ``"shared"``; it never appears
+in a ``--list-rules`` catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "REGISTRY",
+    "RuleSpec",
+    "registry_errors",
+    "rules_for_tool",
+    "spec_for",
+]
+
+#: The four CLI tools (plus the shared pseudo-tool for TCAM000).
+_TOOLS = ("lint", "analyze", "audit", "prove", "shared")
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One registered rule: identity, owner, classification and docs."""
+
+    code: str
+    tool: str
+    rule_class: str
+    summary: str
+    doc_anchor: str
+
+    @property
+    def doc_url(self) -> str:
+        """Repo-relative documentation link for SARIF ``helpUri``."""
+
+        return f"docs/static-analysis.md#{self.doc_anchor}"
+
+
+def _spec(code: str, tool: str, rule_class: str, summary: str, anchor: str) -> RuleSpec:
+    return RuleSpec(code, tool, rule_class, summary, anchor)
+
+
+#: Every TCAM rule, in code order.  Append here first when adding a rule.
+_SPECS: tuple[RuleSpec, ...] = (
+    _spec("TCAM000", "shared", "parse", "syntax error while parsing a file", "suppressions"),
+    # -- tcam lint (domain linter) ----------------------------------------
+    _spec(
+        "TCAM001",
+        "lint",
+        "determinism",
+        "legacy/unseeded RNG (np.random.* module calls, RandomState)",
+        "tcam001--no-legacyunseeded-rng",
+    ),
+    _spec(
+        "TCAM002",
+        "lint",
+        "numerical-safety",
+        "unguarded np.log / np.divide on probability arrays",
+        "tcam002--no-unguarded-nplog--npdivide",
+    ),
+    _spec(
+        "TCAM003",
+        "lint",
+        "performance",
+        "array allocation inside @hot_path functions or hot kernels",
+        "tcam003--no-allocation-in-hot-paths",
+    ),
+    _spec(
+        "TCAM004",
+        "lint",
+        "api-hygiene",
+        "__all__ out of sync with public module definitions",
+        "tcam004--__all__-consistency",
+    ),
+    _spec(
+        "TCAM005",
+        "lint",
+        "determinism",
+        "nondeterministic iteration over a bare set",
+        "tcam005--no-nondeterministic-set-iteration",
+    ),
+    # -- tcam analyze (race analyzer) -------------------------------------
+    _spec(
+        "TCAM010",
+        "analyze",
+        "concurrency",
+        "write to shared mutable state from a pooled worker",
+        "tcam010--write-to-shared-state-from-a-pooled-worker",
+    ),
+    _spec(
+        "TCAM011",
+        "analyze",
+        "concurrency",
+        "pooled workers handed aliasing workspace/stat buffers",
+        "tcam011--aliasing-buffers-handed-to-workers",
+    ),
+    _spec(
+        "TCAM012",
+        "analyze",
+        "concurrency",
+        "unlocked cache mutation in the concurrent serving layer",
+        "tcam012--unlocked-serving-cache-mutation",
+    ),
+    _spec(
+        "TCAM013",
+        "analyze",
+        "determinism",
+        "reduction over worker results in completion (unfixed) order",
+        "tcam013--completion-order-reduction",
+    ),
+    # -- tcam audit (lifecycle auditor) -----------------------------------
+    _spec(
+        "TCAM020",
+        "audit",
+        "resource-lifecycle",
+        "acquired resource never released or handed to an owner",
+        "tcam020--resource-leak",
+    ),
+    _spec(
+        "TCAM021",
+        "audit",
+        "crash-consistency",
+        "os.replace/rename publish without fsync (atomic-publish protocol)",
+        "tcam021--atomic-publish-protocol",
+    ),
+    _spec(
+        "TCAM022",
+        "audit",
+        "crash-consistency",
+        "manifest/checksum/generation write precedes payload fsync",
+        "tcam022--commit-record-ordering",
+    ),
+    _spec(
+        "TCAM023",
+        "audit",
+        "resource-lifecycle",
+        "shared-memory unlink from the attaching (non-owning) side",
+        "tcam023--shared-memory-unlink-ownership",
+    ),
+    _spec(
+        "TCAM024",
+        "audit",
+        "resource-lifecycle",
+        "spawned process not joined/reaped on every exit",
+        "tcam024--process-lifecycle",
+    ),
+    _spec(
+        "TCAM025",
+        "audit",
+        "resource-lifecycle",
+        "mmap-backed array used or returned past its store's close",
+        "tcam025--mmap-use-after-close",
+    ),
+    # -- tcam prove (determinism & dtype-flow verifier) --------------------
+    _spec(
+        "TCAM030",
+        "prove",
+        "determinism",
+        "unordered iteration feeding an accumulation or emitted sequence",
+        "tcam030--unordered-iteration-on-a-deterministic-path",
+    ),
+    _spec(
+        "TCAM031",
+        "prove",
+        "determinism",
+        "float reduction order depends on scheduling/worker/machine",
+        "tcam031--scheduling-dependent-float-reduction",
+    ),
+    _spec(
+        "TCAM032",
+        "prove",
+        "determinism",
+        "argsort/np.sort without kind='stable' where ties are possible",
+        "tcam032--unstable-sort-on-a-deterministic-path",
+    ),
+    _spec(
+        "TCAM033",
+        "prove",
+        "dtype-flow",
+        "silent float dtype mixing or unblessed narrowing cast",
+        "tcam033--silent-float-dtype-mixing",
+    ),
+    _spec(
+        "TCAM034",
+        "prove",
+        "determinism",
+        "wall-clock or unseeded entropy reaching deterministic state",
+        "tcam034--wall-clock--unseeded-entropy",
+    ),
+    _spec(
+        "TCAM035",
+        "prove",
+        "coverage",
+        "documented contract function missing the @bit_deterministic marker",
+        "tcam035--bit_deterministic-coverage",
+    ),
+)
+
+#: Rule code -> spec, in declaration (= code) order.
+REGISTRY: dict[str, RuleSpec] = {spec.code: spec for spec in _SPECS}
+
+
+def rules_for_tool(tool: str) -> dict[str, str]:
+    """The ``RULES`` mapping (code -> summary) one tool should export."""
+
+    if tool not in _TOOLS:
+        raise ValueError(f"unknown tool {tool!r}; expected one of {_TOOLS}")
+    return {
+        spec.code: spec.summary for spec in _SPECS if spec.tool == tool
+    }
+
+
+def spec_for(code: str) -> RuleSpec:
+    """Look up one rule's spec; raises ``KeyError`` for unregistered codes."""
+
+    return REGISTRY[code.upper()]
+
+
+def registry_errors() -> list[str]:
+    """Internal-consistency problems with the registry itself.
+
+    Returns human-readable complaints (empty when healthy): duplicate
+    codes in the declaration tuple, malformed code strings, unknown
+    tools, or codes sorted out of declaration order.  The registry test
+    asserts this is empty, alongside its cross-tool checks.
+    """
+
+    errors: list[str] = []
+    seen: set[str] = set()
+    for spec in _SPECS:
+        if spec.code in seen:
+            errors.append(f"duplicate rule code {spec.code}")
+        seen.add(spec.code)
+        if not (
+            spec.code.startswith("TCAM")
+            and len(spec.code) == 7
+            and spec.code[4:].isdigit()
+        ):
+            errors.append(f"malformed rule code {spec.code!r}")
+        if spec.tool not in _TOOLS:
+            errors.append(f"{spec.code} registered to unknown tool {spec.tool!r}")
+        if not spec.summary or not spec.doc_anchor:
+            errors.append(f"{spec.code} is missing a summary or doc anchor")
+    codes = [spec.code for spec in _SPECS]
+    if codes != sorted(codes):
+        errors.append("registry is not declared in code order")
+    return errors

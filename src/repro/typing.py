@@ -38,7 +38,9 @@ __all__ = [
     "CuboidLike",
     "SupportsQuerySpace",
     "SupportsServing",
+    "bit_deterministic",
     "hot_path",
+    "is_bit_deterministic",
     "is_hot_path",
 ]
 
@@ -169,3 +171,40 @@ def is_hot_path(func: Callable[..., Any]) -> bool:
     """Return ``True`` if ``func`` was decorated with :func:`hot_path`."""
 
     return bool(getattr(func, _HOT_ATTR, False))
+
+
+# ---------------------------------------------------------------------------
+# Bit-determinism marker
+# ---------------------------------------------------------------------------
+
+#: Attribute stamped onto callables decorated with :func:`bit_deterministic`.
+_BIT_DET_ATTR = "__tcam_bit_deterministic__"
+
+
+def bit_deterministic(func: _F) -> _F:
+    """Mark ``func`` as carrying a bitwise-reproducibility contract.
+
+    The decorator is zero-cost at runtime — it only stamps an attribute —
+    but it roots the static determinism analyzer
+    (:mod:`repro.tooling.determinism`, ``tcam prove``): every function
+    carrying this marker, and everything reachable from it through
+    module-local calls, must be free of unordered iteration feeding
+    reductions (TCAM030), scheduling/machine-dependent float reduction
+    orders (TCAM031), unstable sorts where ties matter (TCAM032), silent
+    float dtype mixing (TCAM033), and wall-clock or unseeded entropy
+    (TCAM034).  Rule TCAM035 pins the marker onto the documented
+    contract functions so the analyzer's roots cannot silently rot.
+
+    The promise is: for fixed inputs and fixed configuration, two runs
+    of a marked function produce bit-identical outputs — on any machine,
+    any ``PYTHONHASHSEED``, any thread scheduling.
+    """
+
+    setattr(func, _BIT_DET_ATTR, True)
+    return func
+
+
+def is_bit_deterministic(func: Callable[..., Any]) -> bool:
+    """Return ``True`` if ``func`` was decorated with :func:`bit_deterministic`."""
+
+    return bool(getattr(func, _BIT_DET_ATTR, False))

@@ -1,0 +1,246 @@
+"""The shared rule registry and the cross-tool CLI parity contract.
+
+Registry side: every ``TCAMxxx`` code is declared exactly once in
+``repro.tooling.registry``, each tool's ``RULES`` mapping is derived
+from it (no duplicate, unregistered, or orphaned codes anywhere), and
+every rule's ``doc_anchor`` resolves to a real heading in
+``docs/static-analysis.md`` (using GitHub's heading-slug convention).
+
+Parity side: the four tools — ``tcam lint``, ``tcam analyze``,
+``tcam audit``, ``tcam prove`` — are one CLI surface. The parametrized
+tests drive each tool's ``main`` through the shared flags (``--format
+json``, ``--select``, ``--ignore``, ``--list-rules``, exit codes,
+stable sort) against a per-tool dirty fixture and assert identical
+behaviour everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tooling.determinism import RULES as PROVE_RULES
+from repro.tooling.determinism import main as prove_main
+from repro.tooling.lifecycle import RULES as AUDIT_RULES
+from repro.tooling.lifecycle import main as audit_main
+from repro.tooling.lint import RULES as LINT_RULES
+from repro.tooling.lint import main as lint_main
+from repro.tooling.races import RULES as ANALYZE_RULES
+from repro.tooling.races import main as analyze_main
+from repro.tooling.registry import (
+    REGISTRY,
+    registry_errors,
+    rules_for_tool,
+    spec_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: tool name -> the RULES mapping that tool actually exports.
+TOOL_RULES = {
+    "lint": LINT_RULES,
+    "analyze": ANALYZE_RULES,
+    "audit": AUDIT_RULES,
+    "prove": PROVE_RULES,
+}
+
+
+# ---------------------------------------------------------------------------
+# Registry integrity
+# ---------------------------------------------------------------------------
+
+
+def test_registry_is_internally_consistent():
+    assert registry_errors() == []
+
+
+def test_every_tool_exports_exactly_its_registered_rules():
+    for tool, rules in TOOL_RULES.items():
+        assert rules == rules_for_tool(tool), (
+            f"{tool}'s RULES mapping disagrees with the registry"
+        )
+
+
+def test_no_code_is_claimed_by_two_tools():
+    seen: dict[str, str] = {}
+    for tool, rules in TOOL_RULES.items():
+        for code in rules:
+            assert code not in seen, (
+                f"{code} claimed by both {seen[code]} and {tool}"
+            )
+            seen[code] = tool
+
+
+def test_registry_covers_all_tools_and_nothing_else():
+    tool_codes = {code for rules in TOOL_RULES.values() for code in rules}
+    registered = {
+        code for code, spec in REGISTRY.items() if spec.tool != "shared"
+    }
+    assert tool_codes == registered
+    # the shared parse-failure pseudo-rule exists but belongs to no tool
+    assert spec_for("TCAM000").tool == "shared"
+    assert "TCAM000" not in tool_codes
+
+
+def test_spec_lookup_is_case_insensitive_and_strict():
+    assert spec_for("tcam030").code == "TCAM030"
+    with pytest.raises(KeyError):
+        spec_for("TCAM999")
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's markdown heading-anchor convention."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def test_every_doc_anchor_resolves_to_a_real_heading():
+    doc = (REPO_ROOT / "docs" / "static-analysis.md").read_text(encoding="utf-8")
+    slugs = {
+        _github_slug(line.lstrip("#"))
+        for line in doc.splitlines()
+        if line.startswith("#")
+    }
+    for spec in REGISTRY.values():
+        assert spec.doc_anchor in slugs, (
+            f"{spec.code}'s doc anchor #{spec.doc_anchor} has no matching "
+            "heading in docs/static-analysis.md"
+        )
+        assert spec.doc_url == f"docs/static-analysis.md#{spec.doc_anchor}"
+
+
+def test_rules_for_unknown_tool_is_an_error():
+    with pytest.raises(ValueError):
+        rules_for_tool("fuzz")
+
+
+# ---------------------------------------------------------------------------
+# Cross-tool CLI parity
+# ---------------------------------------------------------------------------
+
+#: Per-tool minimal dirty fixture and the single rule it must trigger.
+LINT_DIRTY = """
+import numpy as np
+
+x = np.random.rand(3)
+"""
+
+ANALYZE_DIRTY = """
+from concurrent.futures import ThreadPoolExecutor
+
+class Engine:
+    def run(self, n):
+        with ThreadPoolExecutor() as pool:
+            futures = [pool.submit(self._worker, w) for w in range(n)]
+        return [f.result() for f in futures]
+
+    def _worker(self, worker):
+        self.total += worker
+"""
+
+AUDIT_DIRTY = """
+def read_header(path):
+    handle = open(path, "rb")
+    return handle.read(16).hex()
+"""
+
+PROVE_DIRTY = """
+from repro.typing import bit_deterministic
+
+@bit_deterministic
+def replay(events):
+    out = []
+    for event in set(events):
+        out.append(event)
+    return out
+"""
+
+TOOLS = [
+    pytest.param(lint_main, "lint", LINT_DIRTY, "TCAM001", id="lint"),
+    pytest.param(analyze_main, "analyze", ANALYZE_DIRTY, "TCAM010", id="analyze"),
+    pytest.param(audit_main, "audit", AUDIT_DIRTY, "TCAM020", id="audit"),
+    pytest.param(prove_main, "prove", PROVE_DIRTY, "TCAM030", id="prove"),
+]
+
+
+def _write_dirty(tmp_path: Path, source: str) -> Path:
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(textwrap.dedent(source).lstrip(), encoding="utf-8")
+    return dirty
+
+
+@pytest.mark.parametrize("tool_main, tool, dirty_source, expected_rule", TOOLS)
+def test_exit_codes_are_uniform(tool_main, tool, dirty_source, expected_rule, tmp_path):
+    dirty = _write_dirty(tmp_path, dirty_source)
+    assert tool_main([str(dirty)]) == 1
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n", encoding="utf-8")
+    assert tool_main([str(clean)]) == 0
+
+
+@pytest.mark.parametrize("tool_main, tool, dirty_source, expected_rule", TOOLS)
+def test_json_schema_is_shared(tool_main, tool, dirty_source, expected_rule, tmp_path, capsys):
+    dirty = _write_dirty(tmp_path, dirty_source)
+    assert tool_main([str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload] == [expected_rule]
+    for finding in payload:
+        assert sorted(finding) == ["col", "line", "message", "path", "rule"]
+
+
+@pytest.mark.parametrize("tool_main, tool, dirty_source, expected_rule", TOOLS)
+def test_json_output_is_stable_across_runs(tool_main, tool, dirty_source, expected_rule, tmp_path, capsys):
+    dirty = _write_dirty(tmp_path, dirty_source)
+    assert tool_main([str(dirty), "--format", "json"]) == 1
+    first = capsys.readouterr().out
+    assert tool_main([str(dirty), "--format", "json"]) == 1
+    assert capsys.readouterr().out == first
+
+
+@pytest.mark.parametrize("tool_main, tool, dirty_source, expected_rule", TOOLS)
+def test_select_and_ignore_filters(tool_main, tool, dirty_source, expected_rule, tmp_path, capsys):
+    dirty = _write_dirty(tmp_path, dirty_source)
+    # selecting an unrelated rule drops the finding and the failure
+    assert tool_main([str(dirty), "--select", "TCAM999"]) == 0
+    # ignoring the expected rule likewise
+    assert tool_main([str(dirty), "--ignore", expected_rule]) == 0
+    # selecting the expected rule keeps it
+    assert tool_main([str(dirty), "--select", expected_rule]) == 1
+    capsys.readouterr()
+
+
+@pytest.mark.parametrize("tool_main, tool, dirty_source, expected_rule", TOOLS)
+def test_list_rules_prints_the_registry_catalogue(tool_main, tool, dirty_source, expected_rule, capsys):
+    assert tool_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code, summary in rules_for_tool(tool).items():
+        assert code in out
+        assert summary in out
+
+
+@pytest.mark.parametrize("tool_main, tool, dirty_source, expected_rule", TOOLS)
+def test_sarif_format_names_the_tool(tool_main, tool, dirty_source, expected_rule, tmp_path, capsys):
+    dirty = _write_dirty(tmp_path, dirty_source)
+    assert tool_main([str(dirty), "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    driver = log["runs"][0]["tool"]["driver"]
+    assert driver["name"] == f"tcam {tool}"
+    assert [r["ruleId"] for r in log["runs"][0]["results"]] == [expected_rule]
+    rule = log["runs"][0]["tool"]["driver"]["rules"][0]
+    assert rule["helpUri"] == spec_for(expected_rule).doc_url
+
+
+@pytest.mark.parametrize("tool_main, tool, dirty_source, expected_rule", TOOLS)
+def test_baseline_flags_work_everywhere(tool_main, tool, dirty_source, expected_rule, tmp_path, capsys):
+    dirty = _write_dirty(tmp_path, dirty_source)
+    baseline = tmp_path / "baseline.json"
+    assert tool_main([str(dirty), "--write-baseline", str(baseline)]) == 0
+    assert tool_main([str(dirty), "--baseline", str(baseline)]) == 0
+    assert tool_main([str(dirty), "--baseline", str(tmp_path / "missing.json")]) == 2
+    capsys.readouterr()
